@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ablation (beyond the paper): branch-architecture sizing — BTB
+ * capacity, PHT capacity/indexing, and the paper's "further study"
+ * return-address stack. All reported as the resulting total ISPI
+ * under the Resume policy on the baseline machine.
+ */
+
+#include <cstdio>
+
+#include "bench_support.hh"
+#include "core/simulator.hh"
+
+using namespace specfetch;
+using namespace specfetch::bench;
+
+namespace {
+
+SimResults
+runVariant(const std::string &bench, const SimConfig &config)
+{
+    return runBenchmark(bench, config);
+}
+
+} // namespace
+
+int
+main()
+{
+    SimConfig base;
+    base.instructionBudget = benchBudget(kDefaultBudget / 2);
+    base.policy = FetchPolicy::Resume;
+    banner("Ablation", "branch architecture sizing", base);
+
+    std::vector<std::string> benches{"gcc", "li", "cfront", "idl"};
+
+    std::printf("--- BTB entries (4-way, decoupled) ---\n");
+    {
+        TextTable table;
+        table.setColumns({"Program", "16", "64 (paper)", "256",
+                          "misfetch ISPI @16", "@64", "@256"});
+        for (const std::string &name : benches) {
+            std::vector<std::string> row{name};
+            std::vector<std::string> misfetch;
+            for (unsigned entries : {16u, 64u, 256u}) {
+                SimConfig config = base;
+                config.predictor.btbEntries = entries;
+                SimResults r = runVariant(name, config);
+                row.push_back(formatFixed(r.ispi(), 3));
+                misfetch.push_back(
+                    formatFixed(r.btbMisfetchIspi(), 3));
+            }
+            row.insert(row.end(), misfetch.begin(), misfetch.end());
+            table.addRow(row);
+        }
+        emitTable(table);
+    }
+
+    std::printf("\n--- PHT entries (gshare) ---\n");
+    {
+        TextTable table;
+        table.setColumns({"Program", "128", "512 (paper)", "4096",
+                          "accuracy @128", "@512", "@4096"});
+        for (const std::string &name : benches) {
+            std::vector<std::string> row{name};
+            std::vector<std::string> accuracy;
+            for (unsigned entries : {128u, 512u, 4096u}) {
+                SimConfig config = base;
+                config.predictor.phtEntries = entries;
+                SimResults r = runVariant(name, config);
+                row.push_back(formatFixed(r.ispi(), 3));
+                accuracy.push_back(
+                    formatFixed(100.0 * r.condAccuracy(), 1));
+            }
+            row.insert(row.end(), accuracy.begin(), accuracy.end());
+            table.addRow(row);
+        }
+        emitTable(table);
+    }
+
+    std::printf("\n--- PHT indexing (512 entries) ---\n");
+    {
+        TextTable table;
+        table.setColumns({"Program", "gshare (paper)", "global-only",
+                          "pc-only", "two-level local",
+                          "combining (McFarling)"});
+        for (const std::string &name : benches) {
+            std::vector<std::string> row{name};
+            for (PhtIndexing indexing :
+                 {PhtIndexing::Gshare, PhtIndexing::GlobalOnly,
+                  PhtIndexing::PcOnly, PhtIndexing::Local,
+                  PhtIndexing::Combining}) {
+                SimConfig config = base;
+                config.predictor.phtIndexing = indexing;
+                SimResults r = runVariant(name, config);
+                row.push_back(formatFixed(r.ispi(), 3));
+            }
+            table.addRow(row);
+        }
+        emitTable(table);
+    }
+
+    std::printf("\n--- return-address stack (paper: none) ---\n");
+    {
+        TextTable table;
+        table.setColumns({"Program", "no RAS (paper)", "RAS 8",
+                          "RAS 16", "BTB-mispredict ISPI no-RAS",
+                          "RAS 8", "RAS 16"});
+        for (const std::string &name : benches) {
+            std::vector<std::string> row{name};
+            std::vector<std::string> target;
+            for (unsigned depth : {0u, 8u, 16u}) {
+                SimConfig config = base;
+                config.predictor.rasDepth = depth;
+                SimResults r = runVariant(name, config);
+                row.push_back(formatFixed(r.ispi(), 3));
+                target.push_back(
+                    formatFixed(r.btbMispredictIspi(), 3));
+            }
+            row.insert(row.end(), target.begin(), target.end());
+            table.addRow(row);
+        }
+        emitTable(table);
+    }
+    return 0;
+}

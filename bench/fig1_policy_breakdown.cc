@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates paper Figure 1: per-policy ISPI component breakdown on
+ * the baseline machine (8K direct-mapped cache, 5-cycle miss penalty,
+ * depth-4 speculation) for the paper's five representative programs,
+ * plus suite-wide averages and the paper's headline comparisons.
+ */
+
+#include <cstdio>
+
+#include "bench_support.hh"
+
+using namespace specfetch;
+using namespace specfetch::bench;
+
+int
+main()
+{
+    SimConfig base;
+    base.instructionBudget = benchBudget(kDefaultBudget);
+    banner("Figure 1", "penalty breakdown, baseline architecture", base);
+
+    std::vector<std::pair<std::string, SimConfig>> variants;
+    for (FetchPolicy policy : allPolicies()) {
+        SimConfig config = base;
+        config.policy = policy;
+        variants.emplace_back(toString(policy), config);
+    }
+
+    // The paper's five representative programs (Fig. 1), then the
+    // suite average.
+    std::vector<std::string> representative{"doduc", "gcc", "li",
+                                            "groff", "lic"};
+    printBreakdown(representative, variants);
+
+    // Suite-wide ISPI averages per policy + headline ratios.
+    std::vector<RunSpec> specs;
+    for (const std::string &name : benchmarkNames())
+        for (const auto &[label, config] : variants)
+            specs.push_back(RunSpec{name, config});
+    std::vector<SimResults> results = runSweep(specs);
+
+    double sum[5] = {};
+    size_t idx = 0;
+    for (size_t b = 0; b < benchmarkNames().size(); ++b)
+        for (size_t p = 0; p < 5; ++p)
+            sum[p] += results[idx++].ispi();
+
+    std::printf("\nsuite-average total ISPI by policy:\n");
+    for (size_t p = 0; p < 5; ++p)
+        std::printf("  %-12s %.3f\n",
+                    toString(allPolicies()[p]).c_str(), sum[p] / 13.0);
+
+    double oracle = sum[0] / 13, opt = sum[1] / 13, res = sum[2] / 13,
+           pess = sum[3] / 13, dec = sum[4] / 13;
+    std::printf("\nshape checks (paper §5.1.2):\n");
+    std::printf("  Optimistic < Pessimistic: %s (opt %.3f vs pess %.3f; "
+                "paper: ~12%% better)\n",
+                opt < pess ? "yes" : "NO", opt, pess);
+    std::printf("  Resume best, ~= Oracle:   %s (res %.3f vs oracle "
+                "%.3f)\n",
+                res <= opt && res <= pess ? "yes" : "NO", res, oracle);
+    std::printf("  Decode ~= Pessimistic:    %s (dec %.3f vs pess "
+                "%.3f)\n",
+                std::abs(dec - pess) < 0.15 * pess ? "yes" : "NO", dec,
+                pess);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates paper Figure 3: the effect of next-line prefetching on
+ * Oracle, Resume, and Pessimistic at the baseline 5-cycle penalty.
+ */
+
+#include <cstdio>
+
+#include "bench_support.hh"
+
+using namespace specfetch;
+using namespace specfetch::bench;
+
+int
+main()
+{
+    SimConfig base;
+    base.instructionBudget = benchBudget(kDefaultBudget);
+    banner("Figure 3", "next-line prefetching, 5-cycle penalty", base);
+
+    std::vector<std::pair<std::string, SimConfig>> variants;
+    for (FetchPolicy policy :
+         {FetchPolicy::Oracle, FetchPolicy::Resume,
+          FetchPolicy::Pessimistic}) {
+        SimConfig off = base;
+        off.policy = policy;
+        variants.emplace_back(toString(policy), off);
+        SimConfig on = off;
+        on.nextLinePrefetch = true;
+        variants.emplace_back(toString(policy) + "+Pref", on);
+    }
+
+    std::vector<std::string> representative{"doduc", "gcc", "li",
+                                            "groff", "lic"};
+    printBreakdown(representative, variants);
+
+    // Suite-wide averages for the shape checks.
+    std::vector<RunSpec> specs;
+    for (const std::string &name : benchmarkNames())
+        for (const auto &[label, config] : variants)
+            specs.push_back(RunSpec{name, config});
+    std::vector<SimResults> results = runSweep(specs);
+
+    double sum[6] = {};
+    size_t idx = 0;
+    for (size_t b = 0; b < benchmarkNames().size(); ++b)
+        for (size_t v = 0; v < 6; ++v)
+            sum[v] += results[idx++].ispi();
+    for (double &s : sum)
+        s /= 13.0;
+
+    std::printf("\nsuite-average ISPI: Oracle %.3f/%.3f(+pref), "
+                "Resume %.3f/%.3f, Pessimistic %.3f/%.3f\n",
+                sum[0], sum[1], sum[2], sum[3], sum[4], sum[5]);
+    std::printf("shape checks (paper §5.3):\n");
+    std::printf("  prefetching helps every policy:      %s\n",
+                sum[1] < sum[0] && sum[3] < sum[2] && sum[5] < sum[4]
+                    ? "yes"
+                    : "NO");
+    std::printf("  Resume(no pref) ~ Pessimistic(pref): %s "
+                "(%.3f vs %.3f)\n",
+                std::abs(sum[2] - sum[5]) < 0.25 * sum[5] ? "yes" : "NO",
+                sum[2], sum[5]);
+    std::printf("  gaps compress with prefetching:      %s\n",
+                (sum[5] - sum[3]) < (sum[4] - sum[2]) ? "yes" : "NO");
+    return 0;
+}

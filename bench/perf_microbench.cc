@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself:
+ * simulation throughput per policy and the hot substrate operations
+ * (cache probe, predictor lookup, executor step). These guard the
+ * "hundreds of millions of instructions per experiment" budget the
+ * table harnesses rely on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/predictor.hh"
+#include "cache/icache.hh"
+#include "core/simulator.hh"
+#include "workload/executor.hh"
+#include "workload/registry.hh"
+
+using namespace specfetch;
+
+namespace {
+
+const Workload &
+gccWorkload()
+{
+    static const Workload workload = buildWorkload(getProfile("gcc"));
+    return workload;
+}
+
+void
+BM_ExecutorStep(benchmark::State &state)
+{
+    Executor executor(gccWorkload().cfg, 42);
+    DynInst inst;
+    for (auto _ : state) {
+        executor.next(inst);
+        benchmark::DoNotOptimize(inst);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutorStep);
+
+void
+BM_ICacheProbe(benchmark::State &state)
+{
+    ICache cache;
+    for (Addr line = 0; line < 256; ++line)
+        cache.insert(0x10000 + line * 32);
+    Addr line = 0x10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(line));
+        line = 0x10000 + ((line + 32) & 0x1fff);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ICacheProbe);
+
+void
+BM_PredictorLookup(benchmark::State &state)
+{
+    BranchPredictor predictor;
+    Addr pc = 0x10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            predictor.predict(pc, InstClass::CondBranch));
+        pc = 0x10000 + ((pc + 4) & 0xfff);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorLookup);
+
+void
+BM_SimulateGcc(benchmark::State &state)
+{
+    FetchPolicy policy = static_cast<FetchPolicy>(state.range(0));
+    SimConfig config;
+    config.policy = policy;
+    config.instructionBudget = 200'000;
+    for (auto _ : state) {
+        SimResults r = runSimulation(gccWorkload(), config);
+        benchmark::DoNotOptimize(r.finalSlot);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            config.instructionBudget);
+    state.SetLabel(toString(policy));
+}
+BENCHMARK(BM_SimulateGcc)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateWithPrefetch(benchmark::State &state)
+{
+    SimConfig config;
+    config.policy = FetchPolicy::Resume;
+    config.nextLinePrefetch = true;
+    config.instructionBudget = 200'000;
+    for (auto _ : state) {
+        SimResults r = runSimulation(gccWorkload(), config);
+        benchmark::DoNotOptimize(r.finalSlot);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            config.instructionBudget);
+}
+BENCHMARK(BM_SimulateWithPrefetch)->Unit(benchmark::kMillisecond);
+
+void
+BM_BuildWorkload(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Workload w = buildWorkload(getProfile("li"));
+        benchmark::DoNotOptimize(w.image.size());
+    }
+}
+BENCHMARK(BM_BuildWorkload)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates paper Table 6: total ISPI with a 32K direct-mapped
+ * cache (5-cycle penalty, depth 4): larger caches shrink every
+ * policy's penalty and compress the gaps between them.
+ */
+
+#include <cstdio>
+
+#include "bench_support.hh"
+#include "paper_data.hh"
+
+using namespace specfetch;
+using namespace specfetch::bench;
+
+int
+main()
+{
+    SimConfig base;
+    base.instructionBudget = benchBudget(kDefaultBudget);
+    base.icache.sizeBytes = 32 * 1024;
+    banner("Table 6", "effect of cache size (32K)", base);
+
+    std::vector<SimResults> results =
+        runPolicyGrid(benchmarkNames(), base, allPolicies());
+
+    TextTable table;
+    table.setColumns({"Program", "Oracle", "Opt", "Res", "Pess", "Dec"});
+    std::vector<double> avg(5, 0.0);
+    const auto &names = benchmarkNames();
+    for (size_t b = 0; b < names.size(); ++b) {
+        std::vector<std::string> row{names[b]};
+        for (size_t pol = 0; pol < 5; ++pol) {
+            const SimResults &r = results[b * 5 + pol];
+            avg[pol] += r.ispi();
+            row.push_back(vsPaper(r.ispi(), paper::kTable6[b][pol]));
+        }
+        table.addRow(row);
+    }
+    table.addSeparator();
+    static const double paper_avg[5] = {0.87, 0.94, 0.87, 0.97, 0.98};
+    std::vector<std::string> avg_row{"Average"};
+    for (size_t pol = 0; pol < 5; ++pol)
+        avg_row.push_back(vsPaper(avg[pol] / 13.0, paper_avg[pol]));
+    table.addRow(avg_row);
+    emitTable(table);
+
+    std::printf("\nshape check (paper §5.2.3): policy gaps compress at "
+                "32K — Resume-vs-Pessimistic gap %.1f%% (paper: ~10%% "
+                "at 32K vs ~19%% at 8K)\n",
+                100.0 * (avg[3] - avg[2]) / avg[2]);
+    return 0;
+}

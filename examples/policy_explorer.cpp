@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Policy explorer: sweep one configuration axis (miss penalty, cache
+ * size, or speculation depth) for a chosen policy and workload and
+ * print an ISPI curve — the quickest way to find the crossover points
+ * the paper's conclusion is about (aggressive wins at small latency,
+ * conservative at large).
+ *
+ *   ./policy_explorer --benchmark=groff --axis=penalty
+ *   ./policy_explorer --benchmark=gcc --axis=depth --prefetch
+ *   ./policy_explorer --benchmark=li --axis=cache
+ */
+
+#include <cstdio>
+
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "util/options.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+#include "workload/registry.hh"
+
+using namespace specfetch;
+
+namespace {
+
+struct AxisPoint
+{
+    std::string label;
+    SimConfig config;
+};
+
+std::vector<AxisPoint>
+axisPoints(const std::string &axis, const SimConfig &base)
+{
+    std::vector<AxisPoint> points;
+    if (axis == "penalty") {
+        for (unsigned cycles : {2u, 5u, 10u, 20u, 40u}) {
+            SimConfig config = base;
+            config.missPenaltyCycles = cycles;
+            points.push_back({std::to_string(cycles) + "cyc", config});
+        }
+    } else if (axis == "cache") {
+        for (unsigned kb : {4u, 8u, 16u, 32u, 64u}) {
+            SimConfig config = base;
+            config.icache.sizeBytes = kb * 1024;
+            points.push_back({std::to_string(kb) + "K", config});
+        }
+    } else if (axis == "depth") {
+        for (unsigned depth : {1u, 2u, 4u, 8u}) {
+            SimConfig config = base;
+            config.maxUnresolved = depth;
+            points.push_back({"depth " + std::to_string(depth), config});
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("policy_explorer",
+                      "sweep a machine axis across all five policies");
+    opts.addString("benchmark", "groff", "workload profile");
+    opts.addString("axis", "penalty", "penalty | cache | depth");
+    opts.addCount("budget", 2'000'000, "instructions per run");
+    opts.addFlag("prefetch", "enable next-line prefetching");
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    SimConfig base;
+    base.instructionBudget = opts.getCount("budget");
+    base.nextLinePrefetch = opts.getFlag("prefetch");
+
+    std::vector<AxisPoint> points =
+        axisPoints(opts.getString("axis"), base);
+    if (points.empty()) {
+        std::fprintf(stderr, "unknown axis '%s' (penalty|cache|depth)\n",
+                     opts.getString("axis").c_str());
+        return 1;
+    }
+
+    std::string benchmark = opts.getString("benchmark");
+    std::vector<RunSpec> specs;
+    for (const AxisPoint &point : points) {
+        for (FetchPolicy policy : allPolicies()) {
+            RunSpec spec{benchmark, point.config};
+            spec.config.policy = policy;
+            specs.push_back(spec);
+        }
+    }
+    std::vector<SimResults> results = runSweep(specs);
+
+    std::printf("total ISPI for '%s'%s along the %s axis:\n\n",
+                benchmark.c_str(),
+                base.nextLinePrefetch ? " (with prefetch)" : "",
+                opts.getString("axis").c_str());
+
+    TextTable table;
+    std::vector<std::string> columns{"point"};
+    for (FetchPolicy policy : allPolicies())
+        columns.push_back(shortName(policy));
+    columns.push_back("winner");
+    table.setColumns(columns);
+
+    size_t index = 0;
+    for (const AxisPoint &point : points) {
+        std::vector<std::string> row{point.label};
+        double best = 1e30;
+        FetchPolicy winner = FetchPolicy::Oracle;
+        std::vector<double> values;
+        for (size_t p = 0; p < allPolicies().size(); ++p) {
+            double ispi = results[index++].ispi();
+            values.push_back(ispi);
+            row.push_back(formatFixed(ispi, 3));
+            // Skip Oracle when crowning a winner: it is unrealizable.
+            if (p > 0 && ispi < best) {
+                best = ispi;
+                winner = allPolicies()[p];
+            }
+        }
+        row.push_back(toString(winner));
+        table.addRow(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n('winner' excludes the unrealizable Oracle)\n");
+    return 0;
+}

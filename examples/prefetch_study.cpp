@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Prefetch study: for one workload, sweep the miss penalty and show
+ * where next-line prefetching stops paying for each policy — the
+ * paper's closing recommendation ("Resume + prefetch when latency is
+ * small; Pessimistic without prefetch when it is large") as a single
+ * runnable experiment.
+ *
+ *   ./prefetch_study --benchmark=groff
+ */
+
+#include <cstdio>
+
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "util/options.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+#include "workload/registry.hh"
+
+using namespace specfetch;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("prefetch_study",
+                      "where does next-line prefetching stop paying?");
+    opts.addString("benchmark", "groff", "workload profile");
+    opts.addCount("budget", 2'000'000, "instructions per run");
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    std::string benchmark = opts.getString("benchmark");
+    const std::vector<unsigned> penalties{2, 5, 10, 20, 40};
+    const std::vector<FetchPolicy> policies{
+        FetchPolicy::Oracle, FetchPolicy::Resume,
+        FetchPolicy::Pessimistic};
+
+    std::vector<RunSpec> specs;
+    for (unsigned penalty : penalties) {
+        for (FetchPolicy policy : policies) {
+            for (bool prefetch : {false, true}) {
+                SimConfig config;
+                config.instructionBudget = opts.getCount("budget");
+                config.missPenaltyCycles = penalty;
+                config.policy = policy;
+                config.nextLinePrefetch = prefetch;
+                specs.push_back(RunSpec{benchmark, config});
+            }
+        }
+    }
+    std::vector<SimResults> results = runSweep(specs);
+
+    std::printf("ISPI for '%s', cells are no-prefetch -> prefetch "
+                "(delta%%):\n\n",
+                benchmark.c_str());
+
+    TextTable table;
+    table.setColumns({"penalty", "Oracle", "Resume", "Pessimistic",
+                      "traffic x (Resume+pref)"});
+    size_t index = 0;
+    for (unsigned penalty : penalties) {
+        std::vector<std::string> row{std::to_string(penalty) + "cyc"};
+        uint64_t resume_traffic = 0;
+        uint64_t oracle_traffic = 0;
+        for (FetchPolicy policy : policies) {
+            const SimResults &off = results[index++];
+            const SimResults &on = results[index++];
+            double delta =
+                100.0 * (on.ispi() - off.ispi()) / off.ispi();
+            row.push_back(formatFixed(off.ispi(), 2) + "->" +
+                          formatFixed(on.ispi(), 2) + " (" +
+                          (delta >= 0 ? "+" : "") +
+                          formatFixed(delta, 1) + "%)");
+            if (policy == FetchPolicy::Resume)
+                resume_traffic = on.memoryTransactions();
+            if (policy == FetchPolicy::Oracle)
+                oracle_traffic = off.memoryTransactions();
+        }
+        row.push_back(formatFixed(
+            ratioOf(resume_traffic, oracle_traffic), 2));
+        table.addRow(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nnegative deltas = prefetching helped; expect them "
+                "to shrink (or flip) as the penalty grows.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quickstart: build one benchmark workload, run every fetch policy on
+ * the paper's baseline machine, and print the comparison.
+ *
+ *   ./quickstart --benchmark=gcc --budget=2M
+ *   ./quickstart --benchmark=groff --miss-penalty=20 --prefetch
+ */
+
+#include <cstdio>
+
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "util/options.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+#include "workload/registry.hh"
+
+using namespace specfetch;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("quickstart",
+                      "compare all I-cache fetch policies on one workload");
+    opts.addString("benchmark", "gcc", "workload profile (see --list)");
+    opts.addCount("budget", 2'000'000, "instructions to simulate");
+    opts.addSize("cache", 8 * 1024, "I-cache size in bytes");
+    opts.addCount("miss-penalty", 5, "I-cache miss penalty in cycles");
+    opts.addCount("depth", 4, "max unresolved conditional branches");
+    opts.addFlag("prefetch", "enable next-line prefetching");
+    opts.addFlag("stats", "dump the full statistics tree per policy");
+    opts.addFlag("list", "list available benchmarks and exit");
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    if (opts.getFlag("list")) {
+        for (const std::string &name : benchmarkNames()) {
+            WorkloadProfile p = getProfile(name);
+            std::printf("%-8s  %s\n", name.c_str(), p.description.c_str());
+        }
+        return 0;
+    }
+
+    SimConfig config;
+    config.instructionBudget = opts.getCount("budget");
+    config.icache.sizeBytes = opts.getSize("cache");
+    config.missPenaltyCycles = static_cast<unsigned>(
+        opts.getCount("miss-penalty"));
+    config.maxUnresolved = static_cast<unsigned>(opts.getCount("depth"));
+    config.nextLinePrefetch = opts.getFlag("prefetch");
+
+    std::string benchmark = opts.getString("benchmark");
+    Workload workload = buildWorkload(getProfile(benchmark));
+    std::printf("workload '%s': %zu functions, %llu static instructions "
+                "(%.1f KB)\n\n",
+                benchmark.c_str(), workload.cfg.functions.size(),
+                static_cast<unsigned long long>(
+                    workload.cfg.totalInstructions()),
+                workload.footprintBytes() / 1024.0);
+
+    TextTable table;
+    table.setColumns({"Policy", "ISPI", "branch_full", "branch",
+                      "force_resolve", "rt_icache", "wrong_icache", "bus",
+                      "miss%", "traffic"});
+    for (FetchPolicy policy : allPolicies()) {
+        SimConfig cfg = config;
+        cfg.policy = policy;
+        SimResults r = runSimulation(workload, cfg);
+        std::vector<std::string> row{toString(policy),
+                                     formatFixed(r.ispi(), 3)};
+        for (PenaltyKind kind : allPenaltyKinds())
+            row.push_back(formatFixed(r.ispiOf(kind), 3));
+        row.push_back(formatFixed(r.missRatePercent(), 2));
+        row.push_back(formatWithCommas(r.memoryTransactions()));
+        table.addRow(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nconfig: %s\n", config.describe().c_str());
+
+    if (opts.getFlag("stats")) {
+        for (FetchPolicy policy : allPolicies()) {
+            SimConfig cfg = config;
+            cfg.policy = policy;
+            SimResults r = runSimulation(workload, cfg);
+            std::printf("\n==== %s ====\n%s", toString(policy).c_str(),
+                        r.statsDump().c_str());
+        }
+    }
+    return 0;
+}

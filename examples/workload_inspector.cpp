@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Workload inspector: reports the measurable characteristics of a
+ * synthetic workload — static footprint, dynamic branch mix, working
+ * set over sliding windows, and branch-architecture quality — the
+ * quantities the profiles are calibrated against (paper Tables 2-3).
+ *
+ *   ./workload_inspector --benchmark=gcc --budget=2M
+ *   ./workload_inspector --all
+ */
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "core/simulator.hh"
+#include "util/options.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+#include "workload/executor.hh"
+#include "workload/registry.hh"
+
+using namespace specfetch;
+
+namespace {
+
+struct Inspection
+{
+    std::string name;
+    uint64_t staticInsts;
+    double footprintKb;
+    double branchPct;
+    double condPct;
+    double takenPct;
+    double callPct;
+    uint64_t distinctLines;
+    double meanWindowLinesKb;   ///< mean working set per window
+    double missRate8K;
+    double missRate32K;
+    double condAccuracy;
+    double phtIspi;
+    double misfetchIspi;
+    double btbMispIspi;
+};
+
+Inspection
+inspect(const std::string &name, uint64_t budget)
+{
+    Workload workload = buildWorkload(getProfile(name));
+
+    Inspection out;
+    out.name = name;
+    out.staticInsts = workload.cfg.totalInstructions();
+    out.footprintKb = workload.footprintBytes() / 1024.0;
+
+    // Dynamic pass: branch mix + working set windows.
+    Executor executor(workload.cfg, 42);
+    std::unordered_set<Addr> all_lines;
+    std::unordered_set<Addr> window_lines;
+    const uint64_t window = 100'000;
+    uint64_t windows = 0;
+    uint64_t window_line_total = 0;
+    DynInst inst;
+    for (uint64_t i = 0; i < budget; ++i) {
+        executor.next(inst);
+        Addr line = inst.pc & ~Addr{31};
+        all_lines.insert(line);
+        window_lines.insert(line);
+        if ((i + 1) % window == 0) {
+            window_line_total += window_lines.size();
+            window_lines.clear();
+            ++windows;
+        }
+    }
+    out.branchPct = 100.0 * executor.branchFraction();
+    out.condPct = 100.0 * ratioOf(executor.condBranches.value(),
+                                  executor.instructions.value());
+    out.takenPct = 100.0 * ratioOf(executor.condTaken.value(),
+                                   executor.condBranches.value());
+    out.callPct = 100.0 * ratioOf(executor.calls.value(),
+                                  executor.instructions.value());
+    out.distinctLines = all_lines.size();
+    out.meanWindowLinesKb = windows == 0
+        ? 0.0
+        : 32.0 * (static_cast<double>(window_line_total) / windows) / 1024.0;
+
+    // Oracle runs for cache + predictor characterization.
+    SimConfig cfg;
+    cfg.policy = FetchPolicy::Oracle;
+    cfg.instructionBudget = budget;
+    SimResults r8 = runSimulation(workload, cfg);
+    out.missRate8K = r8.missRatePercent();
+    out.condAccuracy = 100.0 * r8.condAccuracy();
+    out.phtIspi = r8.phtMispredictIspi();
+    out.misfetchIspi = r8.btbMisfetchIspi();
+    out.btbMispIspi = r8.btbMispredictIspi();
+
+    cfg.icache.sizeBytes = 32 * 1024;
+    out.missRate32K = runSimulation(workload, cfg).missRatePercent();
+    return out;
+}
+
+void
+addRow(TextTable &table, const Inspection &i, const WorkloadProfile &p)
+{
+    table.addRow({
+        i.name,
+        formatFixed(i.footprintKb, 1),
+        formatFixed(i.branchPct, 1) + "/" + formatFixed(p.paperBranchPercent, 1),
+        formatFixed(i.takenPct, 0),
+        formatFixed(i.meanWindowLinesKb, 1),
+        formatFixed(i.missRate8K, 2) + "/" + formatFixed(p.paperMissRate8K, 2),
+        formatFixed(i.missRate32K, 2) + "/" + formatFixed(p.paperMissRate32K, 2),
+        formatFixed(i.condAccuracy, 1),
+        formatFixed(i.phtIspi, 2),
+        formatFixed(i.misfetchIspi, 2),
+        formatFixed(i.btbMispIspi, 2),
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("workload_inspector",
+                      "measure synthetic-workload characteristics");
+    opts.addString("benchmark", "gcc", "profile to inspect");
+    opts.addCount("budget", 2'000'000, "instructions per measurement");
+    opts.addFlag("all", "inspect every benchmark");
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    uint64_t budget = opts.getCount("budget");
+
+    TextTable table;
+    table.setColumns({"bench", "KB", "br%/paper", "tk%", "ws-KB",
+                      "8K/paper", "32K/paper", "acc%", "phtISPI",
+                      "mfISPI", "btbISPI"});
+
+    if (opts.getFlag("all")) {
+        for (const std::string &name : benchmarkNames())
+            addRow(table, inspect(name, budget), getProfile(name));
+    } else {
+        std::string name = opts.getString("benchmark");
+        addRow(table, inspect(name, budget), getProfile(name));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}

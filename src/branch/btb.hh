@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Branch target buffer.
+ *
+ * The paper's baseline (§4.1) uses a *decoupled* 64-entry 4-way
+ * set-associative BTB: it supplies target addresses for predicted-
+ * taken branches but carries no direction state (direction comes from
+ * the PHT for every conditional branch, BTB hit or not). Entries are
+ * inserted *speculatively* after decode for predicted-taken branches.
+ */
+
+#ifndef SPECFETCH_BRANCH_BTB_HH_
+#define SPECFETCH_BRANCH_BTB_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/types.hh"
+#include "stats/stats.hh"
+
+namespace specfetch {
+
+/** Result of a BTB probe. */
+struct BtbLookup
+{
+    bool hit = false;
+    Addr target = 0;
+};
+
+/**
+ * Set-associative target buffer with true-LRU replacement.
+ */
+class Btb
+{
+  public:
+    /**
+     * @param entries Total entries (power of two).
+     * @param ways    Associativity; must divide entries.
+     */
+    Btb(unsigned entries = 64, unsigned ways = 4);
+
+    /** Probe at fetch time; updates LRU on hit. */
+    BtbLookup lookup(Addr pc);
+
+    /** Probe without perturbing replacement state (for inspection). */
+    BtbLookup peek(Addr pc) const;
+
+    /**
+     * Insert/refresh the mapping pc -> target (decode-time
+     * speculative update for predicted-taken branches).
+     */
+    void insert(Addr pc, Addr target);
+
+    /** Invalidate any entry for @p pc. */
+    void invalidate(Addr pc);
+
+    unsigned numEntries() const { return entries; }
+    unsigned numWays() const { return ways; }
+    unsigned numSets() const { return sets; }
+
+    /** @name Statistics @{ */
+    Counter lookups;
+    Counter hits;
+    Counter insertions;
+    Counter evictions;
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+        uint64_t lastUse = 0;
+    };
+
+    unsigned setIndex(Addr pc) const;
+    Addr tagOf(Addr pc) const;
+
+    unsigned entries;
+    unsigned ways;
+    unsigned sets;
+    unsigned indexBits;
+    std::vector<Entry> table;     // sets * ways, set-major
+    uint64_t useClock = 0;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_BRANCH_BTB_HH_

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Pattern history table for conditional-branch direction prediction.
+ *
+ * The paper's baseline models McFarling's gshare: a 512-entry table of
+ * 2-bit saturating counters indexed by the XOR of the global history
+ * register and the branch address. Crucially (paper §4.2), the PHT is
+ * *non-speculative*: the global history register and counters are
+ * updated only when a branch resolves. With deep speculation this
+ * means predictions are made with stale history — the source of the
+ * PHT-ISPI growth from depth 1 to depth 4 in Table 3.
+ */
+
+#ifndef SPECFETCH_BRANCH_PHT_HH_
+#define SPECFETCH_BRANCH_PHT_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/types.hh"
+#include "stats/stats.hh"
+#include "util/sat_counter.hh"
+
+namespace specfetch {
+
+/** Indexing scheme for the PHT. */
+enum class PhtIndexing : uint8_t
+{
+    Gshare,     ///< (history XOR pc) — McFarling 93; baseline
+    GlobalOnly, ///< history only — degenerate two-level (Pan et al.)
+    PcOnly,     ///< pc only — bimodal (Smith 81)
+    Local,      ///< two-level with per-branch history (Yeh & Patt 92,
+                ///< §2.1 related work): a PC-indexed table of local
+                ///< histories indexes the shared counter table
+    Combining,  ///< McFarling 93 (§2.1): gshare + bimodal tables with
+                ///< a PC-indexed chooser that learns, per branch,
+                ///< which component to trust
+};
+
+/**
+ * Global-history pattern table with resolve-time updates.
+ */
+class Pht
+{
+  public:
+    /**
+     * @param entries     Table size (power of two); baseline 512.
+     * @param counter_bits Width of each saturating counter; baseline 2.
+     * @param indexing    Index construction; baseline Gshare.
+     */
+    /**
+     * @param entries        Counter-table size (power of two).
+     * @param counter_bits   Saturating-counter width; baseline 2.
+     * @param indexing       Index construction; baseline Gshare.
+     * @param local_entries  Per-branch history table size for the
+     *                       Local scheme (power of two).
+     */
+    explicit Pht(unsigned entries = 512, unsigned counter_bits = 2,
+                 PhtIndexing indexing = PhtIndexing::Gshare,
+                 unsigned local_entries = 1024);
+
+    /** Predict direction for the conditional branch at @p pc using the
+     *  *current* (architectural, resolve-updated) history. */
+    bool predict(Addr pc) const;
+
+    /**
+     * Resolve-time training: update the counter the prediction was
+     * read from and then shift the outcome into the history register.
+     * @param pc     Branch address.
+     * @param taken  Actual direction.
+     */
+    void update(Addr pc, bool taken);
+
+    /** History register value (low @ref historyBits bits). */
+    uint64_t history() const { return ghr; }
+    unsigned historyWidth() const { return historyBits; }
+    unsigned numEntries() const { return entries; }
+
+    /** @name Statistics @{ */
+    mutable Counter predictions;
+    Counter updates;
+    /** @} */
+
+  private:
+    unsigned indexFor(Addr pc) const;
+
+    unsigned entries;
+    unsigned historyBits;
+    PhtIndexing indexing;
+    std::vector<SatCounter> counters;
+    uint64_t ghr = 0;
+    /** Per-branch histories (Local scheme only; resolve-updated like
+     *  the global register, so deep speculation reads stale local
+     *  history too). */
+    std::vector<uint64_t> localHistories;
+    unsigned localIndexBits = 0;
+    /** Combining scheme: second (bimodal) table + chooser. */
+    std::vector<SatCounter> bimodal;
+    std::vector<SatCounter> chooser;
+
+    unsigned gshareIndex(Addr pc) const;
+    unsigned pcIndex(Addr pc) const;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_BRANCH_PHT_HH_

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Decoupled branch predictor facade (paper §2.1, §4.1).
+ *
+ * Direction for every conditional branch comes from the PHT whether or
+ * not the branch hits in the BTB (the *decoupled* design of Calder &
+ * Grunwald 94, as in the PowerPC 604); the BTB only supplies targets.
+ * The BTB is updated speculatively at decode; the PHT only at resolve.
+ */
+
+#ifndef SPECFETCH_BRANCH_PREDICTOR_HH_
+#define SPECFETCH_BRANCH_PREDICTOR_HH_
+
+#include "branch/btb.hh"
+#include "branch/pht.hh"
+#include "branch/ras.hh"
+#include "isa/instruction.hh"
+#include "stats/stats.hh"
+
+namespace specfetch {
+
+/** What the fetch unit knows about a branch the moment it fetches it. */
+struct Prediction
+{
+    /** Predicted direction (always true for unconditional control). */
+    bool taken = false;
+    /** True when a target was available at fetch (BTB/RAS hit). */
+    bool targetKnown = false;
+    /** The predicted destination; valid when targetKnown. */
+    Addr target = 0;
+};
+
+/**
+ * How a fetched branch turns out, and when the front end finds out.
+ */
+enum class BranchOutcome : uint8_t
+{
+    Correct,          ///< fetch continued on the right path
+    Misfetch,         ///< right direction, target only at decode (8 slots)
+    DirMispredict,    ///< wrong direction, fixed at resolve (16 slots)
+    TargetMispredict, ///< wrong indirect target, fixed at resolve (16)
+};
+
+/** Configuration for the composite predictor. */
+struct PredictorConfig
+{
+    unsigned btbEntries = 64;
+    unsigned btbWays = 4;
+    unsigned phtEntries = 512;
+    unsigned phtCounterBits = 2;
+    PhtIndexing phtIndexing = PhtIndexing::Gshare;
+    /** Local-history table entries (Local indexing only). */
+    unsigned phtLocalEntries = 1024;
+    /** Return-address stack (extension; the paper's baseline has none
+     *  and predicts returns through the BTB). 0 disables. */
+    unsigned rasDepth = 0;
+};
+
+/**
+ * The composite fetch predictor: PHT direction + BTB target (+
+ * optional RAS for returns).
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const PredictorConfig &config = {});
+
+    /**
+     * Fetch-time prediction for the control instruction at @p pc.
+     * Perturbs BTB LRU state (a real lookup) and, when the RAS is
+     * enabled, speculatively pops/pushes it.
+     */
+    Prediction predict(Addr pc, InstClass cls);
+
+    /**
+     * Decode-time update (speculative; also runs for wrong-path
+     * instructions that reach decode before a squash): inserts
+     * predicted-taken direct branches into the BTB with their
+     * now-computed static target.
+     */
+    void onDecode(Addr pc, const StaticInst &inst, bool predicted_taken);
+
+    /**
+     * Resolve-time update for correct-path branches: trains the PHT
+     * for conditionals and installs resolved indirect targets.
+     */
+    void onResolve(const DynInst &inst);
+
+    /**
+     * Classify the fetch-time prediction against the dynamic truth.
+     * @param prediction  What predict() returned at fetch.
+     * @param inst        The correct-path instruction record.
+     */
+    static BranchOutcome classify(const Prediction &prediction,
+                                  const DynInst &inst);
+
+    /** Issue-slot penalty charged for an outcome on the baseline
+     *  machine (0 / 8 / 16; paper §4.1). */
+    static unsigned penaltySlots(BranchOutcome outcome);
+
+    const Btb &btb() const { return btbUnit; }
+    const Pht &pht() const { return phtUnit; }
+    bool hasRas() const { return rasEnabled; }
+    const ReturnAddressStack &ras() const { return rasUnit; }
+
+  private:
+    Btb btbUnit;
+    Pht phtUnit;
+    bool rasEnabled;
+    ReturnAddressStack rasUnit;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_BRANCH_PREDICTOR_HH_

@@ -1,0 +1,44 @@
+#include "branch/ras.hh"
+
+#include "util/logging.hh"
+
+namespace specfetch {
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth) : slots(depth, 0)
+{
+    fatal_if(depth == 0, "RAS depth must be positive");
+}
+
+void
+ReturnAddressStack::push(Addr return_addr)
+{
+    ++pushes;
+    topIndex = (topIndex + 1) % slots.size();
+    slots[topIndex] = return_addr;
+    if (occupancy < slots.size())
+        ++occupancy;
+    else
+        ++overflows;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    ++pops;
+    if (occupancy == 0) {
+        ++underflows;
+        return 0;
+    }
+    Addr result = slots[topIndex];
+    topIndex = (topIndex + slots.size() - 1) % slots.size();
+    --occupancy;
+    return result;
+}
+
+Addr
+ReturnAddressStack::top() const
+{
+    return occupancy == 0 ? 0 : slots[topIndex];
+}
+
+} // namespace specfetch

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Return address stack (extension; off in the paper's baseline).
+ *
+ * The paper routes return-target prediction through the BTB alone. A
+ * RAS is the natural "future work" refinement for call-heavy C++
+ * codes, so we provide one as an optional component and evaluate it in
+ * bench/ablation_ras.
+ */
+
+#ifndef SPECFETCH_BRANCH_RAS_HH_
+#define SPECFETCH_BRANCH_RAS_HH_
+
+#include <vector>
+
+#include "isa/types.hh"
+#include "stats/stats.hh"
+
+namespace specfetch {
+
+/**
+ * Fixed-depth circular return-address stack. Overflow wraps (oldest
+ * entry is overwritten); underflow predicts 0 (a guaranteed miss).
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 8);
+
+    /** Push the return address of a call. */
+    void push(Addr return_addr);
+
+    /** Pop a predicted return target; 0 when empty. */
+    Addr pop();
+
+    /** Top of stack without popping; 0 when empty. */
+    Addr top() const;
+
+    bool empty() const { return occupancy == 0; }
+    unsigned size() const { return occupancy; }
+    unsigned depth() const { return static_cast<unsigned>(slots.size()); }
+
+    /** @name Statistics @{ */
+    Counter pushes;
+    Counter pops;
+    Counter underflows;
+    Counter overflows;
+    /** @} */
+
+  private:
+    std::vector<Addr> slots;
+    unsigned topIndex = 0;
+    unsigned occupancy = 0;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_BRANCH_RAS_HH_

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The channel between the I-cache and the next memory level.
+ *
+ * The paper models a blocking interface: one transaction at a time,
+ * each occupying the bus for the full miss penalty. Competition for
+ * this channel is what makes aggressive policies expensive at long
+ * latencies (paper §5.2.1) and what lets prefetching hurt even Oracle
+ * (Figure 4).
+ *
+ * The paper's conclusion flags "pipelining miss requests" as further
+ * study: this model supports it via multiple channels — with
+ * N channels, up to N fills overlap, each still taking the full
+ * latency. N = 1 is the paper's machine.
+ */
+
+#ifndef SPECFETCH_CACHE_BUS_HH_
+#define SPECFETCH_CACHE_BUS_HH_
+
+#include <algorithm>
+#include <vector>
+
+#include "isa/types.hh"
+#include "stats/stats.hh"
+#include "util/logging.hh"
+
+namespace specfetch {
+
+/**
+ * Memory interface with a configurable number of overlapping
+ * transactions, measured in issue slots.
+ */
+class MemoryBus
+{
+  public:
+    /** @param channels Overlapping transactions allowed (>= 1). */
+    explicit MemoryBus(unsigned channels = 1)
+        : busyUntil(channels, 0)
+    {
+        fatal_if(channels == 0, "bus needs at least one channel");
+    }
+
+    /** Slot at which the next transaction could start. */
+    Slot
+    freeAt() const
+    {
+        Slot earliest = busyUntil[0];
+        for (Slot until : busyUntil)
+            earliest = std::min(earliest, until);
+        return earliest;
+    }
+
+    /** True if a transaction would start immediately at @p now. */
+    bool isFree(Slot now) const { return freeAt() <= now; }
+
+    /**
+     * Start a transaction no earlier than @p now on the
+     * earliest-available channel. Returns the completion slot.
+     * @param now       Requesting time.
+     * @param duration  Occupancy in slots (miss penalty × width).
+     */
+    Slot
+    acquire(Slot now, Slot duration)
+    {
+        size_t best = 0;
+        for (size_t c = 1; c < busyUntil.size(); ++c)
+            if (busyUntil[c] < busyUntil[best])
+                best = c;
+        Slot start = std::max(busyUntil[best], now);
+        busyUntil[best] = start + duration;
+        ++transactions;
+        return busyUntil[best];
+    }
+
+    unsigned channels() const
+    {
+        return static_cast<unsigned>(busyUntil.size());
+    }
+
+    /** Reset between runs. */
+    void
+    reset()
+    {
+        for (Slot &until : busyUntil)
+            until = 0;
+    }
+
+    /** @name Statistics @{ */
+    Counter transactions;
+    /** @} */
+
+  private:
+    std::vector<Slot> busyUntil;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CACHE_BUS_HH_

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The instruction cache array.
+ *
+ * The paper's baseline is a blocking, direct-mapped 8K (or 32K) cache
+ * with 32-byte lines. We implement a general set-associative array
+ * with true LRU so associativity can be ablated, and carry the
+ * per-frame "first time referenced" bit required by the paper's
+ * next-line prefetch variant ("maximal fetchahead and first time
+ * referenced", §3): the bit is set when a line is loaded, and the
+ * first fetch access that finds it set triggers a prefetch of line
+ * i+1 and clears it.
+ *
+ * All timing (miss latency, bus occupancy, resume/prefetch buffering)
+ * lives outside this class; the array only answers presence/placement
+ * questions so that every fetch policy can share it.
+ */
+
+#ifndef SPECFETCH_CACHE_ICACHE_HH_
+#define SPECFETCH_CACHE_ICACHE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/types.hh"
+#include "stats/stats.hh"
+
+namespace specfetch {
+
+class VictimCache;
+
+/** Geometry + identity of an instruction cache. */
+struct ICacheConfig
+{
+    uint64_t sizeBytes = 8 * 1024;
+    unsigned lineBytes = 32;
+    unsigned ways = 1;            ///< 1 = direct mapped (baseline)
+
+    uint64_t numLines() const { return sizeBytes / lineBytes; }
+    uint64_t numSets() const { return numLines() / ways; }
+};
+
+/** Result of inserting a line: what, if anything, was displaced. */
+struct Eviction
+{
+    bool valid = false;   ///< an existing line was displaced
+    Addr lineAddr = 0;    ///< its line address
+};
+
+/**
+ * Set-associative instruction cache array with per-frame
+ * first-time-referenced bits.
+ *
+ * Lines are identified by *line address* (byte address of the first
+ * byte in the line). Helpers convert from instruction addresses.
+ */
+class ICache
+{
+  public:
+    explicit ICache(const ICacheConfig &config = {});
+
+    /** Line address containing byte address @p addr. */
+    Addr lineOf(Addr addr) const { return addr & ~lineMask; }
+    /** The following line (next-line prefetch candidate). */
+    Addr nextLineOf(Addr addr) const { return lineOf(addr) + lineBytes_; }
+
+    /**
+     * Fetch-path probe: hit updates LRU. Does not touch the
+     * first-ref bit (see testAndClearFirstRef).
+     */
+    bool access(Addr line_addr);
+
+    /** Presence test with no replacement-state side effects. */
+    bool contains(Addr line_addr) const;
+
+    /**
+     * Install @p line_addr, evicting the LRU way of its set if full.
+     * The new frame's first-ref bit is set.
+     */
+    Eviction insert(Addr line_addr);
+
+    /**
+     * If @p line_addr is present and its first-ref bit is set, clear
+     * the bit and return true (prefetch trigger condition).
+     */
+    bool testAndClearFirstRef(Addr line_addr);
+
+    /** Invalidate the whole array (between simulation runs). */
+    void reset();
+
+    /** Spill evicted lines into @p victim (null disables). */
+    void setVictimCache(VictimCache *victim) { victimCache = victim; }
+
+    const ICacheConfig &config() const { return cfg; }
+    unsigned lineBytes() const { return lineBytes_; }
+
+    /** @name Statistics (demand accesses only; callers count
+     *        wrong-path and prefetch traffic themselves) @{ */
+    Counter accesses;
+    Counter misses;
+    Counter insertions;
+    Counter evictions;
+    /** @} */
+
+  private:
+    struct Frame
+    {
+        bool valid = false;
+        Addr tag = 0;
+        bool firstRef = false;
+        uint64_t lastUse = 0;
+    };
+
+    uint64_t setOf(Addr line_addr) const;
+    Addr tagOf(Addr line_addr) const;
+    Frame *find(Addr line_addr);
+    const Frame *find(Addr line_addr) const;
+
+    ICacheConfig cfg;
+    VictimCache *victimCache = nullptr;
+    unsigned lineBytes_;
+    Addr lineMask;
+    uint64_t sets;
+    unsigned lineShift;
+    std::vector<Frame> frames;    // sets * ways, set-major
+    uint64_t useClock = 0;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CACHE_ICACHE_HH_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * One-entry line-fill buffers.
+ *
+ * The paper's Resume policy adds "a buffer that can hold the missing
+ * cache line when it is returned from memory as well as the index
+ * where it needs to be stored in the I-cache" (§3); its next-line
+ * prefetcher uses the same structure for prefetched lines. Both hold
+ * exactly one line; the line is written into the array at the next
+ * miss (resume buffer) or before the next prefetch / at the next miss
+ * (prefetch buffer).
+ */
+
+#ifndef SPECFETCH_CACHE_LINE_BUFFER_HH_
+#define SPECFETCH_CACHE_LINE_BUFFER_HH_
+
+#include "cache/icache.hh"
+#include "isa/types.hh"
+
+namespace specfetch {
+
+/**
+ * A single in-flight or completed line, with the slot at which its
+ * data finishes arriving from memory.
+ */
+class LineBuffer
+{
+  public:
+    /** Track a fill of @p line_addr completing at @p ready_at. Any
+     *  previous occupant is dropped (callers drain first). */
+    void
+    set(Addr line_addr, Slot ready_at)
+    {
+        valid_ = true;
+        lineAddr_ = line_addr;
+        readyAt_ = ready_at;
+    }
+
+    void clear() { valid_ = false; }
+
+    bool valid() const { return valid_; }
+    Addr lineAddr() const { return lineAddr_; }
+    Slot readyAt() const { return readyAt_; }
+
+    /** True if the buffer holds @p line_addr (arrived or in flight). */
+    bool matches(Addr line_addr) const
+    {
+        return valid_ && lineAddr_ == line_addr;
+    }
+
+    /** True once the data has fully arrived by slot @p now. */
+    bool isReady(Slot now) const { return valid_ && readyAt_ <= now; }
+
+    /**
+     * If the buffered line has arrived by @p now, write it into the
+     * cache array and empty the buffer. Returns true if a write
+     * happened.
+     */
+    bool
+    drainIfReady(ICache &cache, Slot now)
+    {
+        if (!isReady(now))
+            return false;
+        cache.insert(lineAddr_);
+        valid_ = false;
+        return true;
+    }
+
+  private:
+    bool valid_ = false;
+    Addr lineAddr_ = 0;
+    Slot readyAt_ = 0;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CACHE_LINE_BUFFER_HH_

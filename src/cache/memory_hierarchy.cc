@@ -1,0 +1,42 @@
+#include "cache/memory_hierarchy.hh"
+
+namespace specfetch {
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig &config,
+                                 unsigned issue_width)
+    : cfg(config), issueWidth(issue_width)
+{
+    if (cfg.l2Enabled)
+        l2 = std::make_unique<ICache>(cfg.l2);
+}
+
+Slot
+MemoryHierarchy::fillSlots(Addr line_addr)
+{
+    if (!l2)
+        return Slot(cfg.missPenaltyCycles) * issueWidth;
+
+    if (l2->access(line_addr)) {
+        ++l2Hits;
+        return Slot(cfg.l2HitCycles) * issueWidth;
+    }
+    ++l2Misses;
+    l2->insert(line_addr);
+    return Slot(cfg.l2MissCycles) * issueWidth;
+}
+
+Slot
+MemoryHierarchy::maxFillSlots() const
+{
+    unsigned cycles = l2 ? cfg.l2MissCycles : cfg.missPenaltyCycles;
+    return Slot(cycles) * issueWidth;
+}
+
+void
+MemoryHierarchy::reset()
+{
+    if (l2)
+        l2->reset();
+}
+
+} // namespace specfetch

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The memory side of an I-cache miss.
+ *
+ * The paper abstracts everything beyond the L1 I-cache into a flat
+ * miss penalty and studies two points: 5 cycles ("e.g., for an
+ * on-chip hierarchy of caches", i.e. an L2 hit) and 20 cycles (going
+ * to memory). This component makes that structure explicit: in flat
+ * mode it reproduces the paper's constant penalty; in two-level mode
+ * an L2 array determines, per fill, whether the L1 miss costs the L2
+ * hit latency or the full memory latency — which places a workload
+ * *between* the paper's Figure 1 and Figure 2 regimes according to
+ * its L2 miss rate.
+ *
+ * The model is latency-only: the bus in front of it still serializes
+ * transactions (or overlaps them, with multiple channels).
+ */
+
+#ifndef SPECFETCH_CACHE_MEMORY_HIERARCHY_HH_
+#define SPECFETCH_CACHE_MEMORY_HIERARCHY_HH_
+
+#include <memory>
+
+#include "cache/icache.hh"
+#include "stats/stats.hh"
+
+namespace specfetch {
+
+/** Configuration of everything behind the L1 I-cache. */
+struct MemoryConfig
+{
+    /** Flat-mode fill latency (the paper's miss penalty). */
+    unsigned missPenaltyCycles = 5;
+
+    /** Enable the explicit second level. */
+    bool l2Enabled = false;
+    /** L2 geometry (unified array; only instruction fills modeled). */
+    ICacheConfig l2;
+    /** L1-miss/L2-hit latency, cycles. */
+    unsigned l2HitCycles = 5;
+    /** L1-miss/L2-miss latency, cycles. */
+    unsigned l2MissCycles = 20;
+
+    MemoryConfig()
+    {
+        l2.sizeBytes = 64 * 1024;
+        l2.ways = 4;
+        l2.lineBytes = 32;
+    }
+};
+
+/**
+ * Latency provider for line fills. Stateful in two-level mode (every
+ * query updates L2 contents), so fills must be queried exactly once
+ * each, in request order — which is how the fetch engine uses it.
+ */
+class MemoryHierarchy
+{
+  public:
+    /**
+     * @param config      Behavior selection and L2 geometry.
+     * @param issue_width Slots per cycle (latency conversion).
+     */
+    MemoryHierarchy(const MemoryConfig &config, unsigned issue_width);
+
+    /**
+     * The bus occupancy, in slots, of filling @p line_addr. In
+     * two-level mode this probes the L2 and installs the line there
+     * on an L2 miss.
+     */
+    Slot fillSlots(Addr line_addr);
+
+    /** Worst-case fill occupancy (sizing stalls conservatively). */
+    Slot maxFillSlots() const;
+
+    bool twoLevel() const { return cfg.l2Enabled; }
+
+    void reset();
+
+    /** @name Statistics (two-level mode) @{ */
+    Counter l2Hits;
+    Counter l2Misses;
+    /** @} */
+
+  private:
+    MemoryConfig cfg;
+    unsigned issueWidth;
+    std::unique_ptr<ICache> l2;    ///< null in flat mode
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CACHE_MEMORY_HIERARCHY_HH_

@@ -1,0 +1,18 @@
+#include "cache/prefetch_unit.hh"
+
+namespace specfetch {
+
+std::string
+toString(PrefetchKind kind)
+{
+    switch (kind) {
+      case PrefetchKind::None: return "none";
+      case PrefetchKind::NextLine: return "next-line";
+      case PrefetchKind::Target: return "target";
+      case PrefetchKind::Combined: return "combined";
+      case PrefetchKind::Stream: return "stream";
+    }
+    return "?";
+}
+
+} // namespace specfetch

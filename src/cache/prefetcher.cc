@@ -1,0 +1,120 @@
+#include "cache/prefetcher.hh"
+
+#include "util/bit_ops.hh"
+#include "util/logging.hh"
+
+namespace specfetch {
+
+bool
+NextLinePrefetcher::onAccess(Addr accessed_line, Slot now,
+                             Slot fill_slots)
+{
+    if (!cache.testAndClearFirstRef(accessed_line))
+        return false;
+
+    Addr candidate = accessed_line + cache.lineBytes();
+
+    bool present = cache.contains(candidate) ||
+                   prefetchBuffer.matches(candidate) ||
+                   (shadow && shadow->matches(candidate));
+    if (present) {
+        ++suppressedPresent;
+        return false;
+    }
+
+    if (!bus.isFree(now)) {
+        ++suppressedBusy;
+        return false;
+    }
+
+    // "The prefetched line is written before the next prefetch is
+    // issued": retire any completed previous prefetch first.
+    prefetchBuffer.drainIfReady(cache, now);
+
+    if (hierarchy)
+        fill_slots = hierarchy->fillSlots(candidate);
+    Slot done = bus.acquire(now, fill_slots);
+    prefetchBuffer.set(candidate, done);
+    ++issued;
+    return true;
+}
+
+TargetPrefetcher::TargetPrefetcher(ICache &cache, MemoryBus &bus,
+                                   LineBuffer &buffer,
+                                   const LineBuffer *shadow,
+                                   unsigned entries,
+                                   MemoryHierarchy *hierarchy)
+    : cache(cache), bus(bus), shadow(shadow), prefetchBuffer(buffer),
+      hierarchy(hierarchy), table(entries), indexBits(log2Floor(entries))
+{
+    fatal_if(!isPowerOfTwo(entries),
+             "target-prefetch table entries must be a power of two");
+}
+
+size_t
+TargetPrefetcher::indexOf(Addr line_addr) const
+{
+    Addr line_index = line_addr / cache.lineBytes();
+    return static_cast<size_t>(line_index & mask(indexBits));
+}
+
+void
+TargetPrefetcher::train(Addr from_line, Addr to_line)
+{
+    // Sequential successors are next-line territory; the table only
+    // earns its keep on taken transfers.
+    if (to_line == from_line + cache.lineBytes() || to_line == from_line)
+        return;
+    Entry &entry = table[indexOf(from_line)];
+    entry.valid = true;
+    entry.tag = from_line;
+    entry.targetLine = to_line;
+    ++trainings;
+}
+
+Addr
+TargetPrefetcher::predictedSuccessor(Addr from_line) const
+{
+    const Entry &entry = table[indexOf(from_line)];
+    if (!entry.valid || entry.tag != from_line)
+        return 0;
+    return entry.targetLine;
+}
+
+bool
+TargetPrefetcher::onAccess(Addr accessed_line, Slot now, Slot fill_slots)
+{
+    Addr candidate = predictedSuccessor(accessed_line);
+    if (candidate == 0)
+        return false;
+
+    bool present = cache.contains(candidate) ||
+                   prefetchBuffer.matches(candidate) ||
+                   (shadow && shadow->matches(candidate));
+    if (present) {
+        ++suppressedPresent;
+        return false;
+    }
+
+    if (!bus.isFree(now)) {
+        ++suppressedBusy;
+        return false;
+    }
+
+    prefetchBuffer.drainIfReady(cache, now);
+    if (hierarchy)
+        fill_slots = hierarchy->fillSlots(candidate);
+    Slot done = bus.acquire(now, fill_slots);
+    prefetchBuffer.set(candidate, done);
+    ++issued;
+    return true;
+}
+
+void
+TargetPrefetcher::reset()
+{
+    for (Entry &entry : table)
+        entry = Entry{};
+}
+
+} // namespace specfetch

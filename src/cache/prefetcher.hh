@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Instruction prefetchers.
+ *
+ * Next-line prefetching, "maximal fetchahead and first time
+ * referenced" (paper §3):
+ *
+ *   "When a cache line, say line i, is loaded in the instruction cache
+ *    for the first time, we set a bit to that effect. When an
+ *    instruction of line i is fetched and the above mentioned bit is
+ *    set, we initiate the prefetch of line i+1 (if it is not already
+ *    in the cache and if the bus is free). At the same time we reset
+ *    the bit for line i."
+ *
+ * Target prefetching (paper §2.2, after Smith & Hsu 92): a small
+ *    table remembers, per cache line, the line that a taken branch
+ *    most recently transferred control to; entering a line prefetches
+ *    its predicted successor-by-branch. Next-line covers sequential
+ *    flow, target prefetching covers taken branches; Smith & Hsu
+ *    found the combination cuts the miss rate by 2-3x.
+ *
+ * Either way the prefetched line lands in a one-entry buffer shared
+ * with the fetch engine and is written into the array before the next
+ * prefetch or at the next I-cache miss.
+ */
+
+#ifndef SPECFETCH_CACHE_PREFETCHER_HH_
+#define SPECFETCH_CACHE_PREFETCHER_HH_
+
+#include <vector>
+
+#include "cache/bus.hh"
+#include "cache/icache.hh"
+#include "cache/line_buffer.hh"
+#include "cache/memory_hierarchy.hh"
+#include "stats/stats.hh"
+
+namespace specfetch {
+
+/**
+ * The next-line prefetch engine. The prefetch buffer is shared (the
+ * fetch engine probes it and the target prefetcher may use the same
+ * one); the cache array and bus are shared with the fetch engine.
+ */
+class NextLinePrefetcher
+{
+  public:
+    /**
+     * @param cache  The instruction cache array.
+     * @param bus    The (blocking) memory bus.
+     * @param buffer The shared prefetch line buffer.
+     * @param shadow Optional second buffer (the resume buffer) whose
+     *               contents also count as "already present".
+     */
+    NextLinePrefetcher(ICache &cache, MemoryBus &bus, LineBuffer &buffer,
+                       const LineBuffer *shadow = nullptr,
+                       MemoryHierarchy *hierarchy = nullptr)
+        : cache(cache), bus(bus), shadow(shadow), prefetchBuffer(buffer),
+          hierarchy(hierarchy)
+    {
+    }
+
+    /**
+     * Consider a prefetch after a fetch access to @p accessed_line.
+     * Applies the first-time-referenced trigger rule and, if it fires
+     * and line i+1 is absent and the bus is free, issues the prefetch.
+     *
+     * @param accessed_line Line address the fetch unit just touched.
+     * @param now           Current slot.
+     * @param fill_slots    Bus occupancy of one line fill, in slots.
+     * @return true if a prefetch was issued.
+     */
+    bool onAccess(Addr accessed_line, Slot now, Slot fill_slots);
+
+    /** The shared prefetch line buffer. */
+    LineBuffer &buffer() { return prefetchBuffer; }
+    const LineBuffer &buffer() const { return prefetchBuffer; }
+
+    /** Write a completed prefetch into the array ("at the next
+     *  I-cache miss"). */
+    void drain(Slot now) { prefetchBuffer.drainIfReady(cache, now); }
+
+    /** @name Statistics @{ */
+    Counter issued;             ///< prefetches sent to memory
+    Counter suppressedPresent;  ///< trigger fired but line present
+    Counter suppressedBusy;     ///< trigger fired but bus occupied
+    /** @} */
+
+  private:
+    ICache &cache;
+    MemoryBus &bus;
+    const LineBuffer *shadow;
+    LineBuffer &prefetchBuffer;
+    MemoryHierarchy *hierarchy;
+};
+
+/**
+ * Target prefetcher: a direct-mapped table of line -> most recent
+ * taken-control destination line. On entering a line with a table
+ * entry, prefetch the recorded successor if absent and the bus is
+ * free. Trained by the fetch engine on correct-path taken transfers
+ * that leave the current line.
+ */
+class TargetPrefetcher
+{
+  public:
+    /**
+     * @param cache   The instruction cache array.
+     * @param bus     The memory bus.
+     * @param buffer  The shared prefetch line buffer.
+     * @param shadow  Optional resume buffer to treat as present.
+     * @param entries Table entries (power of two).
+     */
+    TargetPrefetcher(ICache &cache, MemoryBus &bus, LineBuffer &buffer,
+                     const LineBuffer *shadow = nullptr,
+                     unsigned entries = 64,
+                     MemoryHierarchy *hierarchy = nullptr);
+
+    /** Record that control left @p from_line for @p to_line. */
+    void train(Addr from_line, Addr to_line);
+
+    /** Consider a target prefetch on entry to @p accessed_line.
+     *  @return true if a prefetch was issued. */
+    bool onAccess(Addr accessed_line, Slot now, Slot fill_slots);
+
+    /** Table lookup for tests. Returns 0 when absent. */
+    Addr predictedSuccessor(Addr from_line) const;
+
+    void reset();
+
+    /** @name Statistics @{ */
+    Counter issued;
+    Counter suppressedPresent;
+    Counter suppressedBusy;
+    Counter trainings;
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr targetLine = 0;
+    };
+
+    size_t indexOf(Addr line_addr) const;
+
+    ICache &cache;
+    MemoryBus &bus;
+    const LineBuffer *shadow;
+    LineBuffer &prefetchBuffer;
+    MemoryHierarchy *hierarchy;
+    std::vector<Entry> table;
+    unsigned indexBits;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CACHE_PREFETCHER_HH_

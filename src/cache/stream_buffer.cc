@@ -1,0 +1,42 @@
+#include "cache/stream_buffer.hh"
+
+namespace specfetch {
+
+void
+StreamBuffer::request(Addr line, Slot now, Slot fill_slots)
+{
+    if (cache.contains(line) || !bus.isFree(now)) {
+        valid = false;
+        return;
+    }
+    valid = true;
+    headLine = line;
+    if (hierarchy)
+        fill_slots = hierarchy->fillSlots(line);
+    headReadyAt = bus.acquire(now, fill_slots);
+    ++fills;
+}
+
+void
+StreamBuffer::allocateAfterMiss(Addr miss_line, Slot now, Slot fill_slots)
+{
+    Addr next = miss_line + cache.lineBytes();
+    // A miss matching the current head means the consumer simply ran
+    // ahead of the data; keep the stream.
+    if (valid && headLine == next)
+        return;
+    ++allocations;
+    request(next, now, fill_slots);
+}
+
+void
+StreamBuffer::consume(Slot now, Slot fill_slots)
+{
+    ++headHits;
+    Addr consumed = headLine;
+    cache.insert(consumed);
+    valid = false;
+    request(consumed + cache.lineBytes(), now, fill_slots);
+}
+
+} // namespace specfetch

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sequential stream buffer (paper §2.2, after Jouppi 90).
+ *
+ * On a demand miss to line i, the buffer starts streaming line i+1;
+ * each time the fetch stream consumes the buffered line, the line is
+ * written into the cache and the next sequential line is requested.
+ * Unlike next-line prefetching, nothing enters the cache array until
+ * it is actually used (no pollution), and the trigger is the miss
+ * itself rather than a first-reference bit. A miss that does not
+ * match the buffered head kills the stream (it will be re-allocated
+ * by that miss).
+ *
+ * The blocking-bus machine supports one outstanding fill, so the
+ * stream runs exactly one line ahead — the degenerate single-entry
+ * form of Jouppi's FIFO. With multiple memory channels the same
+ * structure benefits from overlap automatically.
+ */
+
+#ifndef SPECFETCH_CACHE_STREAM_BUFFER_HH_
+#define SPECFETCH_CACHE_STREAM_BUFFER_HH_
+
+#include "cache/bus.hh"
+#include "cache/icache.hh"
+#include "cache/memory_hierarchy.hh"
+#include "stats/stats.hh"
+
+namespace specfetch {
+
+/**
+ * One sequential prefetch stream.
+ */
+class StreamBuffer
+{
+  public:
+    StreamBuffer(ICache &cache, MemoryBus &bus,
+                 MemoryHierarchy *hierarchy = nullptr)
+        : cache(cache), bus(bus), hierarchy(hierarchy)
+    {
+    }
+
+    /**
+     * A demand miss to @p miss_line completed: begin (or restart) the
+     * stream at the following line if the bus is free and the line is
+     * not already cached.
+     */
+    void allocateAfterMiss(Addr miss_line, Slot now, Slot fill_slots);
+
+    /** True if the stream head holds (or is fetching) @p line. */
+    bool matches(Addr line) const { return valid && headLine == line; }
+
+    /** Arrival slot of the head line's data. */
+    Slot readyAt() const { return headReadyAt; }
+
+    /**
+     * Consume the head: write it into the cache and request the next
+     * sequential line (if the bus is free; otherwise the stream
+     * ends). Call only after matches() and once the data arrived.
+     */
+    void consume(Slot now, Slot fill_slots);
+
+    /** Kill the stream. */
+    void flush() { valid = false; }
+
+    bool active() const { return valid; }
+
+    /** @name Statistics @{ */
+    Counter allocations;    ///< streams started by misses
+    Counter headHits;       ///< demand fetches served by the head
+    Counter fills;          ///< lines requested from memory
+    /** @} */
+
+  private:
+    /** Request @p line into the head if sensible; else die. */
+    void request(Addr line, Slot now, Slot fill_slots);
+
+    ICache &cache;
+    MemoryBus &bus;
+    MemoryHierarchy *hierarchy;
+    bool valid = false;
+    Addr headLine = 0;
+    Slot headReadyAt = 0;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CACHE_STREAM_BUFFER_HH_

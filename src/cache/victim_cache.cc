@@ -1,0 +1,65 @@
+#include "cache/victim_cache.hh"
+
+#include "util/logging.hh"
+
+namespace specfetch {
+
+VictimCache::VictimCache(unsigned entries) : entries(entries)
+{
+    fatal_if(entries == 0, "victim cache needs at least one entry");
+}
+
+bool
+VictimCache::probe(Addr line_addr)
+{
+    ++probes;
+    for (Entry &entry : entries) {
+        if (entry.valid && entry.lineAddr == line_addr) {
+            entry.valid = false;    // moves back into the L1
+            ++hits;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+VictimCache::contains(Addr line_addr) const
+{
+    for (const Entry &entry : entries)
+        if (entry.valid && entry.lineAddr == line_addr)
+            return true;
+    return false;
+}
+
+void
+VictimCache::insert(Addr line_addr)
+{
+    ++insertions;
+    Entry *victim = &entries[0];
+    for (Entry &entry : entries) {
+        if (entry.valid && entry.lineAddr == line_addr) {
+            entry.lastUse = ++useClock;
+            return;    // already captured
+        }
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    victim->valid = true;
+    victim->lineAddr = line_addr;
+    victim->lastUse = ++useClock;
+}
+
+void
+VictimCache::reset()
+{
+    for (Entry &entry : entries)
+        entry = Entry{};
+    useClock = 0;
+}
+
+} // namespace specfetch

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * In-flight branch tracking: speculation-depth limiting and the
+ * resolve/decode deadlines the conservative policies wait on.
+ */
+
+#ifndef SPECFETCH_CORE_BRANCH_UNIT_HH_
+#define SPECFETCH_CORE_BRANCH_UNIT_HH_
+
+#include <deque>
+
+#include "isa/types.hh"
+#include "util/logging.hh"
+
+namespace specfetch {
+
+/**
+ * Tracks every in-flight control instruction on the correct path.
+ *
+ * Resolve times are monotone (a branch issued later resolves later),
+ * so unresolved conditionals form a sorted queue: depth checks and
+ * expiry are O(1) amortized. Wrong-path branches never enter (they
+ * are squashed with their window); the wrong-path walker applies the
+ * depth limit locally on top of this unit's count.
+ */
+class BranchUnit
+{
+  public:
+    /**
+     * Record a fetched correct-path control instruction.
+     * @param is_cond     Conditional? Only conditionals consume a
+     *                    speculation slot.
+     * @param resolve_at  Slot at which its outcome is certain
+     *                    (decode time for direct unconditional
+     *                    control, resolve time otherwise).
+     */
+    void
+    noteFetch(bool is_cond, Slot resolve_at)
+    {
+        // A jump is certain at decode, so it can be certain *before*
+        // an older conditional resolves: latestResolve is a max, not
+        // an append. Conditionals share one resolve latency, so their
+        // queue alone is monotone.
+        if (resolve_at > latestResolve)
+            latestResolve = resolve_at;
+        if (is_cond) {
+            panic_if(!condResolves.empty() &&
+                         resolve_at < condResolves.back(),
+                     "conditional resolve times must be monotone");
+            condResolves.push_back(resolve_at);
+        }
+    }
+
+    /** Retire every conditional resolved by slot @p now. */
+    void
+    expire(Slot now)
+    {
+        while (!condResolves.empty() && condResolves.front() <= now)
+            condResolves.pop_front();
+    }
+
+    /** Unresolved conditionals as of slot @p now. */
+    size_t
+    unresolvedCond(Slot now)
+    {
+        expire(now);
+        return condResolves.size();
+    }
+
+    /** Resolve time of the oldest unresolved conditional; call only
+     *  when unresolvedCond() > 0. */
+    Slot
+    oldestCondResolve() const
+    {
+        panic_if(condResolves.empty(), "no unresolved branches");
+        return condResolves.front();
+    }
+
+    /**
+     * The slot by which *every* control instruction fetched so far is
+     * certain — what Pessimistic waits for. Monotone, so in-flight
+     * filtering is implicit: if it is <= now, nothing is outstanding.
+     */
+    Slot latestResolveAt() const { return latestResolve; }
+
+    void
+    reset()
+    {
+        condResolves.clear();
+        latestResolve = 0;
+    }
+
+  private:
+    std::deque<Slot> condResolves;
+    Slot latestResolve = 0;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CORE_BRANCH_UNIT_HH_

@@ -1,0 +1,50 @@
+#include "core/config.hh"
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace specfetch {
+
+std::string
+SimConfig::describe() const
+{
+    std::string out = toString(policy);
+    out += ", " + std::to_string(icache.sizeBytes / 1024) + "K/" +
+           std::to_string(icache.ways) + "-way/" +
+           std::to_string(icache.lineBytes) + "B";
+    out += ", miss " + std::to_string(missPenaltyCycles) + "cyc";
+    out += ", depth " + std::to_string(maxUnresolved);
+    PrefetchKind kind = effectivePrefetchKind();
+    out += kind == PrefetchKind::None
+        ? ", no prefetch"
+        : ", " + specfetch::toString(kind) + " prefetch";
+    if (memoryChannels > 1)
+        out += ", " + std::to_string(memoryChannels) + " mem channels";
+    if (l2Enabled) {
+        out += ", L2 " + std::to_string(l2Cache.sizeBytes / 1024) +
+               "K (" + std::to_string(l2HitCycles) + "/" +
+               std::to_string(l2MissCycles) + "cyc)";
+    }
+    if (victimEntries > 0)
+        out += ", victim " + std::to_string(victimEntries);
+    return out;
+}
+
+void
+SimConfig::validate() const
+{
+    fatal_if(issueWidth == 0, "issue width must be positive");
+    fatal_if(maxUnresolved == 0, "speculation depth must be positive");
+    fatal_if(decodeCycles == 0, "decode latency must be positive");
+    fatal_if(resolveCycles < decodeCycles,
+             "a branch cannot resolve before it decodes");
+    fatal_if(missPenaltyCycles == 0, "miss penalty must be positive");
+    fatal_if(memoryChannels == 0, "need at least one memory channel");
+    fatal_if(targetTableEntries == 0,
+             "target-prefetch table needs entries");
+    fatal_if(icache.lineBytes < kInstBytes,
+             "cache lines must hold at least one instruction");
+    fatal_if(instructionBudget == 0, "instruction budget must be positive");
+}
+
+} // namespace specfetch

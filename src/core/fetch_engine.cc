@@ -1,0 +1,369 @@
+#include "core/fetch_engine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace specfetch {
+
+namespace {
+
+constexpr Addr kNoLine = ~Addr{0};
+
+} // namespace
+
+FetchEngine::FetchEngine(const SimConfig &config, const ProgramImage &image)
+    : config(config), image(image), predictor(config.predictor),
+      cache(config.icache), bus(config.memoryChannels), resumeBuffer(),
+      hierarchy(config.memoryConfig(), config.issueWidth),
+      victimCache(config.victimEntries ? config.victimEntries : 1),
+      prefetcher(config.effectivePrefetchKind(), cache, bus,
+                 &resumeBuffer, config.targetTableEntries, &hierarchy),
+      walker(this->config, image, predictor, cache, bus, resumeBuffer,
+             hierarchy, prefetcher.enabled() ? &prefetcher : nullptr),
+      curLine(kNoLine)
+{
+    this->config.validate();
+    if (config.victimEntries > 0)
+        cache.setVictimCache(&victimCache);
+    walker.setStats(&stats);
+    walker.setVictim(config.victimEntries > 0 ? &victimCache : nullptr,
+                     Slot(config.victimHitCycles) * config.issueWidth);
+}
+
+void
+FetchEngine::setObserver(AccessObserver *obs)
+{
+    observer = obs;
+    walker.setObserver(obs);
+}
+
+void
+FetchEngine::reset()
+{
+    predictor = BranchPredictor(config.predictor);
+    cache.reset();
+    bus.reset();
+    resumeBuffer.clear();
+    hierarchy.reset();
+    victimCache.reset();
+    prefetcher.reset();
+    branchUnit.reset();
+    pendingResolves.clear();
+    now = 0;
+    lastIssue = -1;
+    curLine = kNoLine;
+    stats = SimResults{};
+    prefetchBaseline = prefetcher.issuedCount();
+    walker.setStats(&stats);
+}
+
+void
+FetchEngine::resetStats()
+{
+    SimResults fresh;
+    fresh.workload = stats.workload;
+    fresh.policy = stats.policy;
+    fresh.prefetch = stats.prefetch;
+    fresh.misfetchSlots = stats.misfetchSlots;
+    fresh.mispredictSlots = stats.mispredictSlots;
+    stats = fresh;
+    prefetchBaseline = prefetcher.issuedCount();
+    walker.setStats(&stats);
+}
+
+void
+FetchEngine::advanceTo(Slot target, PenaltyKind kind)
+{
+    if (target <= now)
+        return;
+    stats.penalty.charge(kind, static_cast<uint64_t>(target - now));
+    now = target;
+    drainResolves();
+}
+
+void
+FetchEngine::drainResolves()
+{
+    while (!pendingResolves.empty() && pendingResolves.front().at <= now) {
+        predictor.onResolve(pendingResolves.front().inst);
+        pendingResolves.pop_front();
+    }
+}
+
+void
+FetchEngine::maybePrefetch(Addr line_addr)
+{
+    if (prefetcher.enabled())
+        prefetcher.onAccess(line_addr, now, config.missPenaltySlots());
+}
+
+void
+FetchEngine::handleLineAccess(Addr line_addr)
+{
+    ++stats.demandAccesses;
+    bool hit = cache.access(line_addr);
+    bool buffer_hit = false;
+
+    if (!hit && resumeBuffer.matches(line_addr)) {
+        // A previously initiated (wrong-path) fill of this very line:
+        // no new memory request, but the data must finish arriving —
+        // the Resume policy's residual cost.
+        if (!resumeBuffer.isReady(now))
+            advanceTo(resumeBuffer.readyAt(), PenaltyKind::Bus);
+        resumeBuffer.drainIfReady(cache, now);
+        buffer_hit = true;
+    } else if (!hit && prefetcher.enabled() &&
+               prefetcher.buffer().matches(line_addr)) {
+        // Demand access to an in-flight or completed prefetch.
+        if (!prefetcher.buffer().isReady(now))
+            advanceTo(prefetcher.buffer().readyAt(), PenaltyKind::RtIcache);
+        prefetcher.drain(now);
+        buffer_hit = true;
+    } else if (!hit && prefetcher.streamMatches(line_addr)) {
+        // Demand access served by the stream-buffer head: wait for
+        // the data if needed, then consume (which also requests the
+        // next sequential line).
+        if (prefetcher.streamReadyAt() > now)
+            advanceTo(prefetcher.streamReadyAt(), PenaltyKind::RtIcache);
+        prefetcher.streamConsume(now, config.missPenaltySlots());
+        buffer_hit = true;
+    }
+
+    if (hit || buffer_hit) {
+        if (buffer_hit)
+            ++stats.bufferHits;
+        if (observer)
+            observer->onCorrectAccess(line_addr, true);
+        maybePrefetch(line_addr);
+        return;
+    }
+
+    // On-chip victim swap: satisfied in a cycle, no bus, no policy
+    // tax (the conservative waits exist to protect bus bandwidth and
+    // cache content from wrong-path *fills*; a swap is neither).
+    if (config.victimEntries > 0 && victimCache.probe(line_addr)) {
+        advanceTo(now + Slot(config.victimHitCycles) * config.issueWidth,
+                  PenaltyKind::RtIcache);
+        cache.insert(line_addr);    // displaced line spills back
+        ++stats.bufferHits;
+        if (observer)
+            observer->onCorrectAccess(line_addr, true);
+        maybePrefetch(line_addr);
+        return;
+    }
+
+    // A genuine correct-path miss.
+    ++stats.demandMisses;
+    if (observer)
+        observer->onCorrectAccess(line_addr, false);
+
+    // Conservative policies tax the miss before it may be serviced.
+    switch (config.policy) {
+      case FetchPolicy::Pessimistic:
+        advanceTo(std::max(branchUnit.latestResolveAt(),
+                           lastIssue + 1 + config.decodeSlots()),
+                  PenaltyKind::ForceResolve);
+        break;
+      case FetchPolicy::Decode:
+        advanceTo(lastIssue + 1 + config.decodeSlots(),
+                  PenaltyKind::ForceResolve);
+        break;
+      default:
+        break;
+    }
+
+    // "Written at the next I-cache miss": retire completed buffers.
+    resumeBuffer.drainIfReady(cache, now);
+    if (prefetcher.enabled())
+        prefetcher.drain(now);
+
+    // Wait for the bus (occupied by a wrong-path fill under Resume or
+    // by a prefetch), then fill.
+    if (bus.freeAt() > now)
+        advanceTo(bus.freeAt(), PenaltyKind::Bus);
+    Slot done = bus.acquire(now, hierarchy.fillSlots(line_addr));
+    ++stats.demandFills;
+    advanceTo(done, PenaltyKind::RtIcache);
+    cache.insert(line_addr);
+
+    // The first fetch from the freshly loaded line can trigger the
+    // next-line prefetch (its first-ref bit was just set); a stream
+    // buffer instead uses the miss itself as its allocation trigger.
+    maybePrefetch(line_addr);
+    if (prefetcher.enabled())
+        prefetcher.onDemandMiss(line_addr, now, config.missPenaltySlots());
+}
+
+void
+FetchEngine::fetchOne(const DynInst &inst)
+{
+    drainResolves();
+
+    // Speculation-depth limit: a new conditional branch cannot be
+    // fetched while maxUnresolved conditionals are in flight.
+    if (inst.cls == InstClass::CondBranch &&
+        branchUnit.unresolvedCond(now) >= config.maxUnresolved) {
+        advanceTo(branchUnit.oldestCondResolve(), PenaltyKind::BranchFull);
+        branchUnit.expire(now);
+    }
+
+    Addr line = cache.lineOf(inst.pc);
+    if (line != curLine) {
+        handleLineAccess(line);
+        curLine = line;
+    }
+
+    Slot issue = now;
+    lastIssue = issue;
+    ++stats.instructions;
+    now = issue + 1;
+
+    if (inst.cls != InstClass::Plain)
+        handleControl(inst, issue);
+}
+
+void
+FetchEngine::handleControl(const DynInst &inst, Slot issue)
+{
+    ++stats.controlInsts;
+    bool is_cond = inst.cls == InstClass::CondBranch;
+    if (is_cond)
+        ++stats.condBranches;
+
+    Prediction pred = predictor.predict(inst.pc, inst.cls);
+    BranchOutcome outcome = BranchPredictor::classify(pred, inst);
+
+    // Direct unconditional control is certain once decoded; everything
+    // else waits for resolve.
+    bool certain_at_decode =
+        inst.cls == InstClass::Jump || inst.cls == InstClass::Call;
+    Slot decode_done = issue + 1 + config.decodeSlots();
+    Slot resolve_done = issue + 1 + config.resolveSlots();
+    branchUnit.noteFetch(is_cond,
+                         certain_at_decode ? decode_done : resolve_done);
+
+    // Decode-time speculative BTB insertion (predicted-taken only).
+    predictor.onDecode(inst.pc, StaticInst{inst.cls, inst.target},
+                       pred.taken);
+    // Resolve-time PHT / indirect-target training.
+    pendingResolves.push_back(PendingResolve{resolve_done, inst});
+
+    size_t unresolved = branchUnit.unresolvedCond(now);
+    Slot window_start = issue + 1;
+
+    switch (outcome) {
+      case BranchOutcome::Correct:
+        if (inst.taken) {
+            prefetcher.trainTarget(cache.lineOf(inst.pc),
+                                   cache.lineOf(inst.target));
+            curLine = kNoLine;    // the stream moved; re-access
+        }
+        return;
+
+      case BranchOutcome::Misfetch: {
+        ++stats.misfetches;
+        Slot window_end = window_start + config.decodeSlots();
+        stats.penalty.charge(PenaltyKind::Branch, config.decodeSlots());
+        // Until decode produces the target, fetch runs down the
+        // fall-through path.
+        Slot blocked = walker.walk(inst.pc + kInstBytes, window_start,
+                                   window_end, unresolved);
+        now = window_end;
+        if (blocked > window_end)
+            advanceTo(blocked, PenaltyKind::WrongIcache);
+        drainResolves();
+        curLine = kNoLine;
+        return;
+      }
+
+      case BranchOutcome::DirMispredict: {
+        ++stats.dirMispredicts;
+        Slot window_end = window_start + config.resolveSlots();
+        stats.penalty.charge(PenaltyKind::Branch, config.resolveSlots());
+
+        Slot blocked = window_end;
+        if (pred.taken) {
+            if (pred.targetKnown) {
+                blocked = walker.walk(pred.target, window_start,
+                                      window_end, unresolved);
+            } else {
+                // Misfetch inside the mispredict: fall-through until
+                // decode computes the (wrong) target, then that path.
+                Slot mid = std::min(window_end,
+                                    window_start + config.decodeSlots());
+                Slot phase1 = walker.walk(inst.pc + kInstBytes,
+                                          window_start, mid, unresolved);
+                Slot start2 = std::max(mid, phase1);
+                blocked = phase1;
+                if (start2 < window_end) {
+                    blocked = walker.walk(inst.target, start2, window_end,
+                                          unresolved);
+                }
+            }
+        } else {
+            // Predicted not-taken, actually taken: the wrong path is
+            // the fall-through.
+            blocked = walker.walk(inst.pc + kInstBytes, window_start,
+                                  window_end, unresolved);
+        }
+
+        now = window_end;
+        if (blocked > window_end)
+            advanceTo(blocked, PenaltyKind::WrongIcache);
+        drainResolves();
+        curLine = kNoLine;
+        return;
+      }
+
+      case BranchOutcome::TargetMispredict: {
+        ++stats.targetMispredicts;
+        Slot window_end = window_start + config.resolveSlots();
+        stats.penalty.charge(PenaltyKind::Branch, config.resolveSlots());
+        Slot blocked = window_end;
+        if (pred.targetKnown) {
+            blocked = walker.walk(pred.target, window_start, window_end,
+                                  unresolved);
+        }
+        // With no predicted target at all, fetch simply idles until
+        // resolve: same penalty, no cache side effects.
+        now = window_end;
+        if (blocked > window_end)
+            advanceTo(blocked, PenaltyKind::WrongIcache);
+        drainResolves();
+        curLine = kNoLine;
+        return;
+      }
+    }
+}
+
+SimResults
+FetchEngine::run(InstructionSource &source)
+{
+    stats.policy = config.policy;
+    stats.prefetch = config.effectivePrefetchKind() != PrefetchKind::None;
+    stats.misfetchSlots = static_cast<uint64_t>(config.decodeSlots());
+    stats.mispredictSlots = static_cast<uint64_t>(config.resolveSlots());
+
+    uint64_t warmup = config.warmupInstructions;
+    uint64_t retired_warmup = 0;
+    DynInst inst;
+
+    while (retired_warmup < warmup && source.next(inst)) {
+        fetchOne(inst);
+        ++retired_warmup;
+    }
+    if (warmup > 0)
+        resetStats();
+
+    while (stats.instructions < config.instructionBudget &&
+           source.next(inst)) {
+        fetchOne(inst);
+    }
+
+    stats.finalSlot = now;
+    stats.prefetchesIssued = prefetcher.issuedCount() - prefetchBaseline;
+    return stats;
+}
+
+} // namespace specfetch

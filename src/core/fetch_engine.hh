@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The slot-driven front-end model (DESIGN.md §3).
+ *
+ * The engine consumes the correct-path instruction stream and charges
+ * every lost issue slot to one of the paper's penalty components. It
+ * models the machine at issue-slot granularity: on the 4-wide
+ * baseline, 4 slots = 1 cycle, a misfetch costs decodeSlots = 8 lost
+ * slots and a mispredict resolveSlots = 16, and an I-cache miss
+ * penalty of 5 cycles occupies the bus for 20 slots — the paper's own
+ * arithmetic (§4.1), which is why this model reproduces its ISPI
+ * accounting exactly while remaining fast enough for
+ * hundreds-of-millions-of-instruction runs.
+ */
+
+#ifndef SPECFETCH_CORE_FETCH_ENGINE_HH_
+#define SPECFETCH_CORE_FETCH_ENGINE_HH_
+
+#include <deque>
+
+#include "branch/predictor.hh"
+#include "cache/bus.hh"
+#include "cache/icache.hh"
+#include "cache/line_buffer.hh"
+#include "cache/prefetch_unit.hh"
+#include "cache/victim_cache.hh"
+#include "core/branch_unit.hh"
+#include "core/config.hh"
+#include "core/results.hh"
+#include "core/wrong_path_walker.hh"
+#include "isa/program_image.hh"
+#include "workload/executor.hh"
+
+namespace specfetch {
+
+/**
+ * One simulated front end. Construct per run (state is not reusable
+ * across runs unless reset() is called).
+ */
+class FetchEngine
+{
+  public:
+    /**
+     * @param config Machine + run configuration (validated here).
+     * @param image  Static program image for wrong-path fetches.
+     */
+    FetchEngine(const SimConfig &config, const ProgramImage &image);
+
+    /** Attach a lockstep observer (miss classification). */
+    void setObserver(AccessObserver *obs);
+
+    /**
+     * Run until the configured instruction budget is retired or the
+     * source is exhausted.
+     */
+    SimResults run(InstructionSource &source);
+
+    /** Reset all machine state (cache, predictor, clocks, stats). */
+    void reset();
+
+    /** @name Component access for tests @{ */
+    const ICache &icache() const { return cache; }
+    const BranchPredictor &branchPredictor() const { return predictor; }
+    const MemoryBus &memoryBus() const { return bus; }
+    /** @} */
+
+  private:
+    /** Advance the slot clock to @p target, charging lost slots. */
+    void advanceTo(Slot target, PenaltyKind kind);
+
+    /** Apply resolve-time predictor updates due by the current slot. */
+    void drainResolves();
+
+    /** Handle the correct-path access to @p line_addr (may stall). */
+    void handleLineAccess(Addr line_addr);
+
+    /** Issue one correct-path instruction; returns its issue slot. */
+    void fetchOne(const DynInst &inst);
+
+    /** Handle a control instruction's outcome after issue. */
+    void handleControl(const DynInst &inst, Slot issue);
+
+    /** Trigger next-line prefetching for a correct-path access. */
+    void maybePrefetch(Addr line_addr);
+
+    /** Zero the statistics after warmup (machine state persists). */
+    void resetStats();
+
+    SimConfig config;
+    const ProgramImage &image;
+
+    BranchPredictor predictor;
+    ICache cache;
+    MemoryBus bus;
+    LineBuffer resumeBuffer;
+    MemoryHierarchy hierarchy;
+    VictimCache victimCache;
+    PrefetchUnit prefetcher;
+    BranchUnit branchUnit;
+    WrongPathWalker walker;
+
+    /** Pending resolve-time predictor updates, in issue order. */
+    struct PendingResolve
+    {
+        Slot at;
+        DynInst inst;
+    };
+    std::deque<PendingResolve> pendingResolves;
+
+    Slot now = 0;
+    Slot lastIssue = -1;
+    Addr curLine;
+    SimResults stats;
+    /** Prefetch count at the last stats reset (warmup boundary). */
+    uint64_t prefetchBaseline = 0;
+    AccessObserver *observer = nullptr;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CORE_FETCH_ENGINE_HH_

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Miss classification (paper §5.1.1, Table 4).
+ *
+ * The paper partitions misses by comparing Oracle and Optimistic runs
+ * of the same trace:
+ *
+ *  - Both Miss      — misses under both policies;
+ *  - Spec Pollute   — Optimistic-only correct-path misses (wrong-path
+ *                     fills displaced useful lines);
+ *  - Spec Prefetch  — Oracle-only misses (wrong-path fills usefully
+ *                     prefetched the line for Optimistic);
+ *  - Wrong Path     — Optimistic misses on the wrong path (their main
+ *                     cost is memory bandwidth);
+ *  - Traffic Ratio  — Optimistic misses / Oracle misses.
+ *
+ * We obtain all five in a single Optimistic-timed run by keeping a
+ * lockstep *oracle shadow cache* that is filled only by correct-path
+ * misses: for every correct-path access both images are probed and
+ * the (hit,hit) pair indexes the category.
+ */
+
+#ifndef SPECFETCH_CORE_MISS_CLASSIFIER_HH_
+#define SPECFETCH_CORE_MISS_CLASSIFIER_HH_
+
+#include <string>
+
+#include "core/config.hh"
+#include "workload/workload.hh"
+
+namespace specfetch {
+
+/** Table 4 results for one workload. */
+struct Classification
+{
+    std::string workload;
+    uint64_t instructions = 0;
+
+    uint64_t bothMiss = 0;
+    uint64_t specPollute = 0;
+    uint64_t specPrefetch = 0;
+    uint64_t wrongPath = 0;    ///< serviced wrong-path fills
+
+    /** Oracle misses = Both Miss + Spec Prefetch. */
+    uint64_t oracleMisses() const { return bothMiss + specPrefetch; }
+    /** Optimistic misses = Both Miss + Spec Pollute + Wrong Path. */
+    uint64_t
+    optimisticMisses() const
+    {
+        return bothMiss + specPollute + wrongPath;
+    }
+
+    /** Percent-of-instructions views (the paper's units). @{ */
+    double bothMissPercent() const;
+    double specPollutePercent() const;
+    double specPrefetchPercent() const;
+    double wrongPathPercent() const;
+    /** @} */
+
+    /** Optimistic/Oracle miss (= memory traffic) ratio. */
+    double trafficRatio() const;
+};
+
+/**
+ * Classify misses for @p workload under @p config's cache geometry
+ * and branch architecture. The policy and prefetch fields of @p
+ * config are ignored (the comparison is Optimistic vs Oracle without
+ * prefetching, as in the paper).
+ */
+Classification classifyMisses(const Workload &workload,
+                              const SimConfig &config);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CORE_MISS_CLASSIFIER_HH_

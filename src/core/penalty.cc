@@ -1,0 +1,68 @@
+#include "core/penalty.hh"
+
+#include "stats/stats.hh"
+
+namespace specfetch {
+
+std::string
+toString(PenaltyKind kind)
+{
+    switch (kind) {
+      case PenaltyKind::BranchFull: return "branch_full";
+      case PenaltyKind::Branch: return "branch";
+      case PenaltyKind::ForceResolve: return "force_resolve";
+      case PenaltyKind::RtIcache: return "rt_icache";
+      case PenaltyKind::WrongIcache: return "wrong_icache";
+      case PenaltyKind::Bus: return "bus";
+    }
+    return "?";
+}
+
+uint64_t
+PenaltyBreakdown::totalSlots() const
+{
+    uint64_t total = 0;
+    for (uint64_t slots : slotsLost)
+        total += slots;
+    return total;
+}
+
+double
+PenaltyBreakdown::ispi(PenaltyKind kind, uint64_t instructions) const
+{
+    return ratioOf(slots(kind), instructions);
+}
+
+double
+PenaltyBreakdown::totalIspi(uint64_t instructions) const
+{
+    return ratioOf(totalSlots(), instructions);
+}
+
+PenaltyBreakdown &
+PenaltyBreakdown::operator+=(const PenaltyBreakdown &other)
+{
+    for (size_t i = 0; i < kNumPenaltyKinds; ++i)
+        slotsLost[i] += other.slotsLost[i];
+    return *this;
+}
+
+void
+PenaltyBreakdown::reset()
+{
+    for (uint64_t &slots : slotsLost)
+        slots = 0;
+}
+
+const std::vector<PenaltyKind> &
+allPenaltyKinds()
+{
+    static const std::vector<PenaltyKind> kinds = {
+        PenaltyKind::BranchFull,   PenaltyKind::Branch,
+        PenaltyKind::ForceResolve, PenaltyKind::RtIcache,
+        PenaltyKind::WrongIcache,  PenaltyKind::Bus,
+    };
+    return kinds;
+}
+
+} // namespace specfetch

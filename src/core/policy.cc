@@ -1,0 +1,60 @@
+#include "core/policy.hh"
+
+#include "util/string_utils.hh"
+
+namespace specfetch {
+
+const std::vector<FetchPolicy> &
+allPolicies()
+{
+    static const std::vector<FetchPolicy> policies = {
+        FetchPolicy::Oracle,
+        FetchPolicy::Optimistic,
+        FetchPolicy::Resume,
+        FetchPolicy::Pessimistic,
+        FetchPolicy::Decode,
+    };
+    return policies;
+}
+
+std::string
+toString(FetchPolicy policy)
+{
+    switch (policy) {
+      case FetchPolicy::Oracle: return "Oracle";
+      case FetchPolicy::Optimistic: return "Optimistic";
+      case FetchPolicy::Resume: return "Resume";
+      case FetchPolicy::Pessimistic: return "Pessimistic";
+      case FetchPolicy::Decode: return "Decode";
+    }
+    return "?";
+}
+
+std::string
+shortName(FetchPolicy policy)
+{
+    switch (policy) {
+      case FetchPolicy::Oracle: return "Oracle";
+      case FetchPolicy::Optimistic: return "Opt";
+      case FetchPolicy::Resume: return "Res";
+      case FetchPolicy::Pessimistic: return "Pess";
+      case FetchPolicy::Decode: return "Dec";
+    }
+    return "?";
+}
+
+bool
+parsePolicy(const std::string &text, FetchPolicy &out)
+{
+    std::string t = toLower(trim(text));
+    for (FetchPolicy policy : allPolicies()) {
+        if (t == toLower(toString(policy)) ||
+            t == toLower(shortName(policy))) {
+            out = policy;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace specfetch

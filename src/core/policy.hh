@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The instruction-cache fetch policies under study (paper Table 1).
+ */
+
+#ifndef SPECFETCH_CORE_POLICY_HH_
+#define SPECFETCH_CORE_POLICY_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specfetch {
+
+/**
+ * What to do with an I-cache miss encountered during speculative
+ * execution.
+ */
+enum class FetchPolicy : uint8_t
+{
+    /** Only process I-cache misses on the right path. Unrealizable
+     *  (requires knowing the future); the paper's yardstick. */
+    Oracle,
+    /** Process all I-cache misses; the fetch unit blocks on each. */
+    Optimistic,
+    /** Like Optimistic, but the correct path may restart immediately
+     *  after a redirect while a wrong-path fill completes into a
+     *  one-entry resume buffer. */
+    Resume,
+    /** On a miss, wait until all outstanding branches are resolved
+     *  and all previous instructions are decoded; fetch only if still
+     *  on the correct path. */
+    Pessimistic,
+    /** On a miss, wait until all previous instructions are decoded;
+     *  fetch unless the miss is on a misfetched path. */
+    Decode,
+};
+
+/** All five policies in the paper's presentation order. */
+const std::vector<FetchPolicy> &allPolicies();
+
+/** Display name ("Oracle", "Optimistic", ...). */
+std::string toString(FetchPolicy policy);
+
+/** Short column label ("Oracle", "Opt", "Res", "Pess", "Dec"). */
+std::string shortName(FetchPolicy policy);
+
+/** Parse a policy name (case-insensitive, long or short form).
+ *  Returns false on unknown names. */
+bool parsePolicy(const std::string &text, FetchPolicy &out);
+
+/** True for policies that service wrong-path misses after a
+ *  mispredict (they need wrong-path fill plumbing). */
+constexpr bool
+servicesWrongPathMisses(FetchPolicy policy)
+{
+    return policy == FetchPolicy::Optimistic ||
+           policy == FetchPolicy::Resume || policy == FetchPolicy::Decode;
+}
+
+/** True for the aggressive policies whose wrong-path accesses also
+ *  trigger next-line prefetches. */
+constexpr bool
+prefetchesOnWrongPath(FetchPolicy policy)
+{
+    return policy == FetchPolicy::Optimistic ||
+           policy == FetchPolicy::Resume;
+}
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CORE_POLICY_HH_

@@ -1,0 +1,156 @@
+#include "core/results.hh"
+
+#include "stats/stat_group.hh"
+#include "stats/stats.hh"
+#include "util/string_utils.hh"
+
+namespace specfetch {
+
+double
+SimResults::missRatePercent() const
+{
+    return 100.0 * ratioOf(demandMisses, instructions);
+}
+
+double
+SimResults::wrongMissRatePercent() const
+{
+    return 100.0 * ratioOf(wrongMisses, instructions);
+}
+
+double
+SimResults::condAccuracy() const
+{
+    return condBranches == 0
+        ? 1.0
+        : 1.0 - ratioOf(dirMispredicts, condBranches);
+}
+
+double
+SimResults::phtMispredictIspi() const
+{
+    return ratioOf(dirMispredicts * mispredictSlots, instructions);
+}
+
+double
+SimResults::btbMisfetchIspi() const
+{
+    return ratioOf(misfetches * misfetchSlots, instructions);
+}
+
+double
+SimResults::btbMispredictIspi() const
+{
+    return ratioOf(targetMispredicts * mispredictSlots, instructions);
+}
+
+std::string
+SimResults::summary() const
+{
+    std::string out;
+    out += "workload:            " + workload + "\n";
+    out += "policy:              " + toString(policy) +
+           (prefetch ? " + next-line prefetch" : "") + "\n";
+    out += "instructions:        " + formatWithCommas(instructions) + "\n";
+    out += "total ISPI:          " + formatFixed(ispi(), 4) + "\n";
+    for (PenaltyKind kind : allPenaltyKinds()) {
+        std::string name = "  " + toString(kind) + ":";
+        if (name.size() < 21)
+            name += std::string(21 - name.size(), ' ');
+        out += name + formatFixed(ispiOf(kind), 4) + "\n";
+    }
+    out += "miss rate:           " + formatFixed(missRatePercent(), 2) +
+           "% (" + formatWithCommas(demandMisses) + " misses)\n";
+    out += "wrong-path misses:   " + formatWithCommas(wrongMisses) +
+           " (" + formatWithCommas(wrongFills) + " serviced)\n";
+    out += "cond accuracy:       " +
+           formatFixed(100.0 * condAccuracy(), 2) + "%\n";
+    out += "misfetches:          " + formatWithCommas(misfetches) + "\n";
+    out += "memory transactions: " +
+           formatWithCommas(memoryTransactions()) + "\n";
+    if (prefetchesIssued > 0) {
+        out += "prefetches issued:   " +
+               formatWithCommas(prefetchesIssued) + "\n";
+    }
+    return out;
+}
+
+std::string
+SimResults::statsDump() const
+{
+    // Build a transient stat tree over this result's raw values; the
+    // counters live on the stack only for the duration of the dump.
+    Counter insts, slots;
+    insts += instructions;
+    slots += static_cast<uint64_t>(finalSlot);
+
+    Counter control, cond, misfetch, dir_misp, tgt_misp;
+    control += controlInsts;
+    cond += condBranches;
+    misfetch += misfetches;
+    dir_misp += dirMispredicts;
+    tgt_misp += targetMispredicts;
+
+    Counter d_acc, d_miss, d_fill, b_hits, w_acc, w_miss, w_fill, pf;
+    d_acc += demandAccesses;
+    d_miss += demandMisses;
+    d_fill += demandFills;
+    b_hits += bufferHits;
+    w_acc += wrongAccesses;
+    w_miss += wrongMisses;
+    w_fill += wrongFills;
+    pf += prefetchesIssued;
+
+    StatGroup front("frontend");
+    front.addCounter("instructions", insts, "correct-path instructions");
+    front.addCounter("slots", slots, "total issue slots elapsed");
+    front.addFormula("ispi", [this] { return ispi(); },
+                     "issue slots lost per instruction");
+    for (PenaltyKind kind : allPenaltyKinds()) {
+        front.addFormula("ispi_" + toString(kind),
+                         [this, kind] { return ispiOf(kind); },
+                         "component ISPI");
+    }
+
+    StatGroup branches("branch");
+    branches.addCounter("control", control, "control-flow instructions");
+    branches.addCounter("conditional", cond, "conditional branches");
+    branches.addCounter("misfetches", misfetch, "8-slot redirects");
+    branches.addCounter("dir_mispredicts", dir_misp,
+                        "direction mispredicts");
+    branches.addCounter("target_mispredicts", tgt_misp,
+                        "indirect-target mispredicts");
+    branches.addFormula("cond_accuracy",
+                        [this] { return condAccuracy(); },
+                        "PHT direction accuracy");
+
+    StatGroup icache("icache");
+    icache.addCounter("demand_accesses", d_acc,
+                      "correct-path line accesses");
+    icache.addCounter("demand_misses", d_miss, "correct-path misses");
+    icache.addCounter("demand_fills", d_fill, "fills sent to memory");
+    icache.addCounter("buffer_hits", b_hits,
+                      "served by resume/prefetch buffer");
+    icache.addCounter("wrong_accesses", w_acc, "wrong-path accesses");
+    icache.addCounter("wrong_misses", w_miss, "wrong-path misses");
+    icache.addCounter("wrong_fills", w_fill,
+                      "wrong-path misses serviced");
+    icache.addCounter("prefetches", pf, "prefetches issued");
+    icache.addFormula("miss_rate",
+                      [this] { return missRatePercent() / 100.0; },
+                      "misses per instruction");
+    icache.addFormula("memory_transactions",
+                      [this] {
+                          return static_cast<double>(
+                              memoryTransactions());
+                      },
+                      "fills + wrong-path fills + prefetches");
+
+    StatGroup root("sim");
+    root.addChild(front);
+    root.addChild(branches);
+    root.addChild(icache);
+    return root.dump();
+}
+
+} // namespace specfetch

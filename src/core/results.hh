@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-run simulation results and derived metrics.
+ */
+
+#ifndef SPECFETCH_CORE_RESULTS_HH_
+#define SPECFETCH_CORE_RESULTS_HH_
+
+#include <string>
+
+#include "core/penalty.hh"
+#include "core/policy.hh"
+#include "isa/types.hh"
+
+namespace specfetch {
+
+/**
+ * Everything one simulation run produces. Counts are raw; derived
+ * metrics (ISPI, miss ratios, traffic) are methods so callers cannot
+ * desynchronize numerators and denominators.
+ */
+struct SimResults
+{
+    std::string workload;
+    FetchPolicy policy = FetchPolicy::Oracle;
+    bool prefetch = false;
+
+    /** Correct-path instructions retired (the ISPI denominator). */
+    uint64_t instructions = 0;
+    /** Slot penalties of the simulated machine (filled by the engine;
+     *  8/16 on the paper baseline). */
+    uint64_t misfetchSlots = 8;
+    uint64_t mispredictSlots = 16;
+    /** Final slot clock (instructions + all lost slots). */
+    Slot finalSlot = 0;
+
+    PenaltyBreakdown penalty;
+
+    /** @name Branch outcomes on the correct path @{ */
+    uint64_t controlInsts = 0;
+    uint64_t condBranches = 0;
+    uint64_t misfetches = 0;        ///< 8-slot redirects (BTB)
+    uint64_t dirMispredicts = 0;    ///< 16-slot direction (PHT)
+    uint64_t targetMispredicts = 0; ///< 16-slot indirect target (BTB)
+    /** @} */
+
+    /** @name Correct-path cache behavior @{ */
+    uint64_t demandAccesses = 0;    ///< line-granular fetch accesses
+    uint64_t demandMisses = 0;      ///< missed in array and buffers
+    uint64_t demandFills = 0;       ///< fills actually sent to memory
+    uint64_t bufferHits = 0;        ///< satisfied by resume/prefetch buffer
+    /** @} */
+
+    /** @name Wrong-path cache behavior @{ */
+    uint64_t wrongAccesses = 0;
+    uint64_t wrongMisses = 0;       ///< wrong-path misses observed
+    uint64_t wrongFills = 0;        ///< ... that were serviced
+    /** @} */
+
+    uint64_t prefetchesIssued = 0;
+
+    /** Total memory transactions this run generated. */
+    uint64_t
+    memoryTransactions() const
+    {
+        return demandFills + wrongFills + prefetchesIssued;
+    }
+
+    /** Total ISPI (paper Figures 1-2, Tables 5-6). */
+    double ispi() const { return penalty.totalIspi(instructions); }
+
+    /** One component's ISPI. */
+    double
+    ispiOf(PenaltyKind kind) const
+    {
+        return penalty.ispi(kind, instructions);
+    }
+
+    /** Correct-path miss ratio in percent (paper Table 3 convention:
+     *  misses per instruction). */
+    double missRatePercent() const;
+
+    /** Wrong-path miss ratio in percent of correct-path instructions
+     *  (paper Table 4 "WP" convention). */
+    double wrongMissRatePercent() const;
+
+    /** Conditional-branch direction accuracy (PHT quality). */
+    double condAccuracy() const;
+
+    /** ISPI due to PHT direction mispredicts only (Table 3). */
+    double phtMispredictIspi() const;
+    /** ISPI due to BTB misfetches only (Table 3). */
+    double btbMisfetchIspi() const;
+    /** ISPI due to BTB target mispredicts only (Table 3). */
+    double btbMispredictIspi() const;
+
+    /** Multi-line human-readable summary. */
+    std::string summary() const;
+
+    /** Full gem5-style stats dump: every counter and derived metric,
+     *  one per line, with descriptions. */
+    std::string statsDump() const;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CORE_RESULTS_HH_

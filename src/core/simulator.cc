@@ -1,0 +1,26 @@
+#include "core/simulator.hh"
+
+#include "core/fetch_engine.hh"
+#include "workload/executor.hh"
+#include "workload/registry.hh"
+
+namespace specfetch {
+
+SimResults
+runSimulation(const Workload &workload, const SimConfig &config)
+{
+    Executor executor(workload.cfg, config.runSeed);
+    FetchEngine engine(config, workload.image);
+    SimResults results = engine.run(executor);
+    results.workload = workload.profile.name;
+    return results;
+}
+
+SimResults
+runBenchmark(const std::string &benchmark, const SimConfig &config)
+{
+    Workload workload = buildWorkload(getProfile(benchmark));
+    return runSimulation(workload, config);
+}
+
+} // namespace specfetch

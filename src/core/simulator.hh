@@ -1,0 +1,33 @@
+/**
+ * @file
+ * High-level simulation entry points: the one-call public API most
+ * users (and all examples/benches) go through.
+ */
+
+#ifndef SPECFETCH_CORE_SIMULATOR_HH_
+#define SPECFETCH_CORE_SIMULATOR_HH_
+
+#include <string>
+
+#include "core/config.hh"
+#include "core/results.hh"
+#include "workload/workload.hh"
+
+namespace specfetch {
+
+/**
+ * Run one policy on an already-built workload.
+ *
+ * @param workload Built workload (buildWorkload or trace-loaded).
+ * @param config   Machine configuration; the run seed drives the
+ *                 workload's dynamic behavior.
+ */
+SimResults runSimulation(const Workload &workload, const SimConfig &config);
+
+/** Convenience: build the named benchmark and run it. */
+SimResults runBenchmark(const std::string &benchmark,
+                        const SimConfig &config);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CORE_SIMULATOR_HH_

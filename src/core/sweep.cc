@@ -1,0 +1,90 @@
+#include "core/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "core/simulator.hh"
+#include "util/string_utils.hh"
+#include "workload/registry.hh"
+
+namespace specfetch {
+
+std::vector<SimResults>
+runSweep(const std::vector<RunSpec> &specs, unsigned parallelism)
+{
+    // Build each distinct workload once; runs only read them.
+    std::map<std::string, std::shared_ptr<const Workload>> workloads;
+    for (const RunSpec &spec : specs) {
+        if (!workloads.count(spec.benchmark)) {
+            workloads[spec.benchmark] = std::make_shared<const Workload>(
+                buildWorkload(getProfile(spec.benchmark)));
+        }
+    }
+
+    std::vector<SimResults> results(specs.size());
+
+    unsigned workers = parallelism != 0
+        ? parallelism
+        : std::max(1u, std::thread::hardware_concurrency());
+    if (workers > specs.size())
+        workers = static_cast<unsigned>(specs.size());
+
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            size_t index = next.fetch_add(1);
+            if (index >= specs.size())
+                return;
+            const RunSpec &spec = specs[index];
+            results[index] =
+                runSimulation(*workloads.at(spec.benchmark), spec.config);
+        }
+    };
+
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            threads.emplace_back(worker);
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+
+    return results;
+}
+
+std::vector<SimResults>
+runPolicyGrid(const std::vector<std::string> &benchmarks,
+              const SimConfig &base,
+              const std::vector<FetchPolicy> &policies)
+{
+    std::vector<RunSpec> specs;
+    specs.reserve(benchmarks.size() * policies.size());
+    for (const std::string &benchmark : benchmarks) {
+        for (FetchPolicy policy : policies) {
+            RunSpec spec{benchmark, base};
+            spec.config.policy = policy;
+            specs.push_back(std::move(spec));
+        }
+    }
+    return runSweep(specs);
+}
+
+uint64_t
+benchBudget(uint64_t fallback)
+{
+    const char *env = std::getenv("SPECFETCH_BUDGET");
+    if (!env)
+        return fallback;
+    uint64_t value;
+    if (!parseCount(env, value) || value == 0)
+        return fallback;
+    return value;
+}
+
+} // namespace specfetch

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Parameter-sweep driver used by the benchmark harnesses: runs
+ * (benchmark × configuration) grids, in parallel across hardware
+ * threads, and returns results in submission order.
+ */
+
+#ifndef SPECFETCH_CORE_SWEEP_HH_
+#define SPECFETCH_CORE_SWEEP_HH_
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/results.hh"
+
+namespace specfetch {
+
+/** One run request. */
+struct RunSpec
+{
+    std::string benchmark;
+    SimConfig config;
+};
+
+/**
+ * Execute every spec (building each benchmark's workload once and
+ * sharing it across that benchmark's specs) and return results in the
+ * same order.
+ *
+ * @param specs        Requests.
+ * @param parallelism  Worker threads; 0 = hardware concurrency.
+ */
+std::vector<SimResults> runSweep(const std::vector<RunSpec> &specs,
+                                 unsigned parallelism = 0);
+
+/**
+ * Convenience grid: every listed benchmark under every policy with
+ * the same base configuration. Results are ordered
+ * benchmark-major, policy-minor.
+ */
+std::vector<SimResults>
+runPolicyGrid(const std::vector<std::string> &benchmarks,
+              const SimConfig &base,
+              const std::vector<FetchPolicy> &policies);
+
+/**
+ * The instruction budget benches should use: the SPECFETCH_BUDGET
+ * environment variable (count with K/M/G suffixes) or @p fallback.
+ */
+uint64_t benchBudget(uint64_t fallback);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CORE_SWEEP_HH_

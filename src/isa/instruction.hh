@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Static and dynamic instruction records.
+ */
+
+#ifndef SPECFETCH_ISA_INSTRUCTION_HH_
+#define SPECFETCH_ISA_INSTRUCTION_HH_
+
+#include "isa/types.hh"
+
+namespace specfetch {
+
+/**
+ * One static instruction in the program image.
+ *
+ * For direct control flow, @ref target is the encoded destination.
+ * For indirect control flow it is zero — the dynamic target only
+ * exists on the executed (correct) path.
+ */
+struct StaticInst
+{
+    InstClass cls = InstClass::Plain;
+    Addr target = 0;
+
+    bool isControl() const { return specfetch::isControl(cls); }
+    bool isConditional() const { return specfetch::isConditional(cls); }
+};
+
+/**
+ * One dynamic (correct-path) instruction, as produced by the
+ * architectural executor or a trace file: where it was, what it was,
+ * and what it actually did.
+ */
+struct DynInst
+{
+    Addr pc = 0;
+    InstClass cls = InstClass::Plain;
+    /** Dynamic direction; always true for unconditional control. */
+    bool taken = false;
+    /** Dynamic destination when taken (resolve-time truth). */
+    Addr target = 0;
+
+    /** Address of the next correct-path instruction. */
+    Addr
+    nextPc() const
+    {
+        return (isControl(cls) && taken) ? target : pc + kInstBytes;
+    }
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_ISA_INSTRUCTION_HH_

@@ -1,0 +1,67 @@
+#include "isa/program_image.hh"
+
+#include "util/logging.hh"
+
+namespace specfetch {
+
+std::string
+toString(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::Plain: return "plain";
+      case InstClass::CondBranch: return "cond";
+      case InstClass::Jump: return "jump";
+      case InstClass::Call: return "call";
+      case InstClass::Return: return "return";
+      case InstClass::IndirectJump: return "ijump";
+      case InstClass::IndirectCall: return "icall";
+    }
+    return "?";
+}
+
+ProgramImage::ProgramImage(Addr base, size_t count)
+    : baseAddr(base), instructions(count)
+{
+    panic_if(base % kInstBytes != 0, "image base %llx misaligned",
+             static_cast<unsigned long long>(base));
+}
+
+void
+ProgramImage::set(Addr addr, const StaticInst &inst)
+{
+    instructions[indexOf(addr)] = inst;
+}
+
+StaticInst
+ProgramImage::at(Addr addr) const
+{
+    if (!contains(addr))
+        return StaticInst{};
+    return instructions[(addr - baseAddr) / kInstBytes];
+}
+
+bool
+ProgramImage::contains(Addr addr) const
+{
+    return addr >= baseAddr && addr < end() && addr % kInstBytes == 0;
+}
+
+size_t
+ProgramImage::controlCount() const
+{
+    size_t n = 0;
+    for (const StaticInst &inst : instructions)
+        if (inst.isControl())
+            ++n;
+    return n;
+}
+
+size_t
+ProgramImage::indexOf(Addr addr) const
+{
+    panic_if(!contains(addr), "address %llx outside program image",
+             static_cast<unsigned long long>(addr));
+    return (addr - baseAddr) / kInstBytes;
+}
+
+} // namespace specfetch

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The static program image: a contiguous code region mapping addresses
+ * to instructions.
+ *
+ * The fetch engine needs the image — not just the dynamic trace — to
+ * walk *wrong* paths: after a mispredict or misfetch it keeps fetching
+ * real instructions from the predicted (incorrect) address, and those
+ * fetches hit or miss in the I-cache and may displace useful lines.
+ */
+
+#ifndef SPECFETCH_ISA_PROGRAM_IMAGE_HH_
+#define SPECFETCH_ISA_PROGRAM_IMAGE_HH_
+
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace specfetch {
+
+/**
+ * A flat, 4-byte-granular code image starting at a base address.
+ * Addresses outside the image decode as Plain instructions (the fetch
+ * engine may run off the end of the image down a wrong path; real
+ * machines fetch garbage there, which rarely looks like a branch).
+ */
+class ProgramImage
+{
+  public:
+    /** @param base  Base byte address (must be instruction aligned).
+     *  @param count Number of instruction slots to reserve. */
+    ProgramImage(Addr base, size_t count);
+
+    /** Define the instruction at @p addr. */
+    void set(Addr addr, const StaticInst &inst);
+
+    /** Decode the instruction at @p addr (Plain outside the image). */
+    StaticInst at(Addr addr) const;
+
+    /** True iff @p addr falls inside the image. */
+    bool contains(Addr addr) const;
+
+    Addr base() const { return baseAddr; }
+    Addr end() const { return baseAddr + size() * kInstBytes; }
+    size_t size() const { return instructions.size(); }
+
+    /** Count of control-flow instructions currently defined. */
+    size_t controlCount() const;
+
+    /** Direct mutable access for builders (index, not address). */
+    StaticInst &operator[](size_t index) { return instructions[index]; }
+    const StaticInst &operator[](size_t index) const
+    {
+        return instructions[index];
+    }
+
+    /** Translate an address to an image index; panics if outside. */
+    size_t indexOf(Addr addr) const;
+    /** Translate an image index to an address. */
+    Addr addrOf(size_t index) const { return baseAddr + index * kInstBytes; }
+
+  private:
+    Addr baseAddr;
+    std::vector<StaticInst> instructions;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_ISA_PROGRAM_IMAGE_HH_

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fundamental types of the synthetic ISA.
+ *
+ * The front-end study only needs to know, for every static
+ * instruction, (a) whether it redirects control flow, (b) how its
+ * target becomes known (encoded in the instruction vs. computed from a
+ * register), and (c) for conditional branches, the dynamic direction.
+ * Data-path semantics are irrelevant to instruction fetch and are not
+ * modeled.
+ */
+
+#ifndef SPECFETCH_ISA_TYPES_HH_
+#define SPECFETCH_ISA_TYPES_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace specfetch {
+
+/** Byte address in the simulated address space. */
+using Addr = uint64_t;
+
+/** Issue-slot timestamp (4 slots = 1 cycle on the 4-wide baseline). */
+using Slot = int64_t;
+
+/** Every instruction occupies four bytes, as on the Alpha. */
+constexpr Addr kInstBytes = 4;
+
+/** Classes of instructions the fetch engine distinguishes. */
+enum class InstClass : uint8_t
+{
+    Plain,        ///< anything that does not redirect fetch
+    CondBranch,   ///< conditional direct branch (PC-relative target)
+    Jump,         ///< unconditional direct jump
+    Call,         ///< unconditional direct call (pushes return address)
+    Return,       ///< indirect jump through the return address
+    IndirectJump, ///< computed jump (switch tables)
+    IndirectCall, ///< call through a register (virtual dispatch,
+                  ///< function pointers); pushes a return address
+};
+
+/** True for every class that can redirect the fetch stream. */
+constexpr bool
+isControl(InstClass cls)
+{
+    return cls != InstClass::Plain;
+}
+
+/** True when the static target is encoded in the instruction word and
+ *  can be produced by the decoder (misfetch, not mispredict, on a BTB
+ *  miss). */
+constexpr bool
+hasStaticTarget(InstClass cls)
+{
+    return cls == InstClass::CondBranch || cls == InstClass::Jump ||
+           cls == InstClass::Call;
+}
+
+/** True when the target comes from a register and is only known at
+ *  resolve time (returns and indirect jumps). */
+constexpr bool
+isIndirect(InstClass cls)
+{
+    return cls == InstClass::Return || cls == InstClass::IndirectJump ||
+           cls == InstClass::IndirectCall;
+}
+
+/** True for conditional control flow (needs a direction prediction). */
+constexpr bool
+isConditional(InstClass cls)
+{
+    return cls == InstClass::CondBranch;
+}
+
+/** Human-readable class name for stats and debugging. */
+std::string toString(InstClass cls);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_ISA_TYPES_HH_

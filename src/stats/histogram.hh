@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fixed-bucket histogram for distributions such as stall lengths and
+ * basic-block sizes.
+ */
+
+#ifndef SPECFETCH_STATS_HISTOGRAM_HH_
+#define SPECFETCH_STATS_HISTOGRAM_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specfetch {
+
+/**
+ * Histogram over [0, max) with uniform buckets plus an overflow
+ * bucket; tracks count, sum, min, and max for summary statistics.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_count Number of uniform buckets (>= 1).
+     * @param bucket_width Width of each bucket (>= 1).
+     */
+    Histogram(size_t bucket_count, uint64_t bucket_width);
+
+    /** Record one sample. */
+    void sample(uint64_t value);
+
+    /** Record @p n identical samples. */
+    void sample(uint64_t value, uint64_t n);
+
+    uint64_t count() const { return total; }
+    uint64_t sum() const { return sumValues; }
+    uint64_t minValue() const { return total ? minSeen : 0; }
+    uint64_t maxValue() const { return total ? maxSeen : 0; }
+    double mean() const;
+
+    /** Bucket contents; the final entry is the overflow bucket. */
+    const std::vector<uint64_t> &buckets() const { return bins; }
+    uint64_t bucketWidth() const { return width; }
+
+    /** Smallest value v such that at least fraction p of samples <= v
+     *  (estimated from bucket upper bounds; p in [0,1]). */
+    uint64_t percentile(double p) const;
+
+    /** Render a compact text summary, one bucket per line. */
+    std::string render(const std::string &name) const;
+
+    void reset();
+
+  private:
+    uint64_t width;
+    std::vector<uint64_t> bins;    // last entry = overflow
+    uint64_t total = 0;
+    uint64_t sumValues = 0;
+    uint64_t minSeen = 0;
+    uint64_t maxSeen = 0;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_STATS_HISTOGRAM_HH_

@@ -1,0 +1,69 @@
+#include "stats/stat_group.hh"
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace specfetch {
+
+void
+StatGroup::addCounter(const std::string &name, const Counter &counter,
+                      const std::string &description)
+{
+    entries.push_back(Entry{name, &counter, nullptr, description});
+}
+
+void
+StatGroup::addFormula(const std::string &name, std::function<double()> eval,
+                      const std::string &description)
+{
+    panic_if(!eval, "addFormula: empty evaluator for %s", name.c_str());
+    entries.push_back(Entry{name, nullptr, std::move(eval), description});
+}
+
+void
+StatGroup::addChild(const StatGroup &child)
+{
+    children.push_back(&child);
+}
+
+void
+StatGroup::visit(const std::function<void(const std::string &, double,
+                                          const std::string &)> &fn) const
+{
+    for (const Entry &entry : entries) {
+        double value = entry.counter
+            ? static_cast<double>(entry.counter->value())
+            : entry.formula();
+        fn(groupName + "." + entry.name, value, entry.description);
+    }
+    for (const StatGroup *child : children) {
+        child->visit([&](const std::string &name, double value,
+                         const std::string &desc) {
+            fn(groupName + "." + name, value, desc);
+        });
+    }
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::string out;
+    visit([&](const std::string &name, double value,
+              const std::string &desc) {
+        std::string value_text;
+        if (value == static_cast<double>(static_cast<uint64_t>(value)))
+            value_text = std::to_string(static_cast<uint64_t>(value));
+        else
+            value_text = formatFixed(value, 6);
+        out += name;
+        if (name.size() < 40)
+            out += std::string(40 - name.size(), ' ');
+        out += " " + value_text;
+        if (!desc.empty())
+            out += "   # " + desc;
+        out += "\n";
+    });
+    return out;
+}
+
+} // namespace specfetch

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hierarchical registry of named statistics.
+ */
+
+#ifndef SPECFETCH_STATS_STAT_GROUP_HH_
+#define SPECFETCH_STATS_STAT_GROUP_HH_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace specfetch {
+
+/**
+ * A named group of counters and derived (formula) values.
+ *
+ * Components own their Counter members and register references plus a
+ * description; StatGroup handles qualified naming and dumping. Groups
+ * do not own each other — a parent holds child pointers that must
+ * outlive it only for the duration of dump()/visit() calls.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : groupName(std::move(name)) {}
+
+    /** Register a counter under this group. The counter must outlive
+     *  any dump of this group. */
+    void addCounter(const std::string &name, const Counter &counter,
+                    const std::string &description);
+
+    /** Register a lazily-evaluated derived value (ratio, sum, ...). */
+    void addFormula(const std::string &name, std::function<double()> eval,
+                    const std::string &description);
+
+    /** Attach a child group (no ownership taken). */
+    void addChild(const StatGroup &child);
+
+    /** Visit every statistic as (qualifiedName, value, description). */
+    void visit(const std::function<void(const std::string &, double,
+                                        const std::string &)> &fn) const;
+
+    /** Render "name value # description" lines, gem5 stats style. */
+    std::string dump() const;
+
+    const std::string &name() const { return groupName; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        const Counter *counter;            // null for formulas
+        std::function<double()> formula;   // empty for counters
+        std::string description;
+    };
+
+    std::string groupName;
+    std::vector<Entry> entries;
+    std::vector<const StatGroup *> children;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_STATS_STAT_GROUP_HH_

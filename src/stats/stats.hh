@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Lightweight named-statistics framework.
+ *
+ * Simulator components register scalar counters (and histograms, see
+ * histogram.hh) with a StatGroup. Groups nest, names are
+ * dot-qualified, and the whole tree can be dumped as text or visited
+ * programmatically — a miniature of gem5's stats package sized for
+ * this project.
+ */
+
+#ifndef SPECFETCH_STATS_STATS_HH_
+#define SPECFETCH_STATS_STATS_HH_
+
+#include <cstdint>
+
+namespace specfetch {
+
+/**
+ * A 64-bit event counter.
+ *
+ * Counters are value types; components own them directly and register
+ * references with their StatGroup for naming/dumping.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++count; }
+    void operator++(int) { ++count; }
+    void operator+=(uint64_t n) { count += n; }
+
+    uint64_t value() const { return count; }
+    void reset() { count = 0; }
+
+  private:
+    uint64_t count = 0;
+};
+
+/** Ratio of two counters, guarded against zero denominators. */
+inline double
+ratioOf(uint64_t numerator, uint64_t denominator)
+{
+    return denominator == 0
+        ? 0.0
+        : static_cast<double>(numerator) / static_cast<double>(denominator);
+}
+
+} // namespace specfetch
+
+#endif // SPECFETCH_STATS_STATS_HH_

@@ -1,0 +1,48 @@
+#include "trace/format.hh"
+
+#include "util/logging.hh"
+
+namespace specfetch {
+
+void
+putVarint(std::vector<uint8_t> &out, uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(value));
+}
+
+bool
+getVarint(const uint8_t *data, size_t size, size_t &offset, uint64_t &value)
+{
+    value = 0;
+    unsigned shift = 0;
+    while (offset < size) {
+        uint8_t byte = data[offset++];
+        value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+        shift += 7;
+        if (shift >= 64)
+            return false;
+    }
+    return false;
+}
+
+uint8_t
+wireClass(InstClass cls)
+{
+    return static_cast<uint8_t>(cls);
+}
+
+InstClass
+classFromWire(uint8_t wire)
+{
+    panic_if(wire > static_cast<uint8_t>(InstClass::IndirectCall),
+             "bad instruction class %u in trace", wire);
+    return static_cast<InstClass>(wire);
+}
+
+} // namespace specfetch

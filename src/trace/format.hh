@@ -1,0 +1,62 @@
+/**
+ * @file
+ * On-disk trace format shared by the writer and reader.
+ *
+ * The paper used ATOM instrumentation, which lets the simulator run
+ * without stored traces; we support both modes — live execution
+ * (workload::Executor) and stored traces. A trace file carries the
+ * *static program image* in addition to the dynamic stream, because
+ * wrong-path simulation needs to fetch instructions the correct path
+ * never executed.
+ *
+ * Layout (little-endian):
+ *   header:  magic 'SFTR', u32 version, u64 imageBase,
+ *            u64 imageCount, u64 startPc
+ *   image:   imageCount records: u8 class, varint target/4 (control
+ *            with static targets only)
+ *   stream:  records until EOF:
+ *            0x00 varint n            — n sequential plain instructions
+ *            0x01|cls<<1|taken<<4 ... — one control instruction:
+ *                                       varint target/4 when taken
+ *
+ * The dynamic stream never encodes PCs: on the correct path the next
+ * PC is always the previous instruction's nextPc(), so only the
+ * header's startPc is needed.
+ */
+
+#ifndef SPECFETCH_TRACE_FORMAT_HH_
+#define SPECFETCH_TRACE_FORMAT_HH_
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "isa/types.hh"
+
+namespace specfetch {
+
+/** 'SFTR' in little-endian. */
+constexpr uint32_t kTraceMagic = 0x52544653;
+constexpr uint32_t kTraceVersion = 1;
+
+/** Dynamic-record tag values. */
+constexpr uint8_t kTagPlainRun = 0x00;
+constexpr uint8_t kTagControl = 0x01;
+
+/** Encode @p value as LEB128 into @p out. */
+void putVarint(std::vector<uint8_t> &out, uint64_t value);
+
+/**
+ * Decode a LEB128 value from @p data at @p offset (advanced past the
+ * encoding). Returns false on truncated input.
+ */
+bool getVarint(const uint8_t *data, size_t size, size_t &offset,
+               uint64_t &value);
+
+/** Map an InstClass to its 3-bit wire encoding and back. */
+uint8_t wireClass(InstClass cls);
+InstClass classFromWire(uint8_t wire);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_TRACE_FORMAT_HH_

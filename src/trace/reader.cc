@@ -1,0 +1,141 @@
+#include "trace/reader.hh"
+
+#include "trace/format.hh"
+#include "util/logging.hh"
+
+namespace specfetch {
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "rb");
+    fatal_if(!file, "cannot open trace file '%s'", path.c_str());
+    buffer.resize(1 << 20);
+
+    auto read_u32 = [&](uint32_t &v) {
+        uint8_t raw[4];
+        if (std::fread(raw, 1, 4, file) != 4)
+            fatal("truncated trace header in '%s'", path.c_str());
+        v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) | raw[i];
+    };
+    auto read_u64 = [&](uint64_t &v) {
+        uint8_t raw[8];
+        if (std::fread(raw, 1, 8, file) != 8)
+            fatal("truncated trace header in '%s'", path.c_str());
+        v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | raw[i];
+    };
+
+    uint32_t magic, version;
+    read_u32(magic);
+    read_u32(version);
+    fatal_if(magic != kTraceMagic, "'%s' is not a specfetch trace",
+             path.c_str());
+    fatal_if(version != kTraceVersion,
+             "trace version %u unsupported (want %u)", version,
+             kTraceVersion);
+
+    uint64_t base, count;
+    read_u64(base);
+    read_u64(count);
+    read_u64(start);
+    nextPc = start;
+
+    img = std::make_unique<ProgramImage>(base, count);
+    for (uint64_t i = 0; i < count; ++i) {
+        uint8_t wire;
+        fatal_if(!readByte(wire), "truncated trace image");
+        StaticInst inst;
+        inst.cls = classFromWire(wire);
+        if (hasStaticTarget(inst.cls)) {
+            uint64_t word;
+            fatal_if(!readVarint(word), "truncated trace image target");
+            inst.target = word * kInstBytes;
+        }
+        (*img)[i] = inst;
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+TraceReader::refill()
+{
+    if (!file)
+        return false;
+    bufLen = std::fread(buffer.data(), 1, buffer.size(), file);
+    bufPos = 0;
+    return bufLen > 0;
+}
+
+bool
+TraceReader::readByte(uint8_t &byte)
+{
+    if (bufPos >= bufLen && !refill())
+        return false;
+    byte = buffer[bufPos++];
+    return true;
+}
+
+bool
+TraceReader::readVarint(uint64_t &value)
+{
+    value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        uint8_t byte;
+        if (!readByte(byte))
+            return false;
+        value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+        shift += 7;
+        if (shift >= 64)
+            return false;
+    }
+}
+
+bool
+TraceReader::next(DynInst &out)
+{
+    if (pendingPlain > 0) {
+        --pendingPlain;
+        out = DynInst{nextPc, InstClass::Plain, false, 0};
+        nextPc += kInstBytes;
+        ++records;
+        return true;
+    }
+
+    uint8_t tag;
+    if (!readByte(tag))
+        return false;
+
+    if (tag == kTagPlainRun) {
+        uint64_t run;
+        fatal_if(!readVarint(run) || run == 0, "corrupt plain run");
+        pendingPlain = run - 1;
+        out = DynInst{nextPc, InstClass::Plain, false, 0};
+        nextPc += kInstBytes;
+        ++records;
+        return true;
+    }
+
+    fatal_if(!(tag & kTagControl), "corrupt trace tag %u", tag);
+    InstClass cls = classFromWire((tag >> 1) & 0x7);
+    bool taken = (tag >> 4) & 1;
+    uint64_t word;
+    fatal_if(!readVarint(word), "truncated control record");
+
+    out = DynInst{nextPc, cls, taken, word * kInstBytes};
+    nextPc = out.nextPc();
+    ++records;
+    return true;
+}
+
+} // namespace specfetch

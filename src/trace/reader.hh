@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Trace file reader.
+ */
+
+#ifndef SPECFETCH_TRACE_READER_HH_
+#define SPECFETCH_TRACE_READER_HH_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/program_image.hh"
+
+namespace specfetch {
+
+/**
+ * Loads a trace file's program image eagerly and decodes the dynamic
+ * stream incrementally.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** The static image stored in the trace. */
+    const ProgramImage &image() const { return *img; }
+
+    /** First dynamic PC. */
+    Addr startPc() const { return start; }
+
+    /** Decode the next record; false at end of trace. */
+    bool next(DynInst &out);
+
+    uint64_t recordsRead() const { return records; }
+
+  private:
+    bool refill();
+    bool readByte(uint8_t &byte);
+    bool readVarint(uint64_t &value);
+
+    std::FILE *file = nullptr;
+    std::vector<uint8_t> buffer;
+    size_t bufPos = 0;
+    size_t bufLen = 0;
+
+    std::unique_ptr<ProgramImage> img;
+    Addr start = 0;
+    Addr nextPc = 0;
+    uint64_t pendingPlain = 0;
+    uint64_t records = 0;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_TRACE_READER_HH_

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Adapts a TraceReader to the InstructionSource interface so stored
+ * traces drive the fetch engine exactly like live execution.
+ */
+
+#ifndef SPECFETCH_TRACE_REPLAY_SOURCE_HH_
+#define SPECFETCH_TRACE_REPLAY_SOURCE_HH_
+
+#include "trace/reader.hh"
+#include "workload/executor.hh"
+
+namespace specfetch {
+
+/** InstructionSource over a trace file. */
+class ReplaySource : public InstructionSource
+{
+  public:
+    explicit ReplaySource(TraceReader &reader) : reader(reader) {}
+
+    bool next(DynInst &out) override { return reader.next(out); }
+
+  private:
+    TraceReader &reader;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_TRACE_REPLAY_SOURCE_HH_

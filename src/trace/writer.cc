@@ -1,0 +1,119 @@
+#include "trace/writer.hh"
+
+#include <cstring>
+
+#include "trace/format.hh"
+#include "util/logging.hh"
+
+namespace specfetch {
+
+namespace {
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, const ProgramImage &image,
+                         Addr start_pc)
+    : expectedPc(start_pc), expectedValid(true)
+{
+    file = std::fopen(path.c_str(), "wb");
+    fatal_if(!file, "cannot create trace file '%s'", path.c_str());
+    buffer.reserve(1 << 20);
+
+    putU32(buffer, kTraceMagic);
+    putU32(buffer, kTraceVersion);
+    putU64(buffer, image.base());
+    putU64(buffer, image.size());
+    putU64(buffer, start_pc);
+
+    for (size_t i = 0; i < image.size(); ++i) {
+        const StaticInst &inst = image[i];
+        buffer.push_back(wireClass(inst.cls));
+        if (hasStaticTarget(inst.cls))
+            putVarint(buffer, inst.target / kInstBytes);
+        if (buffer.size() > (1 << 20))
+            flushBuffer();
+    }
+    flushBuffer();
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::flushRun()
+{
+    if (plainRun == 0)
+        return;
+    buffer.push_back(kTagPlainRun);
+    putVarint(buffer, plainRun);
+    plainRun = 0;
+}
+
+void
+TraceWriter::flushBuffer()
+{
+    if (buffer.empty() || !file)
+        return;
+    size_t written = std::fwrite(buffer.data(), 1, buffer.size(), file);
+    fatal_if(written != buffer.size(), "short write to trace file");
+    buffer.clear();
+}
+
+void
+TraceWriter::append(const DynInst &inst)
+{
+    panic_if(!file, "append after close");
+    panic_if(expectedValid && inst.pc != expectedPc,
+             "trace stream is not path-contiguous: pc %llx, expected %llx",
+             static_cast<unsigned long long>(inst.pc),
+             static_cast<unsigned long long>(expectedPc));
+
+    if (inst.cls == InstClass::Plain) {
+        ++plainRun;
+    } else {
+        flushRun();
+        uint8_t tag = kTagControl |
+                      static_cast<uint8_t>(wireClass(inst.cls) << 1) |
+                      static_cast<uint8_t>((inst.taken ? 1 : 0) << 4);
+        buffer.push_back(tag);
+        // The target is needed whenever the fetch engine may use it:
+        // taken control (the next PC) and not-taken conditionals (the
+        // wrong-path destination). Encode it for every control record.
+        putVarint(buffer, inst.target / kInstBytes);
+    }
+
+    ++records;
+    expectedPc = inst.nextPc();
+
+    if (buffer.size() > (1 << 20))
+        flushBuffer();
+}
+
+void
+TraceWriter::close()
+{
+    if (!file)
+        return;
+    flushRun();
+    flushBuffer();
+    std::fclose(file);
+    file = nullptr;
+}
+
+} // namespace specfetch

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Trace file writer.
+ */
+
+#ifndef SPECFETCH_TRACE_WRITER_HH_
+#define SPECFETCH_TRACE_WRITER_HH_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/program_image.hh"
+
+namespace specfetch {
+
+/**
+ * Streams a program image and a dynamic instruction sequence into a
+ * trace file (see trace/format.hh). Sequential plain instructions are
+ * run-length encoded; control records carry class, direction, and
+ * target.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * Create/truncate @p path and write the header + image.
+     * @param path     Output file.
+     * @param image    The static program image.
+     * @param start_pc First dynamic PC.
+     */
+    TraceWriter(const std::string &path, const ProgramImage &image,
+                Addr start_pc);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one correct-path instruction. Instructions must be
+     *  appended in path order starting at start_pc. */
+    void append(const DynInst &inst);
+
+    /** Flush buffered data and close the file. Implicit in ~. */
+    void close();
+
+    uint64_t recordsWritten() const { return records; }
+
+  private:
+    void flushRun();
+    void flushBuffer();
+
+    std::FILE *file = nullptr;
+    std::vector<uint8_t> buffer;
+    uint64_t plainRun = 0;
+    uint64_t records = 0;
+    Addr expectedPc;
+    bool expectedValid;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_TRACE_WRITER_HH_

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal CSV writer so benchmark harnesses can emit machine-readable
+ * results next to their human-readable tables.
+ */
+
+#ifndef SPECFETCH_UTIL_CSV_HH_
+#define SPECFETCH_UTIL_CSV_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace specfetch {
+
+/**
+ * Streams RFC-4180-style rows: fields containing commas, quotes, or
+ * newlines are quoted, with embedded quotes doubled.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &out) : out(out) {}
+
+    /** Write one row; fields are escaped as needed. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Escape a single field per RFC 4180. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ostream &out;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_UTIL_CSV_HH_

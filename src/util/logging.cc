@@ -1,0 +1,128 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace specfetch {
+
+namespace {
+
+const char *
+levelTag(Logger::Level level)
+{
+    switch (level) {
+      case Logger::Level::Inform: return "info";
+      case Logger::Level::Warn: return "warn";
+      case Logger::Level::Hack: return "hack";
+      case Logger::Level::Panic: return "panic";
+      case Logger::Level::Fatal: return "fatal";
+    }
+    return "?";
+}
+
+Logger defaultLogger;
+Logger *currentLogger = &defaultLogger;
+
+} // namespace
+
+void
+Logger::emit(Level level, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n", levelTag(level), message.c_str());
+}
+
+Logger &
+Logger::global()
+{
+    return *currentLogger;
+}
+
+Logger *
+Logger::exchange(Logger *logger)
+{
+    Logger *previous = currentLogger;
+    currentLogger = logger ? logger : &defaultLogger;
+    return previous;
+}
+
+namespace detail {
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0)
+        return std::string(fmt);
+
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vformat(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    Logger::global().emit(Logger::Level::Panic,
+                          format("%s:%d: %s", file, line, msg.c_str()));
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    Logger::global().emit(Logger::Level::Fatal,
+                          format("%s:%d: %s", file, line, msg.c_str()));
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::global().emit(Logger::Level::Warn, vformat(fmt, args));
+    va_end(args);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::global().emit(Logger::Level::Inform, vformat(fmt, args));
+    va_end(args);
+}
+
+void
+hackImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    Logger::global().emit(Logger::Level::Hack, vformat(fmt, args));
+    va_end(args);
+}
+
+} // namespace detail
+} // namespace specfetch

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 tradition.
+ *
+ * Two error paths are provided with distinct intents:
+ *  - panic():  an internal invariant was violated — a simulator bug.
+ *              Prints the message and aborts (core dump friendly).
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments). Exits with code 1.
+ *
+ * Three advisory paths never stop the simulation:
+ *  - warn():   something is probably not what the user wanted.
+ *  - inform(): normal operating status worth surfacing.
+ *  - hack():   functionality is implemented expediently, not well.
+ */
+
+#ifndef SPECFETCH_UTIL_LOGGING_HH_
+#define SPECFETCH_UTIL_LOGGING_HH_
+
+#include <cstdarg>
+#include <string>
+
+namespace specfetch {
+
+/** Destination-aware message sink; overridable for tests. */
+class Logger
+{
+  public:
+    enum class Level { Inform, Warn, Hack, Panic, Fatal };
+
+    virtual ~Logger() = default;
+
+    /** Emit one formatted message at the given severity. */
+    virtual void emit(Level level, const std::string &message);
+
+    /** The process-wide logger (never null). */
+    static Logger &global();
+
+    /**
+     * Replace the process-wide logger (used by tests to capture
+     * output). Returns the previous logger so callers can restore it.
+     */
+    static Logger *exchange(Logger *logger);
+};
+
+namespace detail {
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list args);
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void hackImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+} // namespace specfetch
+
+/** Internal invariant violated: print and abort. */
+#define panic(...) \
+    ::specfetch::detail::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Unrecoverable user error: print and exit(1). */
+#define fatal(...) \
+    ::specfetch::detail::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Condition that must hold or it is a simulator bug. */
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond) {                                                          \
+            ::specfetch::detail::panicImpl(__FILE__, __LINE__, __VA_ARGS__); \
+        }                                                                    \
+    } while (0)
+
+/** Condition that must hold or it is a user error. */
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond) {                                                          \
+            ::specfetch::detail::fatalImpl(__FILE__, __LINE__, __VA_ARGS__); \
+        }                                                                    \
+    } while (0)
+
+#define warn(...) ::specfetch::detail::warnImpl(__VA_ARGS__)
+#define inform(...) ::specfetch::detail::informImpl(__VA_ARGS__)
+#define hack(...) ::specfetch::detail::hackImpl(__VA_ARGS__)
+
+#endif // SPECFETCH_UTIL_LOGGING_HH_

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A small command-line option parser for the examples and benchmark
+ * harnesses: --name=value / --name value / --flag, plus positional
+ * arguments and generated --help text.
+ */
+
+#ifndef SPECFETCH_UTIL_OPTIONS_HH_
+#define SPECFETCH_UTIL_OPTIONS_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace specfetch {
+
+/**
+ * Declarative option set.
+ *
+ * @code
+ *   OptionParser opts("quickstart", "Run one policy on one workload");
+ *   opts.addString("benchmark", "gcc", "workload profile name");
+ *   opts.addCount("budget", 1000000, "instructions to simulate");
+ *   opts.addFlag("prefetch", "enable next-line prefetching");
+ *   if (!opts.parse(argc, argv)) return 1;    // printed help or error
+ *   auto name = opts.getString("benchmark");
+ * @endcode
+ */
+class OptionParser
+{
+  public:
+    OptionParser(std::string program, std::string description);
+
+    /** Declare a string option with a default. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+    /** Declare an integer-count option (accepts K/M/G ×1000 suffixes). */
+    void addCount(const std::string &name, uint64_t def,
+                  const std::string &help);
+    /** Declare a size option (accepts binary K/M/G suffixes). */
+    void addSize(const std::string &name, uint64_t def,
+                 const std::string &help);
+    /** Declare a floating-point option. */
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+    /** Declare a boolean flag (false unless present; --name=false works). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Returns false if --help was requested or on a parse
+     * error (a message is printed either way); callers should exit.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string getString(const std::string &name) const;
+    uint64_t getCount(const std::string &name) const;
+    uint64_t getSize(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** True if the user explicitly supplied the option. */
+    bool wasSet(const std::string &name) const;
+
+    /** Non-option arguments in order. */
+    const std::vector<std::string> &positional() const { return positionals; }
+
+    /** Render the --help text. */
+    std::string helpText() const;
+
+  private:
+    enum class Kind { String, Count, Size, Double, Flag };
+
+    struct Option
+    {
+        Kind kind;
+        std::string help;
+        std::string value;       // canonical textual value
+        bool set = false;
+    };
+
+    const Option &find(const std::string &name, Kind kind) const;
+    bool assign(const std::string &name, const std::string &value);
+
+    std::string program;
+    std::string description;
+    std::map<std::string, Option> options;
+    std::vector<std::string> order;
+    std::vector<std::string> positionals;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_UTIL_OPTIONS_HH_

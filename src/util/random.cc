@@ -1,0 +1,158 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace specfetch {
+
+namespace {
+
+/** splitmix64 step; standard seeding companion to xoshiro. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : state)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next64()
+{
+    const uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    panic_if(bound == 0, "nextBelow(0) is undefined");
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    panic_if(lo > hi, "nextRange: lo %lld > hi %lld",
+             static_cast<long long>(lo), static_cast<long long>(hi));
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    uint64_t r = span == 0 ? next64() : nextBelow(span);
+    return lo + static_cast<int64_t>(r);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits into [0, 1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+uint64_t
+Rng::nextLength(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    // 1 + Geometric with success probability 1/mean via inversion.
+    const double p = 1.0 / mean;
+    double u = nextDouble();
+    // Guard the log: nextDouble() < 1 always, but keep u away from 0.
+    if (u < 1e-300)
+        u = 1e-300;
+    double g = std::floor(std::log(u) / std::log(1.0 - p));
+    if (g < 0.0)
+        g = 0.0;
+    if (g > 1e6)
+        g = 1e6;
+    return 1 + static_cast<uint64_t>(g);
+}
+
+size_t
+Rng::nextWeighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        panic_if(w < 0.0, "negative weight");
+        total += w;
+    }
+    panic_if(total <= 0.0, "nextWeighted: no positive weight");
+    double x = nextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+size_t
+Rng::nextZipf(size_t n, double s)
+{
+    panic_if(n == 0, "nextZipf: empty support");
+    if (n == 1)
+        return 0;
+    // Inverse-CDF over the normalized harmonic weights. n is small
+    // (tens of functions) in our usage, so linear scan is fine.
+    double norm = 0.0;
+    for (size_t k = 1; k <= n; ++k)
+        norm += 1.0 / std::pow(static_cast<double>(k), s);
+    double x = nextDouble() * norm;
+    for (size_t k = 1; k <= n; ++k) {
+        x -= 1.0 / std::pow(static_cast<double>(k), s);
+        if (x < 0.0)
+            return k - 1;
+    }
+    return n - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next64());
+}
+
+} // namespace specfetch

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Simulation results must be exactly reproducible from a seed, across
+ * platforms and standard-library versions, so we implement our own
+ * xoshiro256** generator and the handful of distributions the workload
+ * generator needs rather than relying on <random> (whose distribution
+ * implementations are not portable across library vendors).
+ */
+
+#ifndef SPECFETCH_UTIL_RANDOM_HH_
+#define SPECFETCH_UTIL_RANDOM_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace specfetch {
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * algorithm), seeded through splitmix64 so that any 64-bit seed —
+ * including zero — produces a well-mixed state.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Reset the stream to the one identified by @p seed. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next64();
+
+    /** Uniform integer in [0, bound) using rejection sampling; bound>0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Geometric-ish positive length with the given mean (>= 1):
+     * 1 + Geometric(1/mean). Used for basic-block lengths.
+     */
+    uint64_t nextLength(double mean);
+
+    /**
+     * Sample an index from an (unnormalized) non-negative weight
+     * vector. The vector must have at least one positive weight.
+     */
+    size_t nextWeighted(const std::vector<double> &weights);
+
+    /**
+     * Zipf-distributed rank in [0, n) with exponent @p s. Used to give
+     * functions/call-sites skewed popularity, which is what creates
+     * realistic instruction working sets.
+     */
+    size_t nextZipf(size_t n, double s);
+
+    /** Fork an independent stream, deterministically derived. */
+    Rng fork();
+
+  private:
+    uint64_t state[4];
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_UTIL_RANDOM_HH_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * An n-bit saturating up/down counter, the storage cell of the pattern
+ * history table (paper §2.1: "a table of saturating 2-bit counters").
+ */
+
+#ifndef SPECFETCH_UTIL_SAT_COUNTER_HH_
+#define SPECFETCH_UTIL_SAT_COUNTER_HH_
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace specfetch {
+
+/**
+ * Saturating counter with a configurable bit width (1..8).
+ *
+ * The counter saturates at 0 and 2^bits - 1. For branch prediction the
+ * conventional reading is: counter >= midpoint predicts taken.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits (1..8).
+     * @param initial Initial counter value; defaults to the weakly
+     *                not-taken state (midpoint - 1).
+     */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = ~0u)
+        : numBits(bits),
+          maxValue(static_cast<uint8_t>((1u << bits) - 1)),
+          value_(0)
+    {
+        panic_if(bits == 0 || bits > 8, "SatCounter width %u out of range",
+                 bits);
+        if (initial == ~0u)
+            value_ = static_cast<uint8_t>((1u << bits) / 2 - 1);
+        else
+            value_ = static_cast<uint8_t>(initial > maxValue ? maxValue
+                                                             : initial);
+    }
+
+    /** Count towards saturation at the top. */
+    void
+    increment()
+    {
+        if (value_ < maxValue)
+            ++value_;
+    }
+
+    /** Count towards saturation at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Train with a branch outcome: taken counts up. */
+    void
+    update(bool taken)
+    {
+        taken ? increment() : decrement();
+    }
+
+    /** Predicted direction: true (taken) iff in the upper half. */
+    bool predictTaken() const { return value_ >= (maxValue + 1u) / 2; }
+
+    /** Raw state, for inspection and checkpointing. */
+    uint8_t value() const { return value_; }
+
+    /** Counter width in bits. */
+    unsigned bits() const { return numBits; }
+
+    /** True when saturated in the predicted direction (strong state). */
+    bool
+    isStrong() const
+    {
+        return value_ == 0 || value_ == maxValue;
+    }
+
+  private:
+    unsigned numBits;
+    uint8_t maxValue;
+    uint8_t value_;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_UTIL_SAT_COUNTER_HH_

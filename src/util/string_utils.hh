@@ -1,0 +1,45 @@
+/**
+ * @file
+ * String helpers used by the table renderers, option parser, and
+ * benchmark output code.
+ */
+
+#ifndef SPECFETCH_UTIL_STRING_UTILS_HH_
+#define SPECFETCH_UTIL_STRING_UTILS_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specfetch {
+
+/** Split @p text on @p sep; empty fields are preserved. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Strip leading/trailing ASCII whitespace. */
+std::string trim(const std::string &text);
+
+/** Lower-case ASCII copy. */
+std::string toLower(const std::string &text);
+
+/** Fixed-point rendering with @p decimals digits (locale independent). */
+std::string formatFixed(double value, int decimals);
+
+/** Thousands-separated integer rendering, e.g. 1,234,567. */
+std::string formatWithCommas(uint64_t value);
+
+/** Parse a non-negative integer with optional K/M/G suffix (powers of two
+ *  for K meaning 1024? No: K/M/G here are decimal multipliers ×1e3/1e6/1e9
+ *  for instruction counts, and the dedicated parseSize uses binary units).
+ *  Returns false on malformed input. */
+bool parseCount(const std::string &text, uint64_t &out);
+
+/** Parse a size with binary suffix (K=1024, M=1024^2); "8K" -> 8192. */
+bool parseSize(const std::string &text, uint64_t &out);
+
+/** True if @p text equals "true"/"yes"/"on"/"1" (case-insensitive). */
+bool parseBool(const std::string &text, bool &out);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_UTIL_STRING_UTILS_HH_

@@ -1,0 +1,104 @@
+#include "util/table.hh"
+
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace specfetch {
+
+void
+TextTable::setColumns(const std::vector<std::string> &names)
+{
+    columns = names;
+    aligns.assign(names.size(), Align::Right);
+    if (!aligns.empty())
+        aligns[0] = Align::Left;
+}
+
+void
+TextTable::setAlign(size_t column, Align align)
+{
+    panic_if(column >= aligns.size(), "setAlign: column %zu out of range",
+             column);
+    aligns[column] = align;
+}
+
+void
+TextTable::addRow(const std::vector<std::string> &cells)
+{
+    panic_if(cells.size() != columns.size(),
+             "addRow: %zu cells for %zu columns", cells.size(),
+             columns.size());
+    rows.push_back(Row{false, cells});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.push_back(Row{true, {}});
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(columns.size(), 0);
+    for (size_t c = 0; c < columns.size(); ++c)
+        widths[c] = columns[c].size();
+    for (const Row &row : rows) {
+        if (row.separator)
+            continue;
+        for (size_t c = 0; c < row.cells.size(); ++c)
+            if (row.cells[c].size() > widths[c])
+                widths[c] = row.cells[c].size();
+    }
+
+    auto renderCells = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c != 0)
+                line += " | ";
+            size_t pad = widths[c] - cells[c].size();
+            if (aligns[c] == Align::Right)
+                line += std::string(pad, ' ');
+            line += cells[c];
+            if (aligns[c] == Align::Left)
+                line += std::string(pad, ' ');
+        }
+        // Trim trailing spaces for tidy diffs.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    auto renderSeparator = [&]() {
+        std::string line;
+        for (size_t c = 0; c < widths.size(); ++c) {
+            if (c != 0)
+                line += "-+-";
+            line += std::string(widths[c], '-');
+        }
+        return line + "\n";
+    };
+
+    std::string out = renderCells(columns);
+    out += renderSeparator();
+    for (const Row &row : rows)
+        out += row.separator ? renderSeparator() : renderCells(row.cells);
+    return out;
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.writeRow(columns);
+    for (const Row &row : rows) {
+        if (!row.separator)
+            writer.writeRow(row.cells);
+    }
+    return out.str();
+}
+
+} // namespace specfetch

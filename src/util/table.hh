@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Plain-text table renderer used by the benchmark harnesses to print
+ * paper-style tables (aligned columns, optional average row).
+ */
+
+#ifndef SPECFETCH_UTIL_TABLE_HH_
+#define SPECFETCH_UTIL_TABLE_HH_
+
+#include <string>
+#include <vector>
+
+namespace specfetch {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t;
+ *   t.setColumns({"Program", "Oracle", "Opt"});
+ *   t.addRow({"gcc", "1.87", "2.11"});
+ *   std::string s = t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Column alignment within its field width. */
+    enum class Align { Left, Right };
+
+    /** Define the header row; resets any default alignments. */
+    void setColumns(const std::vector<std::string> &names);
+
+    /** Override alignment for one column (default: first Left,
+     *  remaining Right — the common benchmark-table shape). */
+    void setAlign(size_t column, Align align);
+
+    /** Append a data row; must match the column count. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Append a horizontal separator at the current position. */
+    void addSeparator();
+
+    /** Render with single-space-padded " | " separators. */
+    std::string render() const;
+
+    /** Render as CSV (header + data rows; separators omitted). */
+    std::string renderCsv() const;
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows.size(); }
+
+  private:
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> columns;
+    std::vector<Align> aligns;
+    std::vector<Row> rows;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_UTIL_TABLE_HH_

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Control-flow-graph model for synthetic programs.
+ *
+ * The paper traces SPEC92 and C++ binaries with ATOM on an Alpha; we
+ * have neither the binaries nor the hardware, so we synthesize
+ * programs instead (DESIGN.md §1). A program is a set of functions,
+ * each a list of basic blocks laid out contiguously in layout order.
+ * Every block carries a body of plain instructions and a terminator;
+ * conditional terminators carry a *behavior* describing how their
+ * dynamic direction is generated (loop trip counts, static bias, or a
+ * periodic pattern that a global-history predictor can learn).
+ *
+ * Structural invariants (checked by Cfg::validate):
+ *  - blocks of a function are contiguous and in layout order;
+ *  - a block whose control can fall through (FallThrough, CondBranch
+ *    not-taken, Call return) is immediately followed by its
+ *    fall-through successor;
+ *  - the call graph is acyclic (a function only calls higher-indexed
+ *    functions), so execution always terminates back in function 0,
+ *    whose final block jumps to its entry — the program runs forever
+ *    and is cut off by the instruction budget.
+ */
+
+#ifndef SPECFETCH_WORKLOAD_CFG_HH_
+#define SPECFETCH_WORKLOAD_CFG_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/types.hh"
+
+namespace specfetch {
+
+/** Sentinel ids. */
+constexpr uint32_t kNoBlock = ~uint32_t{0};
+constexpr uint32_t kNoFunc = ~uint32_t{0};
+
+/** Kinds of block terminators. */
+enum class TermKind : uint8_t
+{
+    FallThrough,  ///< no control instruction; flows into the next block
+    CondBranch,   ///< conditional branch: taken -> target, else next
+    Jump,         ///< unconditional direct jump to target
+    Call,         ///< direct call; returns to the next block
+    Return,       ///< return to the caller
+    IndirectJump, ///< computed jump among indirectTargets
+    IndirectCall, ///< virtual-dispatch call: callee chosen among
+                  ///< indirectTargets (function indices); returns to
+                  ///< the next block
+};
+
+/** How a conditional branch's dynamic direction is produced. */
+enum class DirMode : uint8_t
+{
+    LoopBack,   ///< taken while iterations remain (trip count per entry)
+    Biased,     ///< independent Bernoulli with fixed taken probability
+    Pattern,    ///< fixed periodic pattern (per-branch local history)
+    Correlated, ///< function of recent global branch outcomes — the
+                ///< behavior gshare learns through its history register
+                ///< and the one that suffers when speculation makes
+                ///< that history stale (paper Table 3, B1 vs B4)
+};
+
+/** Direction-generation parameters for one conditional branch. */
+struct BranchBehavior
+{
+    DirMode mode = DirMode::Biased;
+    /** Biased: probability the branch is taken. */
+    double takenProb = 0.5;
+    /** LoopBack: mean iterations per loop entry. */
+    uint32_t tripCount = 1;
+    /** LoopBack: relative jitter applied to tripCount per entry. */
+    double tripJitter = 0.0;
+    /** Pattern: period length (1..64) and the bits themselves
+     *  (bit k = direction of occurrence k mod period). */
+    uint16_t patternLen = 1;
+    uint64_t patternBits = 0;
+    /** Correlated: taken = outcome of the conditional branch executed
+     *  correlationDepth conditionals ago, possibly inverted. */
+    uint8_t correlationDepth = 1;
+    bool correlationInvert = false;
+};
+
+/** One basic block. */
+struct BasicBlock
+{
+    uint32_t id = kNoBlock;
+    uint32_t func = kNoFunc;
+    /** Plain instructions preceding the terminator. */
+    uint32_t bodyLen = 0;
+    TermKind term = TermKind::FallThrough;
+    /** Taken successor (CondBranch/Jump): block id. */
+    uint32_t target = kNoBlock;
+    /** Callee function index (Call). */
+    uint32_t calleeFunc = kNoFunc;
+    /** IndirectJump successors (block ids) or IndirectCall callees
+     *  (function indices), with selection weights. */
+    std::vector<uint32_t> indirectTargets;
+    std::vector<double> indirectWeights;
+    /** Direction behavior (CondBranch). */
+    BranchBehavior behavior;
+    /** Assigned by the layout pass. */
+    Addr startAddr = 0;
+
+    /** Total instructions, including the terminator if any. */
+    uint32_t
+    numInsts() const
+    {
+        return bodyLen + (term == TermKind::FallThrough ? 0 : 1);
+    }
+
+    /** True if control can flow into the lexically next block. */
+    bool
+    canFallThrough() const
+    {
+        return term == TermKind::FallThrough ||
+               term == TermKind::CondBranch || term == TermKind::Call ||
+               term == TermKind::IndirectCall;
+    }
+};
+
+/** One function: a contiguous block range [firstBlock, lastBlock]. */
+struct Function
+{
+    uint32_t index = kNoFunc;
+    uint32_t firstBlock = kNoBlock;
+    uint32_t lastBlock = kNoBlock;
+    std::string name;
+
+    uint32_t entryBlock() const { return firstBlock; }
+    uint32_t numBlocks() const { return lastBlock - firstBlock + 1; }
+};
+
+/**
+ * The whole program graph.
+ */
+class Cfg
+{
+  public:
+    std::vector<BasicBlock> blocks;
+    std::vector<Function> functions;
+
+    /** Static instruction count over all blocks. */
+    uint64_t totalInstructions() const;
+
+    /** Static count of control-flow (terminator) instructions. */
+    uint64_t totalControlInstructions() const;
+
+    /**
+     * Check every structural invariant; panics with a description of
+     * the first violation (generator bugs must not produce silently
+     * broken workloads).
+     */
+    void validate() const;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_WORKLOAD_CFG_HH_

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Random structured-program generator.
+ *
+ * Produces a Cfg from a WorkloadProfile: functions are built from
+ * nested structured constructs (straight code, if/if-else diamonds,
+ * counted loops, call sites, switch-like indirect jumps), so the
+ * result has the control-flow texture of compiled imperative code —
+ * which is what gives the I-cache and the branch predictor realistic
+ * work. Generation is fully deterministic given the profile's
+ * structure seed.
+ */
+
+#ifndef SPECFETCH_WORKLOAD_CFG_BUILDER_HH_
+#define SPECFETCH_WORKLOAD_CFG_BUILDER_HH_
+
+#include "util/random.hh"
+#include "workload/cfg.hh"
+#include "workload/profile.hh"
+
+namespace specfetch {
+
+/**
+ * Builds one Cfg per call to build(); the instance carries only
+ * generation parameters.
+ */
+class CfgBuilder
+{
+  public:
+    explicit CfgBuilder(const WorkloadProfile &profile);
+
+    /** Generate and validate the program graph. */
+    Cfg build();
+
+  private:
+    /** Append a fresh fall-through block for @p func and return its id. */
+    uint32_t appendBlock(uint32_t func);
+
+    /** Append a one-instruction glue block (join/exit/continuation). */
+    uint32_t appendGlueBlock(uint32_t func);
+
+    /** Sample a body length around the profile mean (>= 1). */
+    uint32_t sampleBodyLen();
+
+    /** Sample direction behavior for an if-style conditional. */
+    BranchBehavior sampleIfBehavior();
+
+    /** Sample a U-shaped taken probability for a biased branch. */
+    double sampleBias();
+
+    /** Sample a loop-back behavior. */
+    BranchBehavior sampleLoopBehavior();
+
+    /** Pick a callee for a call site in @p func; kNoFunc if none. */
+    uint32_t pickCallee(uint32_t func);
+
+    /**
+     * Emit a structured body of roughly @p budget blocks for @p func.
+     * Postcondition: at least one block was appended and the last
+     * appended block is FallThrough-terminated.
+     * @param in_loop True inside a loop body (damps calls/nesting).
+     */
+    void genBody(uint32_t func, uint32_t budget, unsigned depth,
+                 bool in_loop);
+
+    /** Individual construct emitters (same postcondition). */
+    void emitStraight(uint32_t func);
+    void emitIf(uint32_t func, uint32_t budget, unsigned depth,
+                bool in_loop);
+    void emitLoop(uint32_t func, uint32_t budget, unsigned depth);
+    void emitCall(uint32_t func);
+    void emitIndirectCall(uint32_t func);
+    void emitSwitch(uint32_t func, uint32_t budget, unsigned depth,
+                    bool in_loop);
+
+    void buildFunction(uint32_t func);
+
+    WorkloadProfile profile;
+    Rng rng;
+    Cfg cfg;
+    /** Call layer of every function (0 = main, last = leaves). */
+    std::vector<uint32_t> layerOf;
+    /** First function index of each layer, plus a terminating end. */
+    std::vector<uint32_t> layerStart;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_WORKLOAD_CFG_BUILDER_HH_

@@ -1,0 +1,86 @@
+#include "workload/layout.hh"
+
+#include "util/bit_ops.hh"
+#include "util/logging.hh"
+
+namespace specfetch {
+
+ProgramImage
+layoutProgram(Cfg &cfg, Addr base)
+{
+    LayoutOptions options;
+    options.base = base;
+    return layoutProgram(cfg, options);
+}
+
+ProgramImage
+layoutProgram(Cfg &cfg, const LayoutOptions &options)
+{
+    Addr base = options.base;
+    unsigned align = options.functionAlign;
+    fatal_if(align != 0 &&
+                 (!isPowerOfTwo(align) || align % kInstBytes != 0),
+             "function alignment must be a power-of-two multiple of "
+             "the instruction size");
+
+    // Pass 1: place blocks back to back in id order, padding each
+    // function start to the requested alignment. Gaps decode as
+    // Plain instructions.
+    Addr cursor = base;
+    std::vector<bool> is_entry(cfg.blocks.size(), false);
+    for (const Function &fn : cfg.functions)
+        is_entry[fn.entryBlock()] = true;
+    for (BasicBlock &block : cfg.blocks) {
+        if (align > kInstBytes && is_entry[block.id])
+            cursor = alignUp(cursor, align);
+        block.startAddr = cursor;
+        cursor += static_cast<Addr>(block.numInsts()) * kInstBytes;
+    }
+
+    ProgramImage image(base, (cursor - base) / kInstBytes);
+
+    // Pass 2: emit instructions now that every target address exists.
+    for (const BasicBlock &block : cfg.blocks) {
+        Addr pc = block.startAddr;
+        for (uint32_t i = 0; i < block.bodyLen; ++i) {
+            image.set(pc, StaticInst{InstClass::Plain, 0});
+            pc += kInstBytes;
+        }
+        if (block.term == TermKind::FallThrough)
+            continue;
+
+        StaticInst inst;
+        switch (block.term) {
+          case TermKind::CondBranch:
+            inst.cls = InstClass::CondBranch;
+            inst.target = cfg.blocks[block.target].startAddr;
+            break;
+          case TermKind::Jump:
+            inst.cls = InstClass::Jump;
+            inst.target = cfg.blocks[block.target].startAddr;
+            break;
+          case TermKind::Call: {
+            inst.cls = InstClass::Call;
+            const Function &callee = cfg.functions[block.calleeFunc];
+            inst.target = cfg.blocks[callee.entryBlock()].startAddr;
+            break;
+          }
+          case TermKind::Return:
+            inst.cls = InstClass::Return;
+            break;
+          case TermKind::IndirectJump:
+            inst.cls = InstClass::IndirectJump;
+            break;
+          case TermKind::IndirectCall:
+            inst.cls = InstClass::IndirectCall;
+            break;
+          case TermKind::FallThrough:
+            break;
+        }
+        image.set(pc, inst);
+    }
+
+    return image;
+}
+
+} // namespace specfetch

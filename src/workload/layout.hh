@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Code layout: assigns addresses to basic blocks and materializes the
+ * static program image.
+ *
+ * Blocks are placed contiguously in id order (functions contiguous,
+ * as a compiler would emit them), starting at a fixed base. Layout is
+ * what turns the abstract CFG into something with cache behavior:
+ * line-sharing between adjacent blocks, conflict distances between
+ * hot functions, and the fall-through adjacency the next-line
+ * prefetcher exploits.
+ */
+
+#ifndef SPECFETCH_WORKLOAD_LAYOUT_HH_
+#define SPECFETCH_WORKLOAD_LAYOUT_HH_
+
+#include "isa/program_image.hh"
+#include "workload/cfg.hh"
+
+namespace specfetch {
+
+/** Base address of the text segment (instruction aligned). */
+constexpr Addr kTextBase = 0x10000;
+
+/** Placement options. */
+struct LayoutOptions
+{
+    Addr base = kTextBase;
+    /**
+     * Align every function entry to this many bytes (0 or 4 = packed,
+     * the default; 32 = line-aligned entries, as linkers commonly do).
+     * Alignment trades padding footprint for fewer lines straddled by
+     * hot entry blocks. Must be a power of two multiple of the
+     * instruction size. Padding decodes as Plain instructions.
+     */
+    unsigned functionAlign = 0;
+};
+
+/**
+ * Assign startAddr to every block of @p cfg (mutating it) and build
+ * the matching program image.
+ *
+ * @param cfg Validated control-flow graph; block addresses are
+ *            written back into it.
+ * @param base Text base address.
+ */
+ProgramImage layoutProgram(Cfg &cfg, Addr base = kTextBase);
+
+/** Layout with explicit options. */
+ProgramImage layoutProgram(Cfg &cfg, const LayoutOptions &options);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_WORKLOAD_LAYOUT_HH_

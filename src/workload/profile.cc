@@ -1,0 +1,414 @@
+#include "workload/profile.hh"
+
+namespace specfetch {
+
+// The numbers below were calibrated by running
+// examples/workload_inspector (which measures dynamic branch mix,
+// working-set size, Oracle miss rates, and predictor quality) and
+// nudging each profile until it lands in the band its namesake
+// occupies in the paper's Tables 2-3. EXPERIMENTS.md records the final
+// paper-vs-measured comparison.
+
+WorkloadProfile
+profileDoduc()
+{
+    WorkloadProfile p;
+    p.name = "doduc";
+    p.description = "Monte Carlo thermohydraulics kernel stand-in: "
+                    "loop-dominated Fortran, moderate footprint";
+    p.family = LanguageFamily::Fortran;
+    p.structureSeed = 0xd0d;
+    p.numFunctions = 26;
+    p.meanFuncBlocks = 72;
+    p.meanBlockLen = 4.5;
+    p.maxNestDepth = 2;
+    p.straightWeight = 3.0;
+    p.ifWeight = 4.0;
+    p.loopWeight = 0.7;
+    p.callWeight = 1.2;
+    p.switchWeight = 0.05;
+    p.meanTripCount = 7;
+    p.tripJitter = 0.3;
+    p.loopCallDamp = 1.0;
+    p.loopLoopDamp = 0.2;
+    p.callLayers = 3;
+    p.coldArmFraction = 0.30;
+    p.unpredictableFraction = 0.20;
+    p.correlatedFraction = 0.12;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.25;
+    p.paperBranchPercent = 8.5;
+    p.paperMissRate8K = 2.94;
+    p.paperMissRate32K = 0.48;
+    p.paperInstMillions = 1150;
+    return p;
+}
+
+WorkloadProfile
+profileFpppp()
+{
+    WorkloadProfile p;
+    p.name = "fpppp";
+    p.description = "Two-electron-integral kernel stand-in: enormous "
+                    "straight-line blocks, very few branches, loop body "
+                    "larger than an 8K cache";
+    p.family = LanguageFamily::Fortran;
+    p.structureSeed = 0xf999;
+    p.numFunctions = 5;
+    p.meanFuncBlocks = 56;
+    p.meanBlockLen = 22.0;
+    p.maxNestDepth = 2;
+    p.straightWeight = 6.0;
+    p.ifWeight = 3.0;
+    p.loopWeight = 0.0;
+    p.callWeight = 1.2;
+    p.switchWeight = 0.0;
+    p.meanTripCount = 6;
+    p.tripJitter = 0.2;
+    p.loopCallDamp = 1.0;
+    p.loopLoopDamp = 0.1;
+    p.calleeZipf = 0.1;
+    p.callLayers = 2;
+    p.coldArmFraction = 0.20;
+    p.unpredictableFraction = 0.30;
+    p.correlatedFraction = 0.10;
+    p.patternFraction = 0.04;
+    p.paperBranchPercent = 2.8;
+    p.paperMissRate8K = 7.27;
+    p.paperMissRate32K = 1.08;
+    p.paperInstMillions = 4330;
+    return p;
+}
+
+WorkloadProfile
+profileSu2cor()
+{
+    WorkloadProfile p;
+    p.name = "su2cor";
+    p.description = "Quark-gluon lattice kernel stand-in: tight loops, "
+                    "small hot footprint, highly predictable";
+    p.family = LanguageFamily::Fortran;
+    p.structureSeed = 0x52c0;
+    p.numFunctions = 6;
+    p.meanFuncBlocks = 46;
+    p.meanBlockLen = 10.0;
+    p.maxNestDepth = 2;
+    p.straightWeight = 3.0;
+    p.ifWeight = 1.8;
+    p.loopWeight = 0.2;
+    p.callWeight = 1.0;
+    p.switchWeight = 0.0;
+    p.meanTripCount = 8;
+    p.tripJitter = 0.2;
+    p.loopCallDamp = 1.0;
+    p.loopLoopDamp = 0.2;
+    p.callLayers = 2;
+    p.coldArmFraction = 0.20;
+    p.unpredictableFraction = 0.22;
+    p.correlatedFraction = 0.10;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.3;
+    p.paperBranchPercent = 4.4;
+    p.paperMissRate8K = 1.33;
+    p.paperMissRate32K = 0.00;
+    p.paperInstMillions = 4780;
+    return p;
+}
+
+WorkloadProfile
+profileDitroff()
+{
+    WorkloadProfile p;
+    p.name = "ditroff";
+    p.description = "C text formatter stand-in: branchy scanning code, "
+                    "medium footprint";
+    p.family = LanguageFamily::C;
+    p.structureSeed = 0xd17;
+    p.numFunctions = 65;
+    p.meanFuncBlocks = 90;
+    p.meanBlockLen = 2.6;
+    p.ifWeight = 4.5;
+    p.loopWeight = 1.0;
+    p.callWeight = 2.3;
+    p.switchWeight = 0.35;
+    p.meanTripCount = 4;
+    p.coldArmFraction = 0.42;
+    p.unpredictableFraction = 0.16;
+    p.correlatedFraction = 0.14;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.25;
+    p.paperBranchPercent = 17.5;
+    p.paperMissRate8K = 3.18;
+    p.paperMissRate32K = 0.58;
+    p.paperInstMillions = 39;
+    return p;
+}
+
+WorkloadProfile
+profileGcc()
+{
+    WorkloadProfile p;
+    p.name = "gcc";
+    p.description = "Compiler stand-in: branchy, large multi-phase "
+                    "working set that misses even in 32K";
+    p.family = LanguageFamily::C;
+    p.structureSeed = 0x6cc;
+    p.numFunctions = 110;
+    p.meanFuncBlocks = 92;
+    p.meanBlockLen = 2.9;
+    p.ifWeight = 4.5;
+    p.loopWeight = 0.9;
+    p.callWeight = 1.8;
+    p.switchWeight = 0.4;
+    p.meanTripCount = 5;
+    p.coldArmFraction = 0.42;
+    p.unpredictableFraction = 0.18;
+    p.correlatedFraction = 0.12;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.35;
+    p.paperBranchPercent = 16.0;
+    p.paperMissRate8K = 4.48;
+    p.paperMissRate32K = 1.71;
+    p.paperInstMillions = 144;
+    return p;
+}
+
+WorkloadProfile
+profileLi()
+{
+    WorkloadProfile p;
+    p.name = "li";
+    p.description = "Lisp interpreter stand-in: very branchy dispatch "
+                    "loops, footprint that fits in 32K";
+    p.family = LanguageFamily::C;
+    p.structureSeed = 0x115b;
+    p.numFunctions = 32;
+    p.meanFuncBlocks = 95;
+    p.meanBlockLen = 2.6;
+    p.ifWeight = 4.5;
+    p.loopWeight = 1.0;
+    p.callWeight = 2.0;
+    p.switchWeight = 0.5;
+    p.meanTripCount = 5;
+    p.coldArmFraction = 0.42;
+    p.unpredictableFraction = 0.16;
+    p.correlatedFraction = 0.14;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.2;
+    p.paperBranchPercent = 17.7;
+    p.paperMissRate8K = 3.33;
+    p.paperMissRate32K = 0.06;
+    p.paperInstMillions = 1360;
+    return p;
+}
+
+WorkloadProfile
+profileTex()
+{
+    WorkloadProfile p;
+    p.name = "tex";
+    p.description = "TeX stand-in: moderate branch density, medium "
+                    "footprint";
+    p.family = LanguageFamily::C;
+    p.structureSeed = 0x7e8;
+    p.numFunctions = 66;
+    p.meanFuncBlocks = 76;
+    p.meanBlockLen = 4.2;
+    p.ifWeight = 3.8;
+    p.loopWeight = 0.8;
+    p.callWeight = 1.8;
+    p.switchWeight = 0.3;
+    p.meanTripCount = 5;
+    p.coldArmFraction = 0.40;
+    p.unpredictableFraction = 0.12;
+    p.correlatedFraction = 0.15;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.3;
+    p.paperBranchPercent = 10.0;
+    p.paperMissRate8K = 2.85;
+    p.paperMissRate32K = 1.00;
+    p.paperInstMillions = 148;
+    return p;
+}
+
+WorkloadProfile
+profileCfront()
+{
+    WorkloadProfile p;
+    p.name = "cfront";
+    p.description = "C++-to-C translator stand-in: branchy, deep call "
+                    "chains, the largest working set in the suite";
+    p.family = LanguageFamily::Cpp;
+    p.structureSeed = 0xcf07;
+    p.numFunctions = 170;
+    p.meanFuncBlocks = 72;
+    p.meanBlockLen = 3.4;
+    p.ifWeight = 4.0;
+    p.loopWeight = 0.8;
+    p.callWeight = 3.2;
+    p.switchWeight = 0.3;
+    p.indirectCallWeight = 0.35;
+    p.meanTripCount = 3;
+    p.coldArmFraction = 0.42;
+    p.unpredictableFraction = 0.18;
+    p.correlatedFraction = 0.12;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.2;
+    p.paperBranchPercent = 13.4;
+    p.paperMissRate8K = 7.24;
+    p.paperMissRate32K = 2.63;
+    p.paperInstMillions = 16.5;
+    return p;
+}
+
+WorkloadProfile
+profileDbpp()
+{
+    WorkloadProfile p;
+    p.name = "db++";
+    p.description = "DeltaBlue constraint solver stand-in: branchy C++ "
+                    "with a small hot core";
+    p.family = LanguageFamily::Cpp;
+    p.structureSeed = 0xdb99;
+    p.numFunctions = 28;
+    p.meanFuncBlocks = 96;
+    p.meanBlockLen = 2.7;
+    p.ifWeight = 4.5;
+    p.loopWeight = 1.0;
+    p.callWeight = 2.0;
+    p.switchWeight = 0.25;
+    p.indirectCallWeight = 0.3;
+    p.meanTripCount = 6;
+    p.coldArmFraction = 0.42;
+    p.unpredictableFraction = 0.10;
+    p.correlatedFraction = 0.15;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.5;
+    p.paperBranchPercent = 17.6;
+    p.paperMissRate8K = 1.57;
+    p.paperMissRate32K = 0.42;
+    p.paperInstMillions = 87;
+    return p;
+}
+
+WorkloadProfile
+profileGroff()
+{
+    WorkloadProfile p;
+    p.name = "groff";
+    p.description = "C++ ditroff stand-in: branchy, large working set, "
+                    "heavy dispatch-style indirection";
+    p.family = LanguageFamily::Cpp;
+    p.structureSeed = 0x62ff;
+    p.numFunctions = 130;
+    p.meanFuncBlocks = 130;
+    p.meanBlockLen = 2.8;
+    p.ifWeight = 4.5;
+    p.loopWeight = 0.9;
+    p.callWeight = 2.2;
+    p.switchWeight = 0.3;
+    p.indirectCallWeight = 0.4;
+    p.meanTripCount = 5;
+    p.coldArmFraction = 0.42;
+    p.unpredictableFraction = 0.17;
+    p.correlatedFraction = 0.13;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.25;
+    p.paperBranchPercent = 17.5;
+    p.paperMissRate8K = 5.33;
+    p.paperMissRate32K = 1.68;
+    p.paperInstMillions = 57;
+    return p;
+}
+
+WorkloadProfile
+profileIdl()
+{
+    WorkloadProfile p;
+    p.name = "idl";
+    p.description = "IDL backend stand-in: the branchiest profile, "
+                    "moderate footprint";
+    p.family = LanguageFamily::Cpp;
+    p.structureSeed = 0x1d1d;
+    p.numFunctions = 40;
+    p.meanFuncBlocks = 82;
+    p.meanBlockLen = 2.1;
+    p.ifWeight = 4.5;
+    p.loopWeight = 0.9;
+    p.callWeight = 2.2;
+    p.switchWeight = 0.3;
+    p.indirectCallWeight = 0.35;
+    p.meanTripCount = 5;
+    p.coldArmFraction = 0.40;
+    p.unpredictableFraction = 0.08;
+    p.correlatedFraction = 0.18;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.45;
+    p.paperBranchPercent = 19.6;
+    p.paperMissRate8K = 2.17;
+    p.paperMissRate32K = 0.67;
+    p.paperInstMillions = 21.1;
+    return p;
+}
+
+WorkloadProfile
+profileLic()
+{
+    WorkloadProfile p;
+    p.name = "lic";
+    p.description = "SUIF linear-inequality calculator stand-in: "
+                    "branchy with a working set around 32K";
+    p.family = LanguageFamily::Cpp;
+    p.structureSeed = 0x11c7;
+    p.numFunctions = 80;
+    p.meanFuncBlocks = 95;
+    p.meanBlockLen = 2.8;
+    p.ifWeight = 4.2;
+    p.loopWeight = 1.0;
+    p.callWeight = 2.0;
+    p.switchWeight = 0.25;
+    p.indirectCallWeight = 0.3;
+    p.meanTripCount = 5;
+    p.coldArmFraction = 0.42;
+    p.unpredictableFraction = 0.16;
+    p.correlatedFraction = 0.13;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.4;
+    p.paperBranchPercent = 16.5;
+    p.paperMissRate8K = 3.93;
+    p.paperMissRate32K = 1.68;
+    p.paperInstMillions = 6;
+    return p;
+}
+
+WorkloadProfile
+profilePorky()
+{
+    WorkloadProfile p;
+    p.name = "porky";
+    p.description = "SUIF optimizer stand-in: branchy, moderate "
+                    "footprint with phased behavior";
+    p.family = LanguageFamily::Cpp;
+    p.structureSeed = 0x9049;
+    p.numFunctions = 48;
+    p.meanFuncBlocks = 86;
+    p.meanBlockLen = 2.0;
+    p.ifWeight = 4.4;
+    p.loopWeight = 1.0;
+    p.callWeight = 2.0;
+    p.switchWeight = 0.3;
+    p.indirectCallWeight = 0.3;
+    p.meanTripCount = 6;
+    p.coldArmFraction = 0.40;
+    p.unpredictableFraction = 0.09;
+    p.correlatedFraction = 0.16;
+    p.patternFraction = 0.04;
+    p.calleeZipf = 0.45;
+    p.paperBranchPercent = 19.8;
+    p.paperMissRate8K = 2.51;
+    p.paperMissRate32K = 0.66;
+    p.paperInstMillions = 164;
+    return p;
+}
+
+} // namespace specfetch

@@ -1,0 +1,78 @@
+#include "workload/registry.hh"
+
+#include <functional>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace specfetch {
+
+namespace {
+
+using ProfileFactory = std::function<WorkloadProfile()>;
+
+const std::vector<std::pair<std::string, ProfileFactory>> &
+factories()
+{
+    static const std::vector<std::pair<std::string, ProfileFactory>> table =
+    {
+        {"doduc", profileDoduc},
+        {"fpppp", profileFpppp},
+        {"su2cor", profileSu2cor},
+        {"ditroff", profileDitroff},
+        {"gcc", profileGcc},
+        {"li", profileLi},
+        {"tex", profileTex},
+        {"cfront", profileCfront},
+        {"db++", profileDbpp},
+        {"groff", profileGroff},
+        {"idl", profileIdl},
+        {"lic", profileLic},
+        {"porky", profilePorky},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &[name, factory] : factories())
+            out.push_back(name);
+        return out;
+    }();
+    return names;
+}
+
+bool
+isBenchmark(const std::string &name)
+{
+    for (const auto &[known, factory] : factories())
+        if (known == name)
+            return true;
+    return false;
+}
+
+WorkloadProfile
+getProfile(const std::string &name)
+{
+    for (const auto &[known, factory] : factories())
+        if (known == name)
+            return factory();
+    fatal("unknown benchmark '%s' (try one of the names printed by "
+          "examples/workload_inspector --list)", name.c_str());
+}
+
+std::vector<WorkloadProfile>
+allProfiles()
+{
+    std::vector<WorkloadProfile> out;
+    for (const auto &[name, factory] : factories())
+        out.push_back(factory());
+    return out;
+}
+
+} // namespace specfetch

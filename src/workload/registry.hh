@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Name-based lookup of the benchmark profiles (paper Table 2).
+ */
+
+#ifndef SPECFETCH_WORKLOAD_REGISTRY_HH_
+#define SPECFETCH_WORKLOAD_REGISTRY_HH_
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace specfetch {
+
+/** All benchmark names in the paper's table order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** True if @p name is a known benchmark. */
+bool isBenchmark(const std::string &name);
+
+/** Look up a profile by name; fatal() on unknown names. */
+WorkloadProfile getProfile(const std::string &name);
+
+/** All thirteen profiles, in table order. */
+std::vector<WorkloadProfile> allProfiles();
+
+} // namespace specfetch
+
+#endif // SPECFETCH_WORKLOAD_REGISTRY_HH_

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Profile-guided basic-block reordering — the "software techniques,
+ * like profile driven basic-block reordering" the paper's conclusion
+ * (§6) flags for further study.
+ *
+ * The transformation is a chain-based code-layout pass in the spirit
+ * of Pettis & Hansen: blocks connected by fall-through edges form
+ * unbreakable *chains* (fall-through adjacency is a structural
+ * invariant of the CFG); within each function, chains are then placed
+ * in descending order of dynamic hotness. Hot paths end up packed
+ * into few cache lines near the function entry, cold error paths sink
+ * to the bottom — fewer lines in the working set, fewer conflicts,
+ * better next-line prefetch coverage.
+ *
+ * The pass is purely a permutation: no instructions are added or
+ * removed, branch/call targets are remapped by id, and the result
+ * revalidates and re-lays-out cleanly, so before/after comparisons
+ * isolate the layout effect exactly.
+ */
+
+#ifndef SPECFETCH_WORKLOAD_REORDER_HH_
+#define SPECFETCH_WORKLOAD_REORDER_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace specfetch {
+
+/** Dynamic block-entry counts collected from a profiling run. */
+struct BlockProfile
+{
+    std::vector<uint64_t> visits;    ///< indexed by block id
+    uint64_t instructions = 0;       ///< profiling run length
+};
+
+/**
+ * Profile a workload: execute @p instructions with the given seed and
+ * return per-block entry counts.
+ */
+BlockProfile profileWorkload(const Workload &workload, uint64_t seed,
+                             uint64_t instructions);
+
+/**
+ * Reorder @p cfg's blocks by chain hotness under @p visits and return
+ * the permuted, revalidated graph (addresses unassigned; run
+ * layoutProgram on it).
+ */
+Cfg reorderBlocks(const Cfg &cfg, const std::vector<uint64_t> &visits);
+
+/**
+ * Convenience: profile @p workload, reorder, re-lay-out, and return
+ * the new workload (same profile metadata).
+ *
+ * @param workload        The workload to optimize.
+ * @param profile_seed    Seed for the profiling run (using a
+ *                        different seed than the evaluation run
+ *                        models realistic train/test input splits).
+ * @param profile_budget  Profiling run length in instructions.
+ */
+Workload reorderWorkload(const Workload &workload, uint64_t profile_seed,
+                         uint64_t profile_budget);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_WORKLOAD_REORDER_HH_

@@ -1,0 +1,17 @@
+#include "workload/workload.hh"
+
+#include "workload/cfg_builder.hh"
+#include "workload/layout.hh"
+
+namespace specfetch {
+
+Workload
+buildWorkload(const WorkloadProfile &profile)
+{
+    CfgBuilder builder(profile);
+    Cfg cfg = builder.build();
+    ProgramImage image = layoutProgram(cfg);
+    return Workload{profile, std::move(cfg), std::move(image)};
+}
+
+} // namespace specfetch

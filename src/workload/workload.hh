@@ -1,0 +1,34 @@
+/**
+ * @file
+ * A fully-built workload: profile + laid-out CFG + program image.
+ */
+
+#ifndef SPECFETCH_WORKLOAD_WORKLOAD_HH_
+#define SPECFETCH_WORKLOAD_WORKLOAD_HH_
+
+#include "isa/program_image.hh"
+#include "workload/cfg.hh"
+#include "workload/profile.hh"
+
+namespace specfetch {
+
+/**
+ * Everything a simulation run needs from the workload side. The image
+ * is consistent with the CFG's assigned addresses.
+ */
+struct Workload
+{
+    WorkloadProfile profile;
+    Cfg cfg;
+    ProgramImage image;
+
+    /** Code footprint in bytes. */
+    uint64_t footprintBytes() const { return image.size() * kInstBytes; }
+};
+
+/** Generate, lay out, and validate a workload from a profile. */
+Workload buildWorkload(const WorkloadProfile &profile);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_WORKLOAD_WORKLOAD_HH_

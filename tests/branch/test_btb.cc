@@ -1,0 +1,117 @@
+/** @file Unit tests for branch/btb.hh. */
+
+#include "branch/btb.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(Btb, MissWhenEmpty)
+{
+    Btb btb(64, 4);
+    EXPECT_FALSE(btb.lookup(0x1000).hit);
+    EXPECT_EQ(btb.lookups.value(), 1u);
+    EXPECT_EQ(btb.hits.value(), 0u);
+}
+
+TEST(Btb, HitAfterInsert)
+{
+    Btb btb(64, 4);
+    btb.insert(0x1000, 0x2000);
+    BtbLookup result = btb.lookup(0x1000);
+    EXPECT_TRUE(result.hit);
+    EXPECT_EQ(result.target, 0x2000u);
+}
+
+TEST(Btb, InsertRefreshesTarget)
+{
+    Btb btb(64, 4);
+    btb.insert(0x1000, 0x2000);
+    btb.insert(0x1000, 0x3000);
+    EXPECT_EQ(btb.lookup(0x1000).target, 0x3000u);
+    EXPECT_EQ(btb.insertions.value(), 2u);
+    EXPECT_EQ(btb.evictions.value(), 0u);
+}
+
+TEST(Btb, GeometryDerivation)
+{
+    Btb btb(64, 4);
+    EXPECT_EQ(btb.numEntries(), 64u);
+    EXPECT_EQ(btb.numWays(), 4u);
+    EXPECT_EQ(btb.numSets(), 16u);
+}
+
+TEST(Btb, ConflictEvictsLru)
+{
+    Btb btb(16, 4);    // 4 sets
+    // Five branches mapping to set 0 (stride = sets * 4 bytes).
+    Addr stride = 4 * kInstBytes;
+    for (Addr i = 0; i < 5; ++i)
+        btb.insert(0x1000 + i * stride, 0x9000 + i * 0x10);
+    // The first inserted (LRU) is gone; the rest remain.
+    EXPECT_FALSE(btb.peek(0x1000).hit);
+    for (Addr i = 1; i < 5; ++i)
+        EXPECT_TRUE(btb.peek(0x1000 + i * stride).hit) << i;
+    EXPECT_EQ(btb.evictions.value(), 1u);
+}
+
+TEST(Btb, LookupRefreshesLru)
+{
+    Btb btb(16, 4);
+    Addr stride = 4 * kInstBytes;
+    for (Addr i = 0; i < 4; ++i)
+        btb.insert(0x1000 + i * stride, 0x9000);
+    // Touch the oldest; the next conflict should evict entry 1 instead.
+    btb.lookup(0x1000);
+    btb.insert(0x1000 + 4 * stride, 0x9000);
+    EXPECT_TRUE(btb.peek(0x1000).hit);
+    EXPECT_FALSE(btb.peek(0x1000 + stride).hit);
+}
+
+TEST(Btb, PeekDoesNotPerturbLru)
+{
+    Btb btb(16, 4);
+    Addr stride = 4 * kInstBytes;
+    for (Addr i = 0; i < 4; ++i)
+        btb.insert(0x1000 + i * stride, 0x9000);
+    btb.peek(0x1000);    // must NOT refresh
+    btb.insert(0x1000 + 4 * stride, 0x9000);
+    EXPECT_FALSE(btb.peek(0x1000).hit);
+}
+
+TEST(Btb, Invalidate)
+{
+    Btb btb(64, 4);
+    btb.insert(0x1000, 0x2000);
+    btb.invalidate(0x1000);
+    EXPECT_FALSE(btb.peek(0x1000).hit);
+}
+
+TEST(Btb, DistinctSetsDoNotConflict)
+{
+    Btb btb(16, 4);
+    for (Addr i = 0; i < 4; ++i)
+        btb.insert(0x1000 + i * kInstBytes, 0x9000);   // sets 0..3
+    for (Addr i = 0; i < 4; ++i)
+        EXPECT_TRUE(btb.peek(0x1000 + i * kInstBytes).hit);
+    EXPECT_EQ(btb.evictions.value(), 0u);
+}
+
+TEST(Btb, DirectMappedWorks)
+{
+    Btb btb(8, 1);
+    btb.insert(0x1000, 0x2000);
+    btb.insert(0x1000 + 8 * kInstBytes, 0x3000);    // same set, 1 way
+    EXPECT_FALSE(btb.peek(0x1000).hit);
+    EXPECT_TRUE(btb.peek(0x1000 + 8 * kInstBytes).hit);
+}
+
+TEST(BtbDeath, RejectsNonDividingWays)
+{
+    EXPECT_EXIT({ Btb btb(64, 3); }, ::testing::ExitedWithCode(1),
+                "divide");
+}
+
+} // namespace
+} // namespace specfetch

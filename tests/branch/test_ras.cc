@@ -1,0 +1,77 @@
+/** @file Unit tests for branch/ras.hh. */
+
+#include "branch/ras.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, UnderflowReturnsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.underflows.value(), 1u);
+}
+
+TEST(Ras, TopPeeks)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.top(), 0u);
+    ras.push(0x300);
+    EXPECT_EQ(ras.top(), 0x300u);
+    EXPECT_EQ(ras.size(), 1u);    // unchanged
+}
+
+TEST(Ras, OverflowWrapsOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);    // overwrites 0x100
+    EXPECT_EQ(ras.overflows.value(), 1u);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0u);    // 0x100 was lost
+}
+
+TEST(Ras, SizeTracksOccupancy)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_TRUE(ras.empty());
+    ras.push(1);
+    ras.push(2);
+    EXPECT_EQ(ras.size(), 2u);
+    ras.pop();
+    EXPECT_EQ(ras.size(), 1u);
+    EXPECT_EQ(ras.depth(), 4u);
+}
+
+TEST(Ras, CountsOperations)
+{
+    ReturnAddressStack ras(4);
+    ras.push(1);
+    ras.pop();
+    ras.pop();
+    EXPECT_EQ(ras.pushes.value(), 1u);
+    EXPECT_EQ(ras.pops.value(), 2u);
+    EXPECT_EQ(ras.underflows.value(), 1u);
+}
+
+TEST(RasDeath, RejectsZeroDepth)
+{
+    EXPECT_EXIT({ ReturnAddressStack ras(0); },
+                ::testing::ExitedWithCode(1), "depth");
+}
+
+} // namespace
+} // namespace specfetch

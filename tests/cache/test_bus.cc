@@ -1,0 +1,60 @@
+/** @file Unit tests for cache/bus.hh. */
+
+#include "cache/bus.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(Bus, InitiallyFree)
+{
+    MemoryBus bus;
+    EXPECT_TRUE(bus.isFree(0));
+    EXPECT_EQ(bus.freeAt(), 0);
+}
+
+TEST(Bus, AcquireWhenFree)
+{
+    MemoryBus bus;
+    Slot done = bus.acquire(10, 20);
+    EXPECT_EQ(done, 30);
+    EXPECT_EQ(bus.freeAt(), 30);
+    EXPECT_FALSE(bus.isFree(29));
+    EXPECT_TRUE(bus.isFree(30));
+}
+
+TEST(Bus, BackToBackQueues)
+{
+    MemoryBus bus;
+    bus.acquire(0, 20);
+    Slot done = bus.acquire(5, 20);    // must wait until 20
+    EXPECT_EQ(done, 40);
+}
+
+TEST(Bus, IdleGapRespected)
+{
+    MemoryBus bus;
+    bus.acquire(0, 20);
+    Slot done = bus.acquire(100, 20);    // bus long free
+    EXPECT_EQ(done, 120);
+}
+
+TEST(Bus, CountsTransactions)
+{
+    MemoryBus bus;
+    bus.acquire(0, 1);
+    bus.acquire(0, 1);
+    EXPECT_EQ(bus.transactions.value(), 2u);
+}
+
+TEST(Bus, Reset)
+{
+    MemoryBus bus;
+    bus.acquire(0, 50);
+    bus.reset();
+    EXPECT_TRUE(bus.isFree(0));
+}
+
+} // namespace
+} // namespace specfetch

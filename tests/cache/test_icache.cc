@@ -1,0 +1,169 @@
+/** @file Unit tests for cache/icache.hh. */
+
+#include "cache/icache.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+ICacheConfig
+smallConfig(unsigned ways = 1)
+{
+    ICacheConfig config;
+    config.sizeBytes = 1024;    // 32 lines
+    config.lineBytes = 32;
+    config.ways = ways;
+    return config;
+}
+
+TEST(ICache, GeometryDefaults)
+{
+    ICache cache;    // paper baseline: 8K direct mapped, 32B lines
+    EXPECT_EQ(cache.config().numLines(), 256u);
+    EXPECT_EQ(cache.config().numSets(), 256u);
+    EXPECT_EQ(cache.lineBytes(), 32u);
+}
+
+TEST(ICache, LineOf)
+{
+    ICache cache(smallConfig());
+    EXPECT_EQ(cache.lineOf(0x1000), 0x1000u);
+    EXPECT_EQ(cache.lineOf(0x101f), 0x1000u);
+    EXPECT_EQ(cache.lineOf(0x1020), 0x1020u);
+    EXPECT_EQ(cache.nextLineOf(0x1004), 0x1020u);
+}
+
+TEST(ICache, MissThenHit)
+{
+    ICache cache(smallConfig());
+    EXPECT_FALSE(cache.access(0x1000));
+    cache.insert(0x1000);
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_EQ(cache.accesses.value(), 2u);
+    EXPECT_EQ(cache.misses.value(), 1u);
+}
+
+TEST(ICache, DirectMappedConflict)
+{
+    ICache cache(smallConfig());
+    // 32 lines: 0x1000 and 0x1000 + 32*32 map to the same set.
+    Addr a = 0x1000;
+    Addr b = 0x1000 + 32 * 32;
+    cache.insert(a);
+    Eviction ev = cache.insert(b);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, a);
+    EXPECT_FALSE(cache.contains(a));
+    EXPECT_TRUE(cache.contains(b));
+}
+
+TEST(ICache, TwoWayAvoidsSingleConflict)
+{
+    ICache cache(smallConfig(2));
+    Addr a = 0x1000;
+    Addr b = 0x1000 + 16 * 32;    // same set (16 sets now)
+    cache.insert(a);
+    Eviction ev = cache.insert(b);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_TRUE(cache.contains(b));
+}
+
+TEST(ICache, TwoWayLruEviction)
+{
+    ICache cache(smallConfig(2));
+    Addr set_stride = 16 * 32;
+    Addr a = 0x1000;
+    Addr b = a + set_stride;
+    Addr c = a + 2 * set_stride;
+    cache.insert(a);
+    cache.insert(b);
+    cache.access(a);             // refresh a
+    Eviction ev = cache.insert(c);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, b);   // b was LRU
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_TRUE(cache.contains(c));
+}
+
+TEST(ICache, EvictionReportsCorrectAddress)
+{
+    ICache cache(smallConfig());
+    Addr victim = 0x1000 + 7 * 32;             // set 7
+    Addr evictor = victim + 32 * 32;           // same set, next frame
+    cache.insert(victim);
+    Eviction ev = cache.insert(evictor);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, victim);
+}
+
+TEST(ICache, ReinsertIsIdempotent)
+{
+    ICache cache(smallConfig());
+    cache.insert(0x1000);
+    Eviction ev = cache.insert(0x1000);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_TRUE(cache.contains(0x1000));
+}
+
+TEST(ICache, FirstRefBitSetOnInsert)
+{
+    ICache cache(smallConfig());
+    cache.insert(0x1000);
+    EXPECT_TRUE(cache.testAndClearFirstRef(0x1000));
+    // Second query: cleared.
+    EXPECT_FALSE(cache.testAndClearFirstRef(0x1000));
+}
+
+TEST(ICache, FirstRefBitResetOnRefill)
+{
+    ICache cache(smallConfig());
+    cache.insert(0x1000);
+    cache.testAndClearFirstRef(0x1000);
+    // Evict and refill: the bit is set again.
+    cache.insert(0x1000 + 32 * 32);
+    cache.insert(0x1000);
+    EXPECT_TRUE(cache.testAndClearFirstRef(0x1000));
+}
+
+TEST(ICache, FirstRefMissingLine)
+{
+    ICache cache(smallConfig());
+    EXPECT_FALSE(cache.testAndClearFirstRef(0x1000));
+}
+
+TEST(ICache, AccessDoesNotTouchFirstRef)
+{
+    ICache cache(smallConfig());
+    cache.insert(0x1000);
+    cache.access(0x1000);
+    EXPECT_TRUE(cache.testAndClearFirstRef(0x1000));
+}
+
+TEST(ICache, ResetInvalidatesAll)
+{
+    ICache cache(smallConfig());
+    cache.insert(0x1000);
+    cache.reset();
+    EXPECT_FALSE(cache.contains(0x1000));
+}
+
+TEST(ICacheDeath, MisalignedAccessPanics)
+{
+    ICache cache(smallConfig());
+    EXPECT_DEATH(cache.access(0x1004), "aligned");
+    EXPECT_DEATH(cache.insert(0x1004), "aligned");
+}
+
+TEST(ICacheDeath, RejectsBadGeometry)
+{
+    ICacheConfig config;
+    config.sizeBytes = 1000;    // not a power of two
+    config.lineBytes = 32;
+    EXPECT_EXIT({ ICache cache(config); }, ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // namespace
+} // namespace specfetch

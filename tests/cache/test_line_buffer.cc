@@ -1,0 +1,67 @@
+/** @file Unit tests for cache/line_buffer.hh. */
+
+#include "cache/line_buffer.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(LineBuffer, StartsEmpty)
+{
+    LineBuffer buffer;
+    EXPECT_FALSE(buffer.valid());
+    EXPECT_FALSE(buffer.matches(0x1000));
+    EXPECT_FALSE(buffer.isReady(1000));
+}
+
+TEST(LineBuffer, TracksFill)
+{
+    LineBuffer buffer;
+    buffer.set(0x1000, 50);
+    EXPECT_TRUE(buffer.valid());
+    EXPECT_TRUE(buffer.matches(0x1000));
+    EXPECT_FALSE(buffer.matches(0x2000));
+    EXPECT_FALSE(buffer.isReady(49));
+    EXPECT_TRUE(buffer.isReady(50));
+}
+
+TEST(LineBuffer, DrainWritesIntoCache)
+{
+    ICache cache;
+    LineBuffer buffer;
+    buffer.set(0x1000, 50);
+    EXPECT_FALSE(buffer.drainIfReady(cache, 49));    // data not arrived
+    EXPECT_TRUE(buffer.valid());
+    EXPECT_TRUE(buffer.drainIfReady(cache, 50));
+    EXPECT_FALSE(buffer.valid());
+    EXPECT_TRUE(cache.contains(0x1000));
+}
+
+TEST(LineBuffer, DrainEmptyIsNoop)
+{
+    ICache cache;
+    LineBuffer buffer;
+    EXPECT_FALSE(buffer.drainIfReady(cache, 1000));
+}
+
+TEST(LineBuffer, SetOverwrites)
+{
+    LineBuffer buffer;
+    buffer.set(0x1000, 50);
+    buffer.set(0x2000, 70);
+    EXPECT_FALSE(buffer.matches(0x1000));
+    EXPECT_TRUE(buffer.matches(0x2000));
+    EXPECT_EQ(buffer.readyAt(), 70);
+}
+
+TEST(LineBuffer, Clear)
+{
+    LineBuffer buffer;
+    buffer.set(0x1000, 50);
+    buffer.clear();
+    EXPECT_FALSE(buffer.valid());
+}
+
+} // namespace
+} // namespace specfetch

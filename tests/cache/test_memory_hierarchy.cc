@@ -1,0 +1,136 @@
+/** @file Tests for the flat / two-level memory hierarchy model. */
+
+#include "cache/memory_hierarchy.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hh"
+#include "workload/registry.hh"
+
+namespace specfetch {
+namespace {
+
+TEST(MemoryHierarchy, FlatModeIsConstant)
+{
+    MemoryConfig config;
+    config.missPenaltyCycles = 5;
+    MemoryHierarchy memory(config, 4);
+    EXPECT_FALSE(memory.twoLevel());
+    for (Addr line = 0; line < 10 * 32; line += 32)
+        EXPECT_EQ(memory.fillSlots(0x10000 + line), 20);
+    EXPECT_EQ(memory.maxFillSlots(), 20);
+    EXPECT_EQ(memory.l2Hits.value(), 0u);
+}
+
+TEST(MemoryHierarchy, TwoLevelColdMissesThenHits)
+{
+    MemoryConfig config;
+    config.l2Enabled = true;
+    config.l2HitCycles = 5;
+    config.l2MissCycles = 20;
+    MemoryHierarchy memory(config, 4);
+    EXPECT_TRUE(memory.twoLevel());
+
+    // Cold: full memory latency; the line lands in L2.
+    EXPECT_EQ(memory.fillSlots(0x10000), 80);
+    // Refill of the same line: L2 hit latency.
+    EXPECT_EQ(memory.fillSlots(0x10000), 20);
+    EXPECT_EQ(memory.l2Misses.value(), 1u);
+    EXPECT_EQ(memory.l2Hits.value(), 1u);
+    EXPECT_EQ(memory.maxFillSlots(), 80);
+}
+
+TEST(MemoryHierarchy, L2CapacityEviction)
+{
+    MemoryConfig config;
+    config.l2Enabled = true;
+    config.l2.sizeBytes = 1024;    // 32 lines, 4-way
+    MemoryHierarchy memory(config, 4);
+
+    // Sweep more lines than the L2 holds, twice: the second pass
+    // still misses (capacity).
+    for (int pass = 0; pass < 2; ++pass)
+        for (Addr i = 0; i < 64; ++i)
+            memory.fillSlots(0x10000 + i * 32);
+    EXPECT_EQ(memory.l2Hits.value(), 0u);
+    EXPECT_EQ(memory.l2Misses.value(), 128u);
+}
+
+TEST(MemoryHierarchy, ResetClearsL2)
+{
+    MemoryConfig config;
+    config.l2Enabled = true;
+    MemoryHierarchy memory(config, 4);
+    memory.fillSlots(0x10000);
+    memory.reset();
+    EXPECT_EQ(memory.fillSlots(0x10000), 80);    // cold again
+}
+
+// ---- engine integration -------------------------------------------------
+
+TEST(EngineL2, SitsBetweenFlatRegimes)
+{
+    // With an L2, total ISPI must land between the flat-5 (all L2
+    // hits) and flat-20 (all misses to memory) configurations.
+    Workload w = buildWorkload(getProfile("gcc"));
+    SimConfig flat5;
+    flat5.instructionBudget = 300'000;
+    flat5.policy = FetchPolicy::Resume;
+    flat5.missPenaltyCycles = 5;
+
+    SimConfig flat20 = flat5;
+    flat20.missPenaltyCycles = 20;
+
+    SimConfig l2 = flat5;
+    l2.l2Enabled = true;
+    l2.l2HitCycles = 5;
+    l2.l2MissCycles = 20;
+    l2.l2Cache.sizeBytes = 64 * 1024;
+    l2.l2Cache.ways = 4;
+
+    SimResults r5 = runSimulation(w, flat5);
+    SimResults r20 = runSimulation(w, flat20);
+    SimResults rl2 = runSimulation(w, l2);
+
+    EXPECT_GT(rl2.ispi(), r5.ispi());
+    EXPECT_LT(rl2.ispi(), r20.ispi());
+    EXPECT_EQ(static_cast<uint64_t>(rl2.finalSlot),
+              rl2.instructions + rl2.penalty.totalSlots());
+}
+
+TEST(EngineL2, BiggerL2ApproachesFlatFast)
+{
+    Workload w = buildWorkload(getProfile("li"));
+    SimConfig base;
+    base.instructionBudget = 300'000;
+    base.policy = FetchPolicy::Resume;
+    base.l2Enabled = true;
+
+    SimConfig small = base;
+    small.l2Cache.sizeBytes = 16 * 1024;
+    SimConfig large = base;
+    large.l2Cache.sizeBytes = 256 * 1024;
+
+    SimResults r_small = runSimulation(w, small);
+    SimResults r_large = runSimulation(w, large);
+    EXPECT_LE(r_large.ispi(), r_small.ispi());
+}
+
+TEST(EngineL2, LedgerHoldsForAllPoliciesWithL2AndPrefetch)
+{
+    Workload w = buildWorkload(getProfile("groff"));
+    for (FetchPolicy policy : allPolicies()) {
+        SimConfig config;
+        config.instructionBudget = 150'000;
+        config.policy = policy;
+        config.l2Enabled = true;
+        config.nextLinePrefetch = true;
+        SimResults r = runSimulation(w, config);
+        EXPECT_EQ(static_cast<uint64_t>(r.finalSlot),
+                  r.instructions + r.penalty.totalSlots())
+            << toString(policy);
+    }
+}
+
+} // namespace
+} // namespace specfetch

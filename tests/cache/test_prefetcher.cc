@@ -1,0 +1,141 @@
+/** @file Unit tests for cache/prefetcher.hh (next-line policy). */
+
+#include "cache/prefetcher.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+class PrefetcherTest : public ::testing::Test
+{
+  protected:
+    PrefetcherTest() : prefetcher(cache, bus, buffer) {}
+
+    static constexpr Slot kFill = 20;
+
+    ICache cache;    // 8K DM 32B baseline
+    MemoryBus bus;
+    LineBuffer buffer;
+    NextLinePrefetcher prefetcher;
+};
+
+TEST_F(PrefetcherTest, TriggersOnFirstReferenceOnly)
+{
+    cache.insert(0x1000);    // first-ref bit set
+    EXPECT_TRUE(prefetcher.onAccess(0x1000, 0, kFill));
+    EXPECT_EQ(prefetcher.issued.value(), 1u);
+    // Bit consumed: further accesses do not re-trigger.
+    EXPECT_FALSE(prefetcher.onAccess(0x1000, 100, kFill));
+    EXPECT_EQ(prefetcher.issued.value(), 1u);
+}
+
+TEST_F(PrefetcherTest, PrefetchGoesToBuffer)
+{
+    cache.insert(0x1000);
+    prefetcher.onAccess(0x1000, 0, kFill);
+    EXPECT_TRUE(prefetcher.buffer().matches(0x1020));
+    EXPECT_EQ(prefetcher.buffer().readyAt(), kFill);
+    EXPECT_FALSE(cache.contains(0x1020));    // not written yet
+}
+
+TEST_F(PrefetcherTest, OccupiesBus)
+{
+    cache.insert(0x1000);
+    prefetcher.onAccess(0x1000, 5, kFill);
+    EXPECT_EQ(bus.freeAt(), 5 + kFill);
+}
+
+TEST_F(PrefetcherTest, SuppressedWhenNextLinePresent)
+{
+    cache.insert(0x1000);
+    cache.insert(0x1020);
+    EXPECT_FALSE(prefetcher.onAccess(0x1000, 0, kFill));
+    EXPECT_EQ(prefetcher.suppressedPresent.value(), 1u);
+    EXPECT_EQ(prefetcher.issued.value(), 0u);
+    // The trigger bit is still consumed ("at the same time we reset
+    // the bit").
+    EXPECT_FALSE(cache.testAndClearFirstRef(0x1000));
+}
+
+TEST_F(PrefetcherTest, SuppressedWhenBusBusy)
+{
+    cache.insert(0x1000);
+    bus.acquire(0, 100);
+    EXPECT_FALSE(prefetcher.onAccess(0x1000, 10, kFill));
+    EXPECT_EQ(prefetcher.suppressedBusy.value(), 1u);
+}
+
+TEST_F(PrefetcherTest, NoTriggerWithoutFirstRefBit)
+{
+    cache.insert(0x1000);
+    cache.testAndClearFirstRef(0x1000);
+    EXPECT_FALSE(prefetcher.onAccess(0x1000, 0, kFill));
+}
+
+TEST_F(PrefetcherTest, NewPrefetchRetiresPreviousLine)
+{
+    cache.insert(0x1000);
+    prefetcher.onAccess(0x1000, 0, kFill);          // prefetch 0x1020
+    cache.insert(0x2000);
+    // Issue the next prefetch after the first completed: the first
+    // must be written into the array.
+    EXPECT_TRUE(prefetcher.onAccess(0x2000, 30, kFill));
+    EXPECT_TRUE(cache.contains(0x1020));
+    EXPECT_TRUE(prefetcher.buffer().matches(0x2020));
+}
+
+TEST_F(PrefetcherTest, DrainOnDemand)
+{
+    cache.insert(0x1000);
+    prefetcher.onAccess(0x1000, 0, kFill);
+    prefetcher.drain(kFill);
+    EXPECT_TRUE(cache.contains(0x1020));
+    EXPECT_FALSE(prefetcher.buffer().valid());
+}
+
+TEST_F(PrefetcherTest, DrainTooEarlyKeepsBuffer)
+{
+    cache.insert(0x1000);
+    prefetcher.onAccess(0x1000, 0, kFill);
+    prefetcher.drain(kFill - 1);
+    EXPECT_FALSE(cache.contains(0x1020));
+    EXPECT_TRUE(prefetcher.buffer().valid());
+}
+
+TEST_F(PrefetcherTest, SuppressedWhenInOwnBuffer)
+{
+    cache.insert(0x1000);
+    prefetcher.onAccess(0x1000, 0, kFill);    // buffer holds 0x1020
+    // Re-insert 0x1000 is idempotent but re-sets its bit via insert();
+    // easier: give 0x1000 its bit back by evict+refill.
+    cache.insert(0x1000 + 256 * 32);
+    cache.insert(0x1000);
+    EXPECT_FALSE(prefetcher.onAccess(0x1000, 100, kFill));
+    EXPECT_EQ(prefetcher.suppressedPresent.value(), 1u);
+}
+
+TEST_F(PrefetcherTest, ShadowBufferSuppresses)
+{
+    LineBuffer resume;
+    LineBuffer own;
+    NextLinePrefetcher pf(cache, bus, own, &resume);
+    cache.insert(0x1000);
+    resume.set(0x1020, 50);    // the next line is already in flight
+    EXPECT_FALSE(pf.onAccess(0x1000, 0, kFill));
+    EXPECT_EQ(pf.suppressedPresent.value(), 1u);
+}
+
+TEST_F(PrefetcherTest, ChainsAcrossSequentialLines)
+{
+    // Streaming through prefetched lines keeps prefetching ahead:
+    // insert sets the bit, so each drained line re-arms the trigger.
+    cache.insert(0x1000);
+    ASSERT_TRUE(prefetcher.onAccess(0x1000, 0, kFill));
+    prefetcher.drain(kFill);                        // 0x1020 in array
+    ASSERT_TRUE(prefetcher.onAccess(0x1020, kFill + 1, kFill));
+    EXPECT_TRUE(prefetcher.buffer().matches(0x1040));
+}
+
+} // namespace
+} // namespace specfetch

@@ -1,0 +1,192 @@
+/** @file Unit tests for the target prefetcher and prefetch unit. */
+
+#include "cache/prefetch_unit.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+class TargetPrefetcherTest : public ::testing::Test
+{
+  protected:
+    TargetPrefetcherTest() : target(cache, bus, buffer, nullptr, 64) {}
+
+    static constexpr Slot kFill = 20;
+
+    ICache cache;
+    MemoryBus bus;
+    LineBuffer buffer;
+    TargetPrefetcher target;
+};
+
+TEST_F(TargetPrefetcherTest, UntrainedDoesNothing)
+{
+    EXPECT_FALSE(target.onAccess(0x1000, 0, kFill));
+    EXPECT_EQ(target.predictedSuccessor(0x1000), 0u);
+}
+
+TEST_F(TargetPrefetcherTest, TrainThenPrefetch)
+{
+    target.train(0x1000, 0x5000);
+    EXPECT_EQ(target.predictedSuccessor(0x1000), 0x5000u);
+    EXPECT_TRUE(target.onAccess(0x1000, 0, kFill));
+    EXPECT_TRUE(buffer.matches(0x5000));
+    EXPECT_EQ(buffer.readyAt(), kFill);
+}
+
+TEST_F(TargetPrefetcherTest, SequentialTransfersNotRecorded)
+{
+    // Next-line territory: the table ignores i -> i+1.
+    target.train(0x1000, 0x1020);
+    EXPECT_EQ(target.predictedSuccessor(0x1000), 0u);
+    // Self-transfers (tight loops within a line) too.
+    target.train(0x1000, 0x1000);
+    EXPECT_EQ(target.predictedSuccessor(0x1000), 0u);
+    EXPECT_EQ(target.trainings.value(), 0u);
+}
+
+TEST_F(TargetPrefetcherTest, RetrainingReplacesTarget)
+{
+    target.train(0x1000, 0x5000);
+    target.train(0x1000, 0x7000);
+    EXPECT_EQ(target.predictedSuccessor(0x1000), 0x7000u);
+}
+
+TEST_F(TargetPrefetcherTest, TableConflictsEvict)
+{
+    // 64 entries at 32B lines: lines 64 apart collide.
+    Addr a = 0x10000;
+    Addr b = a + 64 * 32;
+    target.train(a, 0x5000);
+    target.train(b, 0x7000);
+    EXPECT_EQ(target.predictedSuccessor(a), 0u);
+    EXPECT_EQ(target.predictedSuccessor(b), 0x7000u);
+}
+
+TEST_F(TargetPrefetcherTest, SuppressedWhenPresent)
+{
+    target.train(0x1000, 0x5000);
+    cache.insert(0x5000);
+    EXPECT_FALSE(target.onAccess(0x1000, 0, kFill));
+    EXPECT_EQ(target.suppressedPresent.value(), 1u);
+}
+
+TEST_F(TargetPrefetcherTest, SuppressedWhenBusBusy)
+{
+    target.train(0x1000, 0x5000);
+    bus.acquire(0, 100);
+    EXPECT_FALSE(target.onAccess(0x1000, 10, kFill));
+    EXPECT_EQ(target.suppressedBusy.value(), 1u);
+}
+
+TEST_F(TargetPrefetcherTest, ResetClearsTable)
+{
+    target.train(0x1000, 0x5000);
+    target.reset();
+    EXPECT_EQ(target.predictedSuccessor(0x1000), 0u);
+}
+
+// ---- PrefetchUnit ------------------------------------------------------
+
+TEST(PrefetchUnit, NoneNeverIssues)
+{
+    ICache cache;
+    MemoryBus bus;
+    PrefetchUnit unit(PrefetchKind::None, cache, bus, nullptr);
+    cache.insert(0x1000);
+    EXPECT_FALSE(unit.enabled());
+    EXPECT_FALSE(unit.onAccess(0x1000, 0, 20));
+    EXPECT_EQ(unit.issuedCount(), 0u);
+}
+
+TEST(PrefetchUnit, CombinedPrefersTarget)
+{
+    ICache cache;
+    MemoryBus bus;
+    PrefetchUnit unit(PrefetchKind::Combined, cache, bus, nullptr);
+    cache.insert(0x1000);    // first-ref bit set: next-line would fire
+    unit.trainTarget(0x1000, 0x5000);
+    ASSERT_TRUE(unit.onAccess(0x1000, 0, 20));
+    // The single buffer holds the *target* line, not 0x1020.
+    EXPECT_TRUE(unit.buffer().matches(0x5000));
+    EXPECT_EQ(unit.target.issued.value(), 1u);
+    EXPECT_EQ(unit.nextLine.issued.value(), 0u);
+}
+
+TEST(PrefetchUnit, CombinedFallsBackToNextLine)
+{
+    ICache cache;
+    MemoryBus bus;
+    PrefetchUnit unit(PrefetchKind::Combined, cache, bus, nullptr);
+    cache.insert(0x1000);
+    // No target training: next-line picks it up.
+    ASSERT_TRUE(unit.onAccess(0x1000, 0, 20));
+    EXPECT_TRUE(unit.buffer().matches(0x1020));
+    EXPECT_EQ(unit.nextLine.issued.value(), 1u);
+}
+
+TEST(PrefetchUnit, TargetKindIgnoresNextLine)
+{
+    ICache cache;
+    MemoryBus bus;
+    PrefetchUnit unit(PrefetchKind::Target, cache, bus, nullptr);
+    cache.insert(0x1000);
+    EXPECT_FALSE(unit.onAccess(0x1000, 0, 20));    // untrained
+    EXPECT_EQ(unit.issuedCount(), 0u);
+}
+
+TEST(PrefetchUnit, NextLineKindIgnoresTargetTraining)
+{
+    ICache cache;
+    MemoryBus bus;
+    PrefetchUnit unit(PrefetchKind::NextLine, cache, bus, nullptr);
+    unit.trainTarget(0x1000, 0x5000);    // ignored for this kind
+    EXPECT_EQ(unit.target.trainings.value(), 0u);
+}
+
+TEST(PrefetchUnit, KindNames)
+{
+    EXPECT_EQ(toString(PrefetchKind::None), "none");
+    EXPECT_EQ(toString(PrefetchKind::NextLine), "next-line");
+    EXPECT_EQ(toString(PrefetchKind::Target), "target");
+    EXPECT_EQ(toString(PrefetchKind::Combined), "combined");
+}
+
+// ---- Multi-channel bus -------------------------------------------------
+
+TEST(PipelinedBus, TwoChannelsOverlap)
+{
+    MemoryBus bus(2);
+    EXPECT_EQ(bus.channels(), 2u);
+    EXPECT_EQ(bus.acquire(0, 20), 20);
+    EXPECT_EQ(bus.acquire(0, 20), 20);    // second channel, parallel
+    EXPECT_EQ(bus.acquire(0, 20), 40);    // now both busy
+}
+
+TEST(PipelinedBus, FreeWhenAnyChannelIdle)
+{
+    MemoryBus bus(2);
+    bus.acquire(0, 100);
+    EXPECT_TRUE(bus.isFree(0));
+    bus.acquire(0, 100);
+    EXPECT_FALSE(bus.isFree(50));
+    EXPECT_TRUE(bus.isFree(100));
+}
+
+TEST(PipelinedBus, SingleChannelMatchesPaperModel)
+{
+    MemoryBus bus;    // default: 1 channel
+    EXPECT_EQ(bus.channels(), 1u);
+    bus.acquire(0, 20);
+    EXPECT_EQ(bus.acquire(5, 20), 40);
+}
+
+TEST(PipelinedBusDeath, RejectsZeroChannels)
+{
+    EXPECT_EXIT({ MemoryBus bus(0); }, ::testing::ExitedWithCode(1),
+                "channel");
+}
+
+} // namespace
+} // namespace specfetch

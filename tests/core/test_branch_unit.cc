@@ -1,0 +1,77 @@
+/** @file Unit tests for core/branch_unit.hh. */
+
+#include "core/branch_unit.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(BranchUnit, StartsEmpty)
+{
+    BranchUnit unit;
+    EXPECT_EQ(unit.unresolvedCond(0), 0u);
+    EXPECT_EQ(unit.latestResolveAt(), 0);
+}
+
+TEST(BranchUnit, TracksConditionals)
+{
+    BranchUnit unit;
+    unit.noteFetch(true, 17);
+    unit.noteFetch(true, 20);
+    EXPECT_EQ(unit.unresolvedCond(0), 2u);
+    EXPECT_EQ(unit.oldestCondResolve(), 17);
+}
+
+TEST(BranchUnit, ExpiryPopsResolved)
+{
+    BranchUnit unit;
+    unit.noteFetch(true, 17);
+    unit.noteFetch(true, 20);
+    EXPECT_EQ(unit.unresolvedCond(17), 1u);
+    EXPECT_EQ(unit.oldestCondResolve(), 20);
+    EXPECT_EQ(unit.unresolvedCond(100), 0u);
+}
+
+TEST(BranchUnit, UnconditionalsDoNotConsumeDepth)
+{
+    BranchUnit unit;
+    unit.noteFetch(false, 9);
+    EXPECT_EQ(unit.unresolvedCond(0), 0u);
+    EXPECT_EQ(unit.latestResolveAt(), 9);
+}
+
+TEST(BranchUnit, LatestResolveIsMax)
+{
+    BranchUnit unit;
+    unit.noteFetch(true, 30);     // conditional resolving late
+    unit.noteFetch(false, 20);    // jump certain at decode, earlier
+    EXPECT_EQ(unit.latestResolveAt(), 30);
+    unit.noteFetch(true, 40);
+    EXPECT_EQ(unit.latestResolveAt(), 40);
+}
+
+TEST(BranchUnit, Reset)
+{
+    BranchUnit unit;
+    unit.noteFetch(true, 17);
+    unit.reset();
+    EXPECT_EQ(unit.unresolvedCond(0), 0u);
+    EXPECT_EQ(unit.latestResolveAt(), 0);
+}
+
+TEST(BranchUnitDeath, OldestOnEmptyPanics)
+{
+    BranchUnit unit;
+    EXPECT_DEATH(unit.oldestCondResolve(), "unresolved");
+}
+
+TEST(BranchUnitDeath, NonMonotoneCondPanics)
+{
+    BranchUnit unit;
+    unit.noteFetch(true, 20);
+    EXPECT_DEATH(unit.noteFetch(true, 10), "monotone");
+}
+
+} // namespace
+} // namespace specfetch

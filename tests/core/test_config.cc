@@ -1,0 +1,84 @@
+/** @file Unit tests for core/config.hh. */
+
+#include "core/config.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(Config, PaperBaselineDefaults)
+{
+    SimConfig config;
+    EXPECT_EQ(config.issueWidth, 4u);
+    EXPECT_EQ(config.maxUnresolved, 4u);
+    EXPECT_EQ(config.decodeCycles, 2u);
+    EXPECT_EQ(config.resolveCycles, 4u);
+    EXPECT_EQ(config.missPenaltyCycles, 5u);
+    EXPECT_EQ(config.icache.sizeBytes, 8u * 1024);
+    EXPECT_EQ(config.icache.lineBytes, 32u);
+    EXPECT_EQ(config.icache.ways, 1u);
+    EXPECT_FALSE(config.nextLinePrefetch);
+}
+
+TEST(Config, SlotConversions)
+{
+    SimConfig config;
+    // Paper §4.1: misfetch = 8 issue slots, mispredict = 16,
+    // 5-cycle miss = 20 slots.
+    EXPECT_EQ(config.decodeSlots(), 8);
+    EXPECT_EQ(config.resolveSlots(), 16);
+    EXPECT_EQ(config.missPenaltySlots(), 20);
+
+    config.missPenaltyCycles = 20;
+    EXPECT_EQ(config.missPenaltySlots(), 80);
+
+    config.issueWidth = 2;
+    EXPECT_EQ(config.decodeSlots(), 4);
+}
+
+TEST(Config, DescribeMentionsKeyParameters)
+{
+    SimConfig config;
+    config.policy = FetchPolicy::Resume;
+    config.nextLinePrefetch = true;
+    std::string text = config.describe();
+    EXPECT_NE(text.find("Resume"), std::string::npos);
+    EXPECT_NE(text.find("8K"), std::string::npos);
+    EXPECT_NE(text.find("5cyc"), std::string::npos);
+    EXPECT_NE(text.find("prefetch"), std::string::npos);
+}
+
+TEST(Config, ValidateAcceptsBaseline)
+{
+    SimConfig config;
+    config.validate();
+    SUCCEED();
+}
+
+TEST(ConfigDeath, RejectsResolveBeforeDecode)
+{
+    SimConfig config;
+    config.decodeCycles = 4;
+    config.resolveCycles = 2;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "resolve");
+}
+
+TEST(ConfigDeath, RejectsZeroBudget)
+{
+    SimConfig config;
+    config.instructionBudget = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "budget");
+}
+
+TEST(ConfigDeath, RejectsZeroDepth)
+{
+    SimConfig config;
+    config.maxUnresolved = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1), "depth");
+}
+
+} // namespace
+} // namespace specfetch

@@ -1,0 +1,76 @@
+/** @file Unit tests for core/penalty.hh. */
+
+#include "core/penalty.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(Penalty, StartsZero)
+{
+    PenaltyBreakdown penalty;
+    EXPECT_EQ(penalty.totalSlots(), 0u);
+    for (PenaltyKind kind : allPenaltyKinds())
+        EXPECT_EQ(penalty.slots(kind), 0u);
+}
+
+TEST(Penalty, ChargesAccumulate)
+{
+    PenaltyBreakdown penalty;
+    penalty.charge(PenaltyKind::Branch, 16);
+    penalty.charge(PenaltyKind::Branch, 8);
+    penalty.charge(PenaltyKind::RtIcache, 20);
+    EXPECT_EQ(penalty.slots(PenaltyKind::Branch), 24u);
+    EXPECT_EQ(penalty.slots(PenaltyKind::RtIcache), 20u);
+    EXPECT_EQ(penalty.totalSlots(), 44u);
+}
+
+TEST(Penalty, IspiComputation)
+{
+    PenaltyBreakdown penalty;
+    penalty.charge(PenaltyKind::RtIcache, 200);
+    EXPECT_DOUBLE_EQ(penalty.ispi(PenaltyKind::RtIcache, 100), 2.0);
+    EXPECT_DOUBLE_EQ(penalty.totalIspi(100), 2.0);
+    EXPECT_DOUBLE_EQ(penalty.totalIspi(0), 0.0);
+}
+
+TEST(Penalty, Accumulation)
+{
+    PenaltyBreakdown a, b;
+    a.charge(PenaltyKind::Bus, 5);
+    b.charge(PenaltyKind::Bus, 7);
+    b.charge(PenaltyKind::BranchFull, 1);
+    a += b;
+    EXPECT_EQ(a.slots(PenaltyKind::Bus), 12u);
+    EXPECT_EQ(a.slots(PenaltyKind::BranchFull), 1u);
+}
+
+TEST(Penalty, Reset)
+{
+    PenaltyBreakdown penalty;
+    penalty.charge(PenaltyKind::WrongIcache, 3);
+    penalty.reset();
+    EXPECT_EQ(penalty.totalSlots(), 0u);
+}
+
+TEST(Penalty, FigureLegendNames)
+{
+    EXPECT_EQ(toString(PenaltyKind::BranchFull), "branch_full");
+    EXPECT_EQ(toString(PenaltyKind::Branch), "branch");
+    EXPECT_EQ(toString(PenaltyKind::ForceResolve), "force_resolve");
+    EXPECT_EQ(toString(PenaltyKind::RtIcache), "rt_icache");
+    EXPECT_EQ(toString(PenaltyKind::WrongIcache), "wrong_icache");
+    EXPECT_EQ(toString(PenaltyKind::Bus), "bus");
+}
+
+TEST(Penalty, StackedBarOrder)
+{
+    const auto &kinds = allPenaltyKinds();
+    ASSERT_EQ(kinds.size(), kNumPenaltyKinds);
+    EXPECT_EQ(kinds.front(), PenaltyKind::BranchFull);
+    EXPECT_EQ(kinds.back(), PenaltyKind::Bus);
+}
+
+} // namespace
+} // namespace specfetch

@@ -1,0 +1,72 @@
+/** @file Unit tests for core/policy.hh. */
+
+#include "core/policy.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(Policy, FiveInPaperOrder)
+{
+    const auto &policies = allPolicies();
+    ASSERT_EQ(policies.size(), 5u);
+    EXPECT_EQ(policies[0], FetchPolicy::Oracle);
+    EXPECT_EQ(policies[1], FetchPolicy::Optimistic);
+    EXPECT_EQ(policies[2], FetchPolicy::Resume);
+    EXPECT_EQ(policies[3], FetchPolicy::Pessimistic);
+    EXPECT_EQ(policies[4], FetchPolicy::Decode);
+}
+
+TEST(Policy, Names)
+{
+    EXPECT_EQ(toString(FetchPolicy::Oracle), "Oracle");
+    EXPECT_EQ(toString(FetchPolicy::Pessimistic), "Pessimistic");
+    EXPECT_EQ(shortName(FetchPolicy::Optimistic), "Opt");
+    EXPECT_EQ(shortName(FetchPolicy::Resume), "Res");
+    EXPECT_EQ(shortName(FetchPolicy::Decode), "Dec");
+}
+
+TEST(Policy, ParseLongShortAndCase)
+{
+    FetchPolicy policy;
+    ASSERT_TRUE(parsePolicy("resume", policy));
+    EXPECT_EQ(policy, FetchPolicy::Resume);
+    ASSERT_TRUE(parsePolicy("PESS", policy));
+    EXPECT_EQ(policy, FetchPolicy::Pessimistic);
+    ASSERT_TRUE(parsePolicy(" Oracle ", policy));
+    EXPECT_EQ(policy, FetchPolicy::Oracle);
+    EXPECT_FALSE(parsePolicy("bogus", policy));
+}
+
+TEST(Policy, ParseRoundTripsEveryPolicy)
+{
+    for (FetchPolicy policy : allPolicies()) {
+        FetchPolicy parsed;
+        ASSERT_TRUE(parsePolicy(toString(policy), parsed));
+        EXPECT_EQ(parsed, policy);
+        ASSERT_TRUE(parsePolicy(shortName(policy), parsed));
+        EXPECT_EQ(parsed, policy);
+    }
+}
+
+TEST(Policy, WrongPathServicePredicates)
+{
+    EXPECT_FALSE(servicesWrongPathMisses(FetchPolicy::Oracle));
+    EXPECT_FALSE(servicesWrongPathMisses(FetchPolicy::Pessimistic));
+    EXPECT_TRUE(servicesWrongPathMisses(FetchPolicy::Optimistic));
+    EXPECT_TRUE(servicesWrongPathMisses(FetchPolicy::Resume));
+    EXPECT_TRUE(servicesWrongPathMisses(FetchPolicy::Decode));
+}
+
+TEST(Policy, WrongPathPrefetchPredicates)
+{
+    EXPECT_TRUE(prefetchesOnWrongPath(FetchPolicy::Optimistic));
+    EXPECT_TRUE(prefetchesOnWrongPath(FetchPolicy::Resume));
+    EXPECT_FALSE(prefetchesOnWrongPath(FetchPolicy::Oracle));
+    EXPECT_FALSE(prefetchesOnWrongPath(FetchPolicy::Pessimistic));
+    EXPECT_FALSE(prefetchesOnWrongPath(FetchPolicy::Decode));
+}
+
+} // namespace
+} // namespace specfetch

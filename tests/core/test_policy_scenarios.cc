@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Additional hand-computed policy scenarios: Decode's late wrong-path
+ * servicing, indirect-jump target mispredicts (idle windows), and
+ * call/return handling. Timelines follow docs/MODEL.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine_test_support.hh"
+
+namespace specfetch {
+namespace test {
+namespace {
+
+constexpr Addr kBase = 0x10000;
+
+TEST(DecodeScenario, ServicesMispredictPathLate)
+{
+    // 7 plains + mispredicted branch in line0; wrong path = cold
+    // line1; correct target = cold line2.
+    ProgramScript script;
+    script.plains(7);
+    script.control(InstClass::CondBranch, true, kBase + 0x40);
+    script.plains(8);
+
+    SimResults r = runScript(script, FetchPolicy::Decode);
+    // Timeline: fr 8 (initial decode wait), fill 8..28, issues
+    // 28..34, branch at 35, window [36,52). The wrong-path miss at 36
+    // becomes serviceable at 36+8=44, fills 44..64: overhang 12.
+    // Correct miss at 64 has no residual decode wait; fill 64..84.
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::ForceResolve), 8u);
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::Branch), 16u);
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::WrongIcache), 12u);
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::RtIcache), 40u);
+    EXPECT_EQ(r.wrongFills, 1u);    // mispredict paths ARE serviced
+    EXPECT_EQ(r.finalSlot, 92);
+}
+
+TEST(DecodeScenario, RefusesMisfetchPathMisses)
+{
+    // A first-sight jump misfetches; its fall-through runs into a
+    // cold line. Decode must NOT service that miss (decode reveals
+    // the misfetch exactly when the fill could start).
+    ProgramScript script;
+    script.plains(7);    // line0, jump at its end
+    script.control(InstClass::Jump, true, kBase + 8 * 0x20);
+    script.plains(8);
+    // fall-through region: line1 is cold image-only code.
+    script.imagePlains(kBase + 0x20, 8);
+
+    SimResults r = runScript(script, FetchPolicy::Decode);
+    EXPECT_EQ(r.misfetches, 1u);
+    EXPECT_EQ(r.wrongMisses, 1u);
+    EXPECT_EQ(r.wrongFills, 0u);    // never serviced
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::WrongIcache), 0u);
+}
+
+TEST(IndirectScenario, TargetMispredictIdlesThenTrains)
+{
+    // Two trips through: 3 plains, indirect jump to line2, one plain,
+    // direct jump back. Trip 1: the indirect jump has no BTB target
+    // (16-slot idle window, no wrong-path fetches) and the direct
+    // jump misfetches (8). Trip 2: both hit (resolve installed the
+    // indirect target; decode installed the jump).
+    ProgramScript script;
+    for (int trip = 0; trip < 2; ++trip) {
+        script.plains(3);
+        script.control(InstClass::IndirectJump, true, kBase + 0x40);
+        script.plains(1);
+        script.control(InstClass::Jump, true, kBase);
+    }
+    // Keep the direct jump's misfetch-window walk inside warm line2:
+    // an unpredicted return at the line's last word ends the walk
+    // before it can cross into cold line3.
+    script.imageOnly(kBase + 0x5c, InstClass::Return);
+
+    SimResults r = runScript(script, FetchPolicy::Optimistic);
+    EXPECT_EQ(r.instructions, 12u);
+    EXPECT_EQ(r.targetMispredicts, 1u);
+    EXPECT_EQ(r.misfetches, 1u);
+    EXPECT_EQ(r.dirMispredicts, 0u);
+    // The idle indirect window makes no wrong-path accesses at all.
+    EXPECT_EQ(r.wrongFills, 0u);
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::Branch), 16u + 8u);
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::RtIcache), 40u);
+    EXPECT_EQ(r.finalSlot, 76);
+}
+
+TEST(CallReturnScenario, MisfetchAndTargetMispredictOnFirstSight)
+{
+    // plains(2), call to a far function, body, return, plains(2).
+    // First-sight call = misfetch (8); first-sight return = target
+    // mispredict (16, idle window since the BTB has nothing).
+    ProgramScript script;
+    script.plains(2);
+    script.control(InstClass::Call, true, kBase + 4 * 0x20);
+    script.plains(2);                                  // callee body
+    script.control(InstClass::Return, true, kBase + 3 * 4);
+    script.plains(2);
+
+    SimResults r = runScript(script, FetchPolicy::Oracle);
+    EXPECT_EQ(r.instructions, 8u);
+    EXPECT_EQ(r.misfetches, 1u);
+    EXPECT_EQ(r.targetMispredicts, 1u);
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::Branch), 8u + 16u);
+    // Two cold lines: line0 and the callee's line4.
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::RtIcache), 40u);
+    EXPECT_EQ(r.finalSlot, 72);
+}
+
+TEST(CallReturnScenario, RasRemovesReturnPenalty)
+{
+    // Same program with an 8-deep RAS: the return target comes from
+    // the stack, so only the call's misfetch remains.
+    ProgramScript script;
+    script.plains(2);
+    script.control(InstClass::Call, true, kBase + 4 * 0x20);
+    script.plains(2);
+    script.control(InstClass::Return, true, kBase + 3 * 4);
+    script.plains(2);
+
+    SimConfig config = scriptConfig(script, FetchPolicy::Oracle);
+    config.predictor.rasDepth = 8;
+    SimResults r = runScript(script, FetchPolicy::Oracle, &config);
+    EXPECT_EQ(r.targetMispredicts, 0u);
+    EXPECT_EQ(r.misfetches, 1u);
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::Branch), 8u);
+    EXPECT_EQ(r.finalSlot, 72 - 16);
+}
+
+TEST(WidthScenario, TwoWideMachineHalvesSlotPenalties)
+{
+    // The same mispredict scenario on a 2-wide machine: decode is
+    // 2 cycles = 4 slots, resolve 4 cycles = 8 slots, a 5-cycle miss
+    // fills for 10 slots.
+    ProgramScript script;
+    script.plains(7);
+    script.control(InstClass::CondBranch, true, kBase + 0x40);
+    script.plains(8);
+
+    SimConfig config = scriptConfig(script, FetchPolicy::Oracle);
+    config.issueWidth = 2;
+    SimResults r = runScript(script, FetchPolicy::Oracle, &config);
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::Branch), 8u);
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::RtIcache), 20u);
+    EXPECT_EQ(r.mispredictSlots, 8u);    // derived metrics track width
+    EXPECT_DOUBLE_EQ(r.phtMispredictIspi(), 8.0 / 16.0);
+}
+
+} // namespace
+} // namespace test
+} // namespace specfetch

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Hand-computed tests of next-line prefetching inside the fetch
+ * engine: the sequential-stream win at small penalties and the
+ * bus-contention loss at large ones (paper §5.3, Figures 3-4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine_test_support.hh"
+
+namespace specfetch {
+namespace test {
+namespace {
+
+constexpr Addr kBase = 0x10000;
+
+SimConfig
+prefetchConfig(const ProgramScript &script, FetchPolicy policy,
+               bool prefetch, unsigned miss_penalty = 5)
+{
+    SimConfig config = scriptConfig(script, policy);
+    config.nextLinePrefetch = prefetch;
+    config.missPenaltyCycles = miss_penalty;
+    return config;
+}
+
+TEST(EnginePrefetch, SequentialStreamPartiallyHidesFills)
+{
+    ProgramScript script;
+    script.plains(24);    // 3 lines
+
+    SimConfig config = prefetchConfig(script, FetchPolicy::Oracle, true);
+    SimResults r = runScript(script, FetchPolicy::Oracle, &config);
+
+    // Timeline: cold miss line0 (20 rt), prefetch line1 issued at 20;
+    // demand for line1 at 28 waits until 40 (12 rt), prefetch line2;
+    // demand for line2 at 48 waits until 60 (12 rt), prefetch line3.
+    EXPECT_EQ(r.demandMisses, 1u);
+    EXPECT_EQ(r.bufferHits, 2u);
+    EXPECT_EQ(r.prefetchesIssued, 3u);    // lines 1, 2, and 3
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::RtIcache), 44u);
+    EXPECT_EQ(r.penalty.totalSlots(), 44u);
+    EXPECT_EQ(r.finalSlot, 68);
+    EXPECT_EQ(r.memoryTransactions(), 4u);    // 1 fill + 3 prefetches
+}
+
+TEST(EnginePrefetch, BeatsNoPrefetchOnSequentialCode)
+{
+    ProgramScript script;
+    script.plains(24);
+    SimConfig off = prefetchConfig(script, FetchPolicy::Oracle, false);
+    SimConfig on = prefetchConfig(script, FetchPolicy::Oracle, true);
+    SimResults r_off = runScript(script, FetchPolicy::Oracle, &off);
+    SimResults r_on = runScript(script, FetchPolicy::Oracle, &on);
+    EXPECT_LT(r_on.finalSlot, r_off.finalSlot);
+    // ... at the price of extra traffic.
+    EXPECT_GT(r_on.memoryTransactions(), r_off.memoryTransactions());
+}
+
+TEST(EnginePrefetch, BusContentionHurtsAtLongLatency)
+{
+    // 8 plains in line0, then a first-sight jump (misfetch) to a far
+    // line. The speculative prefetch of line1 occupies the bus for 80
+    // slots, delaying the demand miss at the jump target (the
+    // Figure 4 effect: even Oracle loses).
+    ProgramScript script;
+    script.plains(7);
+    script.control(InstClass::Jump, true, kBase + 10 * 0x20);
+    script.plains(8);
+
+    SimConfig off = prefetchConfig(script, FetchPolicy::Oracle, false, 20);
+    SimConfig on = prefetchConfig(script, FetchPolicy::Oracle, true, 20);
+    SimResults r_off = runScript(script, FetchPolicy::Oracle, &off);
+    SimResults r_on = runScript(script, FetchPolicy::Oracle, &on);
+
+    // Without prefetch: line0 fill 80, misfetch 8, target fill 80.
+    EXPECT_EQ(r_off.penalty.slots(PenaltyKind::Branch), 8u);
+    EXPECT_EQ(r_off.penalty.slots(PenaltyKind::RtIcache), 160u);
+    EXPECT_EQ(r_off.penalty.slots(PenaltyKind::Bus), 0u);
+
+    // With prefetch: the useless line1 prefetch (issued at 80) makes
+    // the demand fill at slot 96 wait for the bus until 160.
+    EXPECT_EQ(r_on.penalty.slots(PenaltyKind::Bus), 64u);
+    EXPECT_GT(r_on.finalSlot, r_off.finalSlot);
+}
+
+TEST(EnginePrefetch, SuppressedWhenLinePresent)
+{
+    // Touch three lines, jump back, stream through them again: the
+    // second pass must not issue prefetches for resident lines.
+    ProgramScript script;
+    script.plains(23);
+    script.control(InstClass::Jump, true, kBase);
+    script.plains(24);
+
+    SimConfig config = prefetchConfig(script, FetchPolicy::Oracle, true);
+    SimResults r = runScript(script, FetchPolicy::Oracle, &config);
+    // Prefetches: lines 1, 2, 3 on the first pass only (bits consumed;
+    // second pass finds bits clear and lines present).
+    EXPECT_EQ(r.prefetchesIssued, 3u);
+}
+
+TEST(EnginePrefetch, AggressivePoliciesPrefetchOnWrongPath)
+{
+    // A mispredicted branch whose wrong path streams through warm
+    // line1 (first-ref bit still set): Resume triggers the next-line
+    // prefetch from the wrong path; Pessimistic does not.
+    ProgramScript script;
+    script.plains(7);    // line0 (loads line0, bit set)
+    // Fill line1 architecturally first so its bit is set and it is
+    // present: put it on the correct path, then loop back.
+    script.control(InstClass::Jump, true, kBase + 0x20);    // ->line1
+    script.plains(7);                                       // line1
+    script.control(InstClass::Jump, true, kBase + 0x1c);    // ->line0
+    // Branch at line0 end: actually taken far away; wrong path falls
+    // into line1 (present, bit already cleared by the pass above...
+    // so use line2 instead: lay image-only plains there).
+    script.control(InstClass::CondBranch, true, kBase + 20 * 0x20);
+    script.plains(4);
+
+    SimConfig res = prefetchConfig(script, FetchPolicy::Resume, true);
+    SimConfig pess =
+        prefetchConfig(script, FetchPolicy::Pessimistic, true);
+    SimResults r_res = runScript(script, FetchPolicy::Resume, &res);
+    SimResults r_pess =
+        runScript(script, FetchPolicy::Pessimistic, &pess);
+
+    // The aggressive policy generates at least as much prefetch +
+    // wrong-path traffic as the conservative one (Table 7 ordering).
+    EXPECT_GE(r_res.memoryTransactions(), r_pess.memoryTransactions());
+}
+
+TEST(EnginePrefetch, InvariantHoldsWithPrefetch)
+{
+    ProgramScript script;
+    script.plains(24);
+    for (FetchPolicy policy : allPolicies()) {
+        SimConfig config = prefetchConfig(script, policy, true);
+        SimResults r = runScript(script, policy, &config);
+        EXPECT_EQ(static_cast<uint64_t>(r.finalSlot),
+                  r.instructions + r.penalty.totalSlots())
+            << toString(policy);
+    }
+}
+
+// ---- Target prefetching (Smith & Hsu extension) ------------------------
+
+/**
+ * A loop whose body jumps between two far-apart lines: next-line
+ * prefetching never helps (the successor is never i+1), the target
+ * table learns the transfer after one trip.
+ */
+ProgramScript
+takenLoopScript(int trips)
+{
+    ProgramScript script;
+    for (int t = 0; t < trips; ++t) {
+        script.plains(3);
+        script.control(InstClass::Jump, true, kBase + 8 * 0x20);  // far
+        script.plains(3);
+        script.control(InstClass::Jump, true, kBase);             // back
+    }
+    return script;
+}
+
+TEST(EngineTargetPrefetch, LearnsTakenTransfers)
+{
+    ProgramScript script = takenLoopScript(4);
+    SimConfig config = scriptConfig(script, FetchPolicy::Oracle);
+    config.prefetchKind = PrefetchKind::Target;
+    SimResults r = runScript(script, FetchPolicy::Oracle, &config);
+    // Both lines stay resident after the first trip, so the target
+    // prefetcher has nothing to fetch — but it must have *trained*.
+    // Force evictions with a tiny cache to see it fire:
+    SimConfig tiny = config;
+    tiny.icache.sizeBytes = 2 * 32;    // two lines: guaranteed churn?
+    // Two lines 8 apart map to different frames of a 2-line cache
+    // only if their index bits differ; with 2 frames, lines 0 and 8
+    // share frame 0 — constant conflict, so the trained target
+    // prefetch fires every trip.
+    SimResults tiny_r = runScript(script, FetchPolicy::Oracle, &tiny);
+    EXPECT_GT(tiny_r.prefetchesIssued, 0u);
+    (void)r;
+}
+
+TEST(EngineTargetPrefetch, NextLineUselessOnTakenLoop)
+{
+    // On the same taken-transfer loop, next-line prefetches lines
+    // that are never executed; target prefetching avoids that waste.
+    ProgramScript script = takenLoopScript(6);
+    SimConfig next = scriptConfig(script, FetchPolicy::Oracle);
+    next.prefetchKind = PrefetchKind::NextLine;
+    SimConfig target = next;
+    target.prefetchKind = PrefetchKind::Target;
+
+    SimResults r_next = runScript(script, FetchPolicy::Oracle, &next);
+    SimResults r_target =
+        runScript(script, FetchPolicy::Oracle, &target);
+    // Next-line issued useless prefetches (lines 1 and 9 are never
+    // fetched); target issued none (both lines stay resident).
+    EXPECT_GT(r_next.prefetchesIssued, 0u);
+    EXPECT_EQ(r_target.prefetchesIssued, 0u);
+    EXPECT_LE(r_target.memoryTransactions(),
+              r_next.memoryTransactions());
+}
+
+TEST(EngineTargetPrefetch, CombinedCoversBothFlows)
+{
+    // Sequential code followed by a taken transfer: Combined issues
+    // next-line prefetches for the stream and a target prefetch for
+    // the transfer once trained.
+    ProgramScript script;
+    for (int t = 0; t < 3; ++t) {
+        script.plains(15);
+        script.control(InstClass::Jump, true, kBase + 16 * 0x20);
+        script.plains(7);
+        script.control(InstClass::Jump, true, kBase);
+    }
+    SimConfig config = scriptConfig(script, FetchPolicy::Oracle);
+    config.prefetchKind = PrefetchKind::Combined;
+    SimResults r = runScript(script, FetchPolicy::Oracle, &config);
+    EXPECT_GT(r.prefetchesIssued, 0u);
+    EXPECT_EQ(static_cast<uint64_t>(r.finalSlot),
+              r.instructions + r.penalty.totalSlots());
+}
+
+// ---- Pipelined memory interface (paper §6 further work) ----------------
+
+TEST(EnginePipelinedBus, SecondChannelAbsorbsPrefetchContention)
+{
+    // The Figure 4 pathology: a prefetch blocks a demand miss on the
+    // single-channel bus. A second channel removes the bus wait.
+    ProgramScript script;
+    script.plains(7);
+    script.control(InstClass::Jump, true, kBase + 10 * 0x20);
+    script.plains(8);
+
+    SimConfig one = scriptConfig(script, FetchPolicy::Oracle);
+    one.nextLinePrefetch = true;
+    one.missPenaltyCycles = 20;
+    SimConfig two = one;
+    two.memoryChannels = 2;
+
+    SimResults r_one = runScript(script, FetchPolicy::Oracle, &one);
+    SimResults r_two = runScript(script, FetchPolicy::Oracle, &two);
+
+    EXPECT_EQ(r_one.penalty.slots(PenaltyKind::Bus), 64u);
+    EXPECT_EQ(r_two.penalty.slots(PenaltyKind::Bus), 0u);
+    EXPECT_LT(r_two.finalSlot, r_one.finalSlot);
+}
+
+TEST(EnginePipelinedBus, ResumeWrongPathFillOverlapsDemand)
+{
+    // Scenario C with two channels: Resume's correct-path miss no
+    // longer waits for the wrong-path fill's bus transaction.
+    ProgramScript script;
+    script.plains(7);
+    script.control(InstClass::CondBranch, true, kBase + 0x40);
+    script.plains(8);
+
+    SimConfig one = scriptConfig(script, FetchPolicy::Resume);
+    SimConfig two = one;
+    two.memoryChannels = 2;
+
+    SimResults r_one = runScript(script, FetchPolicy::Resume, &one);
+    SimResults r_two = runScript(script, FetchPolicy::Resume, &two);
+    EXPECT_EQ(r_one.penalty.slots(PenaltyKind::Bus), 4u);
+    EXPECT_EQ(r_two.penalty.slots(PenaltyKind::Bus), 0u);
+}
+
+} // namespace
+} // namespace test
+} // namespace specfetch

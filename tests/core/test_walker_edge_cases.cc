@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Wrong-path-walker edge cases beyond the main engine scenarios:
+ * depth-limited walks, indirect control ending walks, walks that
+ * follow BTB-predicted wrong-path branches, and window arithmetic at
+ * the 20-cycle penalty.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine_test_support.hh"
+
+namespace specfetch {
+namespace test {
+namespace {
+
+constexpr Addr kBase = 0x10000;
+
+TEST(WalkerDepth, WrongPathStopsAtSpeculationLimit)
+{
+    // Mispredicted branch at depth 1: the wrong-path walk may not
+    // fetch past its first conditional, so the cold wrong-path line
+    // beyond it is never filled.
+    ProgramScript script;
+    script.plains(7);
+    script.control(InstClass::CondBranch, true, kBase + 4 * 0x20);
+    script.plains(8);
+    // Wrong path: one plain, then a conditional, then more plains in
+    // a cold second line.
+    script.imageOnly(kBase + 0x20, InstClass::Plain);
+    script.imageOnly(kBase + 0x24, InstClass::CondBranch, kBase + 0x24);
+    script.imagePlains(kBase + 0x28, 12);
+
+    SimConfig depth1 = scriptConfig(script, FetchPolicy::Optimistic);
+    depth1.maxUnresolved = 1;
+    SimResults r1 = runScript(script, FetchPolicy::Optimistic, &depth1);
+
+    SimConfig depth4 = scriptConfig(script, FetchPolicy::Optimistic);
+    SimResults r4 = runScript(script, FetchPolicy::Optimistic, &depth4);
+
+    // At depth 1 the walk halts at the wrong-path conditional (first
+    // line already filled); at depth 4 it proceeds through it.
+    EXPECT_LE(r1.wrongFills, r4.wrongFills);
+    EXPECT_EQ(static_cast<uint64_t>(r1.finalSlot),
+              r1.instructions + r1.penalty.totalSlots());
+}
+
+TEST(WalkerIndirect, ReturnWithoutPredictionEndsWalk)
+{
+    // Wrong path runs into a Return the BTB knows nothing about: the
+    // walk must stop rather than invent a target, so the cold line
+    // beyond it stays untouched.
+    ProgramScript script;
+    script.plains(7);
+    script.control(InstClass::CondBranch, true, kBase + 4 * 0x20);
+    script.plains(8);
+    script.imageOnly(kBase + 0x20, InstClass::Return);
+    script.imagePlains(kBase + 0x40, 8);    // would-be next line
+
+    SimResults r = runScript(script, FetchPolicy::Optimistic);
+    // The walk fills line1 (where the Return sits), then stops: the
+    // cold line at +0x40 is never serviced.
+    EXPECT_LE(r.wrongFills, 1u);
+    EXPECT_FALSE(r.penalty.slots(PenaltyKind::WrongIcache) > 80);
+}
+
+TEST(WalkerWindow, TwentyCyclePenaltyOverhangIsLarge)
+{
+    // Optimistic, 20-cycle penalty: a wrong-path miss at the window's
+    // first slot fills for 80 slots against a 16-slot window, so most
+    // of the fill outlasts the redirect.
+    ProgramScript script;
+    script.plains(7);
+    script.control(InstClass::CondBranch, true, kBase + 4 * 0x20);
+    script.plains(8);
+
+    SimConfig config = scriptConfig(script, FetchPolicy::Optimistic);
+    config.missPenaltyCycles = 20;
+    SimResults r = runScript(script, FetchPolicy::Optimistic, &config);
+
+    // Timeline: line0 fill 0..80; plains issue 80..86; branch at 87;
+    // window [88,104); the wrong-path line1 misses at slot 88, fill
+    // 88..168 -> overhang 168-104 = 64.
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::WrongIcache), 64u);
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::Branch), 16u);
+}
+
+TEST(WalkerWindow, ResumeNeverDelaysRedirectEvenAtTwentyCycles)
+{
+    ProgramScript script;
+    script.plains(7);
+    script.control(InstClass::CondBranch, true, kBase + 4 * 0x20);
+    script.plains(8);
+
+    SimConfig config = scriptConfig(script, FetchPolicy::Resume);
+    config.missPenaltyCycles = 20;
+    SimResults r = runScript(script, FetchPolicy::Resume, &config);
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::WrongIcache), 0u);
+    // The correct-path fill then queues behind the wrong-path fill:
+    // bus wait = 168 - 104 = 64 slots.
+    EXPECT_EQ(r.penalty.slots(PenaltyKind::Bus), 64u);
+}
+
+TEST(WalkerBtb, WrongPathFollowsPredictedTakenBranches)
+{
+    // Train the BTB so a wrong-path conditional is predicted taken to
+    // a *third* line; the walk must follow it there and fill it.
+    ProgramScript script;
+    // Trip 1: execute the "wrong path" region architecturally so its
+    // branch trains the predictor (taken to line 8).
+    script.plains(7);                                         // line0
+    script.control(InstClass::Jump, true, kBase + 0x20);      // ->line1
+    script.control(InstClass::CondBranch, true, kBase + 8 * 0x20);
+    script.plains(7);                                         // line8
+    script.control(InstClass::Jump, true, kBase + 0x1c);      // ->line0
+    // Trip 2: a conditional at line0's end actually taken to a far
+    // line. Its wrong path (the fall-through into line1) contains the
+    // now-trained branch: the walk follows the BTB-predicted target
+    // into warm line8 without cost, and the ledger must balance.
+    script.control(InstClass::CondBranch, true, kBase + 12 * 0x20);
+    script.plains(4);
+
+    SimConfig config = scriptConfig(script, FetchPolicy::Optimistic);
+    config.predictor.phtIndexing = PhtIndexing::PcOnly;
+    SimResults r = runScript(script, FetchPolicy::Optimistic, &config);
+    EXPECT_EQ(static_cast<uint64_t>(r.finalSlot),
+              r.instructions + r.penalty.totalSlots());
+}
+
+TEST(WalkerAssoc, TwoWayCacheWalksCleanly)
+{
+    // The whole pipeline with a 2-way cache: ledger + policy
+    // component zeros still hold.
+    ProgramScript script;
+    script.plains(7);
+    script.control(InstClass::CondBranch, true, kBase + 4 * 0x20);
+    script.plains(8);
+
+    for (FetchPolicy policy : allPolicies()) {
+        SimConfig config = scriptConfig(script, policy);
+        config.icache.ways = 2;
+        SimResults r = runScript(script, policy, &config);
+        EXPECT_EQ(static_cast<uint64_t>(r.finalSlot),
+                  r.instructions + r.penalty.totalSlots())
+            << toString(policy);
+    }
+}
+
+} // namespace
+} // namespace test
+} // namespace specfetch

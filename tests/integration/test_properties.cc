@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Property-based tests: paper-level invariants checked across every
+ * benchmark × policy (parameterized sweeps). These are the "does the
+ * system reproduce the paper's structure" tests, run at reduced
+ * budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hh"
+#include "workload/registry.hh"
+
+namespace specfetch {
+namespace {
+
+constexpr uint64_t kBudget = 200'000;
+
+SimConfig
+baseConfig()
+{
+    SimConfig config;
+    config.instructionBudget = kBudget;
+    return config;
+}
+
+/** Cache of built workloads shared across tests in this binary. */
+const Workload &
+workloadFor(const std::string &name)
+{
+    static std::map<std::string, Workload> cache;
+    auto it = cache.find(name);
+    if (it == cache.end())
+        it = cache.emplace(name, buildWorkload(getProfile(name))).first;
+    return it->second;
+}
+
+SimResults
+run(const std::string &bench, FetchPolicy policy,
+    unsigned depth = 4, unsigned penalty = 5, bool prefetch = false)
+{
+    SimConfig config = baseConfig();
+    config.policy = policy;
+    config.maxUnresolved = depth;
+    config.missPenaltyCycles = penalty;
+    config.nextLinePrefetch = prefetch;
+    return runSimulation(workloadFor(bench), config);
+}
+
+// ---- Per-benchmark × per-policy invariants ----------------------------
+
+struct Combo
+{
+    std::string bench;
+    FetchPolicy policy;
+};
+
+class PolicyComboTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+  protected:
+    std::string bench() const { return std::get<0>(GetParam()); }
+    FetchPolicy
+    policy() const
+    {
+        return allPolicies()[std::get<1>(GetParam())];
+    }
+};
+
+TEST_P(PolicyComboTest, SlotLedgerBalances)
+{
+    SimResults r = run(bench(), policy());
+    EXPECT_EQ(static_cast<uint64_t>(r.finalSlot),
+              r.instructions + r.penalty.totalSlots());
+}
+
+TEST_P(PolicyComboTest, ComponentZeroingMatchesPolicy)
+{
+    SimResults r = run(bench(), policy());
+    switch (policy()) {
+      case FetchPolicy::Oracle:
+      case FetchPolicy::Optimistic:
+      case FetchPolicy::Resume:
+        EXPECT_EQ(r.penalty.slots(PenaltyKind::ForceResolve), 0u);
+        break;
+      case FetchPolicy::Pessimistic:
+      case FetchPolicy::Decode:
+        // Conservative policies never block on wrong-path fills...
+        break;
+    }
+    if (policy() == FetchPolicy::Oracle ||
+        policy() == FetchPolicy::Pessimistic ||
+        policy() == FetchPolicy::Resume) {
+        EXPECT_EQ(r.penalty.slots(PenaltyKind::WrongIcache), 0u);
+    }
+    if (policy() != FetchPolicy::Resume) {
+        // Without prefetching, only Resume leaves the bus busy across
+        // a redirect.
+        EXPECT_EQ(r.penalty.slots(PenaltyKind::Bus), 0u);
+    }
+    if (policy() == FetchPolicy::Oracle ||
+        policy() == FetchPolicy::Pessimistic) {
+        EXPECT_EQ(r.wrongFills, 0u);
+    }
+}
+
+TEST_P(PolicyComboTest, SaneRates)
+{
+    SimResults r = run(bench(), policy());
+    EXPECT_EQ(r.instructions, kBudget);
+    EXPECT_GT(r.ispi(), 0.0);
+    EXPECT_LT(r.ispi(), 30.0);
+    EXPECT_GE(r.condAccuracy(), 0.3);
+    EXPECT_LE(r.condAccuracy(), 1.0);
+    EXPECT_LE(r.demandMisses, r.demandAccesses);
+    EXPECT_LE(r.demandFills, r.demandMisses);
+    EXPECT_LE(r.wrongFills, r.wrongMisses);
+}
+
+TEST_P(PolicyComboTest, DeterministicRuns)
+{
+    SimResults a = run(bench(), policy());
+    SimResults b = run(bench(), policy());
+    EXPECT_EQ(a.finalSlot, b.finalSlot);
+    EXPECT_EQ(a.demandMisses, b.demandMisses);
+    EXPECT_EQ(a.penalty.totalSlots(), b.penalty.totalSlots());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, PolicyComboTest,
+    ::testing::Combine(::testing::Values("doduc", "fpppp", "gcc", "li",
+                                         "cfront", "groff", "idl"),
+                       ::testing::Range(0, 5)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           shortName(allPolicies()[std::get<1>(info.param)]);
+        for (char &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+// ---- Cross-policy orderings (paper §5) --------------------------------
+
+class BenchTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BenchTest, PessimisticTrafficEqualsOracle)
+{
+    SimResults oracle = run(GetParam(), FetchPolicy::Oracle);
+    SimResults pess = run(GetParam(), FetchPolicy::Pessimistic);
+    // Neither services wrong-path misses nor prefetches: traffic is
+    // correct-path fills only, and the correct path is shared.
+    double rel = std::abs(static_cast<double>(oracle.demandFills) -
+                          static_cast<double>(pess.demandFills)) /
+                 static_cast<double>(oracle.demandFills);
+    EXPECT_LT(rel, 0.02) << GetParam();
+}
+
+TEST_P(BenchTest, AggressivePoliciesGenerateMoreTraffic)
+{
+    SimResults oracle = run(GetParam(), FetchPolicy::Oracle);
+    SimResults optimistic = run(GetParam(), FetchPolicy::Optimistic);
+    SimResults resume = run(GetParam(), FetchPolicy::Resume);
+    EXPECT_GE(optimistic.memoryTransactions(),
+              oracle.memoryTransactions());
+    EXPECT_GE(resume.memoryTransactions(), oracle.memoryTransactions());
+}
+
+TEST_P(BenchTest, ResumeNoWorseThanOptimistic)
+{
+    SimResults optimistic = run(GetParam(), FetchPolicy::Optimistic);
+    SimResults resume = run(GetParam(), FetchPolicy::Resume);
+    // Resume only removes stall time relative to Optimistic; allow a
+    // whisker of noise from divergent predictor timing.
+    EXPECT_LE(resume.ispi(), optimistic.ispi() * 1.03) << GetParam();
+}
+
+TEST_P(BenchTest, BaselineOptimisticBeatsPessimistic)
+{
+    // Paper §5.1.2 headline at the 5-cycle penalty.
+    SimResults optimistic = run(GetParam(), FetchPolicy::Optimistic);
+    SimResults pess = run(GetParam(), FetchPolicy::Pessimistic);
+    EXPECT_LT(optimistic.ispi(), pess.ispi()) << GetParam();
+}
+
+TEST_P(BenchTest, DeeperSpeculationHelps)
+{
+    // Paper Table 5: ISPI falls monotonically with depth, and the
+    // 1 -> 2 step is the larger one.
+    SimResults d1 = run(GetParam(), FetchPolicy::Oracle, 1);
+    SimResults d2 = run(GetParam(), FetchPolicy::Oracle, 2);
+    SimResults d4 = run(GetParam(), FetchPolicy::Oracle, 4);
+    EXPECT_GT(d1.ispi(), d2.ispi()) << GetParam();
+    EXPECT_GE(d2.ispi(), d4.ispi() * 0.999) << GetParam();
+    EXPECT_GT(d1.ispi() - d2.ispi(), d2.ispi() - d4.ispi())
+        << GetParam();
+}
+
+TEST_P(BenchTest, LargerCacheShrinksIspi)
+{
+    // Paper Table 6 vs Table 5.
+    SimConfig small = baseConfig();
+    small.policy = FetchPolicy::Resume;
+    SimConfig big = small;
+    big.icache.sizeBytes = 32 * 1024;
+    SimResults r8 = runSimulation(workloadFor(GetParam()), small);
+    SimResults r32 = runSimulation(workloadFor(GetParam()), big);
+    EXPECT_LT(r32.ispi(), r8.ispi()) << GetParam();
+    EXPECT_LT(r32.missRatePercent(), r8.missRatePercent());
+}
+
+TEST_P(BenchTest, PrefetchIncreasesTraffic)
+{
+    // Paper Table 7: prefetching raises memory traffic for every
+    // policy.
+    for (FetchPolicy policy : {FetchPolicy::Oracle, FetchPolicy::Resume,
+                               FetchPolicy::Pessimistic}) {
+        SimResults off = run(GetParam(), policy, 4, 5, false);
+        SimResults on = run(GetParam(), policy, 4, 5, true);
+        EXPECT_GT(on.memoryTransactions(), off.memoryTransactions())
+            << GetParam() << "/" << toString(policy);
+    }
+}
+
+TEST_P(BenchTest, PrefetchHelpsAtSmallPenalty)
+{
+    // Paper Figure 3: next-line prefetching improves every policy at
+    // the 5-cycle penalty (small slack for noise).
+    for (FetchPolicy policy : {FetchPolicy::Oracle, FetchPolicy::Resume,
+                               FetchPolicy::Pessimistic}) {
+        SimResults off = run(GetParam(), policy, 4, 5, false);
+        SimResults on = run(GetParam(), policy, 4, 5, true);
+        EXPECT_LT(on.ispi(), off.ispi() * 1.02)
+            << GetParam() << "/" << toString(policy);
+    }
+}
+
+TEST_P(BenchTest, LongLatencyFavorsConservative)
+{
+    // Paper Figure 2 / §5.2.1: at the 20-cycle penalty Pessimistic
+    // catches up with (or beats) Optimistic relative to the 5-cycle
+    // baseline.
+    SimResults opt5 = run(GetParam(), FetchPolicy::Optimistic, 4, 5);
+    SimResults pess5 = run(GetParam(), FetchPolicy::Pessimistic, 4, 5);
+    SimResults opt20 = run(GetParam(), FetchPolicy::Optimistic, 4, 20);
+    SimResults pess20 =
+        run(GetParam(), FetchPolicy::Pessimistic, 4, 20);
+    double gap5 = pess5.ispi() / opt5.ispi();
+    double gap20 = pess20.ispi() / opt20.ispi();
+    EXPECT_LT(gap20, gap5) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(CrossPolicy, BenchTest,
+                         ::testing::Values("gcc", "li", "groff", "idl",
+                                           "lic", "ditroff"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (!isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return name;
+                         });
+
+} // namespace
+} // namespace specfetch

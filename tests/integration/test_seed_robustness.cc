@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Seed-robustness properties: the paper's headline orderings must not
+ * be artifacts of one dynamic instance. Sweeps (benchmark × run seed)
+ * and re-checks the central claims, plus config-plumbing equivalences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hh"
+#include "workload/registry.hh"
+
+namespace specfetch {
+namespace {
+
+class SeedTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>>
+{
+  protected:
+    SimResults
+    run(FetchPolicy policy, unsigned penalty = 5, bool prefetch = false)
+    {
+        SimConfig config;
+        config.instructionBudget = 150'000;
+        config.policy = policy;
+        config.missPenaltyCycles = penalty;
+        config.nextLinePrefetch = prefetch;
+        config.runSeed = std::get<1>(GetParam());
+        static std::map<std::string, Workload> cache;
+        const std::string &name = std::get<0>(GetParam());
+        auto it = cache.find(name);
+        if (it == cache.end())
+            it = cache.emplace(name, buildWorkload(getProfile(name)))
+                     .first;
+        return runSimulation(it->second, config);
+    }
+};
+
+TEST_P(SeedTest, BaselineOrderingHolds)
+{
+    SimResults optimistic = run(FetchPolicy::Optimistic);
+    SimResults resume = run(FetchPolicy::Resume);
+    SimResults pess = run(FetchPolicy::Pessimistic);
+    EXPECT_LT(optimistic.ispi(), pess.ispi());
+    EXPECT_LE(resume.ispi(), optimistic.ispi() * 1.03);
+}
+
+TEST_P(SeedTest, LedgerBalancesForEverySeed)
+{
+    for (FetchPolicy policy : allPolicies()) {
+        SimResults r = run(policy);
+        EXPECT_EQ(static_cast<uint64_t>(r.finalSlot),
+                  r.instructions + r.penalty.totalSlots())
+            << toString(policy);
+    }
+}
+
+TEST_P(SeedTest, PrefetchHelpsAtBaselinePenalty)
+{
+    SimResults off = run(FetchPolicy::Resume, 5, false);
+    SimResults on = run(FetchPolicy::Resume, 5, true);
+    EXPECT_LT(on.ispi(), off.ispi() * 1.03);
+    EXPECT_GT(on.memoryTransactions(), off.memoryTransactions());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SeedTest,
+    ::testing::Combine(::testing::Values("gcc", "groff"),
+                       ::testing::Values(uint64_t{42}, uint64_t{7},
+                                         uint64_t{20260706})),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---- Config plumbing equivalences --------------------------------------
+
+TEST(ConfigPlumbing, BoolAndKindNextLineAgree)
+{
+    Workload w = buildWorkload(getProfile("li"));
+    SimConfig via_bool;
+    via_bool.instructionBudget = 100'000;
+    via_bool.policy = FetchPolicy::Resume;
+    via_bool.nextLinePrefetch = true;
+
+    SimConfig via_kind = via_bool;
+    via_kind.nextLinePrefetch = false;
+    via_kind.prefetchKind = PrefetchKind::NextLine;
+
+    SimResults a = runSimulation(w, via_bool);
+    SimResults b = runSimulation(w, via_kind);
+    EXPECT_EQ(a.finalSlot, b.finalSlot);
+    EXPECT_EQ(a.prefetchesIssued, b.prefetchesIssued);
+}
+
+TEST(ConfigPlumbing, KindOverridesBool)
+{
+    SimConfig config;
+    config.nextLinePrefetch = true;
+    config.prefetchKind = PrefetchKind::Target;
+    EXPECT_EQ(config.effectivePrefetchKind(), PrefetchKind::Target);
+    config.prefetchKind = PrefetchKind::None;
+    EXPECT_EQ(config.effectivePrefetchKind(), PrefetchKind::NextLine);
+    config.nextLinePrefetch = false;
+    EXPECT_EQ(config.effectivePrefetchKind(), PrefetchKind::None);
+}
+
+TEST(ConfigPlumbing, SingleChannelMatchesDefaultExactly)
+{
+    Workload w = buildWorkload(getProfile("idl"));
+    SimConfig config;
+    config.instructionBudget = 100'000;
+    config.policy = FetchPolicy::Resume;
+    SimResults a = runSimulation(w, config);
+    config.memoryChannels = 1;    // explicit = default
+    SimResults b = runSimulation(w, config);
+    EXPECT_EQ(a.finalSlot, b.finalSlot);
+}
+
+TEST(ConfigPlumbing, MoreChannelsNeverHurt)
+{
+    Workload w = buildWorkload(getProfile("groff"));
+    SimConfig config;
+    config.instructionBudget = 150'000;
+    config.policy = FetchPolicy::Resume;
+    config.nextLinePrefetch = true;
+    config.missPenaltyCycles = 20;
+    SimResults one = runSimulation(w, config);
+    config.memoryChannels = 2;
+    SimResults two = runSimulation(w, config);
+    EXPECT_LE(two.penalty.slots(PenaltyKind::Bus),
+              one.penalty.slots(PenaltyKind::Bus));
+    EXPECT_LE(two.ispi(), one.ispi() * 1.01);
+}
+
+// ---- Stats dump --------------------------------------------------------
+
+TEST(StatsDump, ContainsEveryGroup)
+{
+    SimConfig config;
+    config.instructionBudget = 50'000;
+    SimResults r = runBenchmark("tex", config);
+    std::string dump = r.statsDump();
+    for (const char *needle :
+         {"sim.frontend.instructions", "sim.frontend.ispi",
+          "sim.branch.cond_accuracy", "sim.icache.demand_misses",
+          "sim.icache.memory_transactions",
+          "sim.frontend.ispi_rt_icache"}) {
+        EXPECT_NE(dump.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(StatsDump, ValuesMatchResultFields)
+{
+    SimConfig config;
+    config.instructionBudget = 50'000;
+    SimResults r = runBenchmark("tex", config);
+    std::string dump = r.statsDump();
+    EXPECT_NE(dump.find(std::to_string(r.instructions)),
+              std::string::npos);
+    EXPECT_NE(dump.find(std::to_string(r.demandMisses)),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace specfetch

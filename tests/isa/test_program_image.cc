@@ -1,0 +1,82 @@
+/** @file Unit tests for isa/program_image.hh. */
+
+#include "isa/program_image.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(ProgramImage, SetAndDecode)
+{
+    ProgramImage image(0x1000, 4);
+    image.set(0x1004, StaticInst{InstClass::Jump, 0x1000});
+    StaticInst inst = image.at(0x1004);
+    EXPECT_EQ(inst.cls, InstClass::Jump);
+    EXPECT_EQ(inst.target, 0x1000u);
+}
+
+TEST(ProgramImage, DefaultsToPlain)
+{
+    ProgramImage image(0x1000, 4);
+    EXPECT_EQ(image.at(0x1000).cls, InstClass::Plain);
+}
+
+TEST(ProgramImage, OutsideImageDecodesPlain)
+{
+    ProgramImage image(0x1000, 4);
+    EXPECT_EQ(image.at(0x0).cls, InstClass::Plain);
+    EXPECT_EQ(image.at(0x1010).cls, InstClass::Plain);
+    EXPECT_EQ(image.at(0xffffffff0000ull).cls, InstClass::Plain);
+}
+
+TEST(ProgramImage, MisalignedDecodesPlain)
+{
+    ProgramImage image(0x1000, 4);
+    image.set(0x1004, StaticInst{InstClass::Jump, 0});
+    EXPECT_EQ(image.at(0x1005).cls, InstClass::Plain);
+}
+
+TEST(ProgramImage, Bounds)
+{
+    ProgramImage image(0x1000, 3);
+    EXPECT_EQ(image.base(), 0x1000u);
+    EXPECT_EQ(image.end(), 0x100cu);
+    EXPECT_EQ(image.size(), 3u);
+    EXPECT_TRUE(image.contains(0x1000));
+    EXPECT_TRUE(image.contains(0x1008));
+    EXPECT_FALSE(image.contains(0x100c));
+    EXPECT_FALSE(image.contains(0xfff));
+}
+
+TEST(ProgramImage, IndexAddressRoundTrip)
+{
+    ProgramImage image(0x2000, 8);
+    for (size_t i = 0; i < 8; ++i) {
+        Addr addr = image.addrOf(i);
+        EXPECT_EQ(image.indexOf(addr), i);
+    }
+}
+
+TEST(ProgramImage, ControlCount)
+{
+    ProgramImage image(0x1000, 8);
+    EXPECT_EQ(image.controlCount(), 0u);
+    image.set(0x1000, StaticInst{InstClass::CondBranch, 0x1010});
+    image.set(0x1010, StaticInst{InstClass::Return, 0});
+    EXPECT_EQ(image.controlCount(), 2u);
+}
+
+TEST(ProgramImageDeath, MisalignedBasePanics)
+{
+    EXPECT_DEATH({ ProgramImage image(0x1001, 4); }, "misaligned");
+}
+
+TEST(ProgramImageDeath, IndexOfOutsidePanics)
+{
+    ProgramImage image(0x1000, 4);
+    EXPECT_DEATH(image.indexOf(0x2000), "outside");
+}
+
+} // namespace
+} // namespace specfetch

@@ -1,0 +1,80 @@
+/** @file Unit tests for isa/types.hh classification predicates. */
+
+#include "isa/types.hh"
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+
+namespace specfetch {
+namespace {
+
+TEST(InstClass, ControlPredicate)
+{
+    EXPECT_FALSE(isControl(InstClass::Plain));
+    EXPECT_TRUE(isControl(InstClass::CondBranch));
+    EXPECT_TRUE(isControl(InstClass::Jump));
+    EXPECT_TRUE(isControl(InstClass::Call));
+    EXPECT_TRUE(isControl(InstClass::Return));
+    EXPECT_TRUE(isControl(InstClass::IndirectJump));
+}
+
+TEST(InstClass, StaticTargetPredicate)
+{
+    EXPECT_FALSE(hasStaticTarget(InstClass::Plain));
+    EXPECT_TRUE(hasStaticTarget(InstClass::CondBranch));
+    EXPECT_TRUE(hasStaticTarget(InstClass::Jump));
+    EXPECT_TRUE(hasStaticTarget(InstClass::Call));
+    EXPECT_FALSE(hasStaticTarget(InstClass::Return));
+    EXPECT_FALSE(hasStaticTarget(InstClass::IndirectJump));
+}
+
+TEST(InstClass, IndirectPredicate)
+{
+    EXPECT_TRUE(isIndirect(InstClass::Return));
+    EXPECT_TRUE(isIndirect(InstClass::IndirectJump));
+    EXPECT_FALSE(isIndirect(InstClass::CondBranch));
+    EXPECT_FALSE(isIndirect(InstClass::Jump));
+}
+
+TEST(InstClass, ConditionalPredicate)
+{
+    EXPECT_TRUE(isConditional(InstClass::CondBranch));
+    EXPECT_FALSE(isConditional(InstClass::Jump));
+}
+
+TEST(InstClass, Names)
+{
+    EXPECT_EQ(toString(InstClass::Plain), "plain");
+    EXPECT_EQ(toString(InstClass::CondBranch), "cond");
+    EXPECT_EQ(toString(InstClass::Return), "return");
+}
+
+TEST(DynInst, NextPcFallThrough)
+{
+    DynInst inst{0x1000, InstClass::Plain, false, 0};
+    EXPECT_EQ(inst.nextPc(), 0x1004u);
+}
+
+TEST(DynInst, NextPcNotTakenBranch)
+{
+    DynInst inst{0x1000, InstClass::CondBranch, false, 0x2000};
+    EXPECT_EQ(inst.nextPc(), 0x1004u);
+}
+
+TEST(DynInst, NextPcTakenBranch)
+{
+    DynInst inst{0x1000, InstClass::CondBranch, true, 0x2000};
+    EXPECT_EQ(inst.nextPc(), 0x2000u);
+}
+
+TEST(DynInst, NextPcUnconditional)
+{
+    DynInst jump{0x1000, InstClass::Jump, true, 0x3000};
+    EXPECT_EQ(jump.nextPc(), 0x3000u);
+    DynInst ret{0x1000, InstClass::Return, true, 0x4000};
+    EXPECT_EQ(ret.nextPc(), 0x4000u);
+}
+
+} // namespace
+} // namespace specfetch

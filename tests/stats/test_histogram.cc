@@ -1,0 +1,112 @@
+/** @file Unit tests for stats/histogram.hh. */
+
+#include "stats/histogram.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(Histogram, EmptyState)
+{
+    Histogram h(4, 10);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsFill)
+{
+    Histogram h(4, 10);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    ASSERT_EQ(h.buckets().size(), 5u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(4, 10);
+    h.sample(40);
+    h.sample(1000000);
+    EXPECT_EQ(h.buckets().back(), 2u);
+}
+
+TEST(Histogram, SummaryStats)
+{
+    Histogram h(10, 5);
+    h.sample(2);
+    h.sample(4);
+    h.sample(12);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 18u);
+    EXPECT_EQ(h.minValue(), 2u);
+    EXPECT_EQ(h.maxValue(), 12u);
+    EXPECT_DOUBLE_EQ(h.mean(), 6.0);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(4, 10);
+    h.sample(5, 7);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_EQ(h.sum(), 35u);
+    EXPECT_EQ(h.buckets()[0], 7u);
+}
+
+TEST(Histogram, ZeroWeightIgnored)
+{
+    Histogram h(4, 10);
+    h.sample(5, 0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(10, 10);
+    for (uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_LE(h.percentile(0.5), 59u);
+    EXPECT_GE(h.percentile(0.5), 40u);
+    EXPECT_GE(h.percentile(1.0), 90u);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(4, 10);
+    h.sample(3);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.buckets()[0], 0u);
+}
+
+TEST(Histogram, RenderMentionsStats)
+{
+    Histogram h(4, 10);
+    h.sample(3);
+    h.sample(25);
+    std::string out = h.render("lat");
+    EXPECT_NE(out.find("lat"), std::string::npos);
+    EXPECT_NE(out.find("n=2"), std::string::npos);
+    EXPECT_NE(out.find("[0,10)"), std::string::npos);
+    EXPECT_NE(out.find("[20,30)"), std::string::npos);
+}
+
+TEST(HistogramDeath, RejectsZeroBuckets)
+{
+    EXPECT_DEATH({ Histogram h(0, 10); }, "bucket");
+}
+
+TEST(HistogramDeath, RejectsZeroWidth)
+{
+    EXPECT_DEATH({ Histogram h(4, 0); }, "width");
+}
+
+} // namespace
+} // namespace specfetch

@@ -1,0 +1,78 @@
+/** @file Unit tests for stats/stat_group.hh. */
+
+#include "stats/stat_group.hh"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace specfetch {
+namespace {
+
+TEST(StatGroup, CountersVisitWithQualifiedNames)
+{
+    Counter hits;
+    hits += 3;
+    StatGroup group("cache");
+    group.addCounter("hits", hits, "cache hits");
+
+    std::map<std::string, double> seen;
+    group.visit([&](const std::string &name, double value,
+                    const std::string &) { seen[name] = value; });
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_DOUBLE_EQ(seen.at("cache.hits"), 3.0);
+}
+
+TEST(StatGroup, FormulaEvaluatesLazily)
+{
+    Counter hits;
+    Counter total;
+    StatGroup group("cache");
+    group.addFormula("hit_rate",
+                     [&] { return ratioOf(hits.value(), total.value()); },
+                     "hit ratio");
+    hits += 3;
+    total += 4;
+    std::map<std::string, double> seen;
+    group.visit([&](const std::string &name, double value,
+                    const std::string &) { seen[name] = value; });
+    EXPECT_DOUBLE_EQ(seen.at("cache.hit_rate"), 0.75);
+}
+
+TEST(StatGroup, NestedGroupsQualifyNames)
+{
+    Counter c;
+    c += 1;
+    StatGroup child("l1");
+    child.addCounter("misses", c, "");
+    StatGroup parent("system");
+    parent.addChild(child);
+
+    std::map<std::string, double> seen;
+    parent.visit([&](const std::string &name, double value,
+                     const std::string &) { seen[name] = value; });
+    EXPECT_EQ(seen.count("system.l1.misses"), 1u);
+}
+
+TEST(StatGroup, DumpContainsDescriptions)
+{
+    Counter c;
+    c += 42;
+    StatGroup group("g");
+    group.addCounter("events", c, "number of events");
+    std::string out = group.dump();
+    EXPECT_NE(out.find("g.events"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("number of events"), std::string::npos);
+}
+
+TEST(StatGroup, DumpFormatsFractions)
+{
+    StatGroup group("g");
+    group.addFormula("ratio", [] { return 0.125; }, "");
+    std::string out = group.dump();
+    EXPECT_NE(out.find("0.125000"), std::string::npos);
+}
+
+} // namespace
+} // namespace specfetch

@@ -1,0 +1,45 @@
+/** @file Unit tests for stats/stats.hh. */
+
+#include "stats/stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(Counter, StartsAtZero)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Counter, IncrementForms)
+{
+    Counter counter;
+    ++counter;
+    counter++;
+    counter += 5;
+    EXPECT_EQ(counter.value(), 7u);
+}
+
+TEST(Counter, Reset)
+{
+    Counter counter;
+    counter += 10;
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(RatioOf, Normal)
+{
+    EXPECT_DOUBLE_EQ(ratioOf(1, 4), 0.25);
+    EXPECT_DOUBLE_EQ(ratioOf(0, 4), 0.0);
+}
+
+TEST(RatioOf, ZeroDenominatorIsZero)
+{
+    EXPECT_DOUBLE_EQ(ratioOf(5, 0), 0.0);
+}
+
+} // namespace
+} // namespace specfetch

@@ -1,0 +1,84 @@
+/** @file Unit tests for trace/format.hh primitives. */
+
+#include "trace/format.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(Varint, RoundTripSmall)
+{
+    for (uint64_t value : {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull,
+                           16384ull}) {
+        std::vector<uint8_t> buf;
+        putVarint(buf, value);
+        size_t offset = 0;
+        uint64_t decoded = 0;
+        ASSERT_TRUE(getVarint(buf.data(), buf.size(), offset, decoded));
+        EXPECT_EQ(decoded, value);
+        EXPECT_EQ(offset, buf.size());
+    }
+}
+
+TEST(Varint, RoundTripLarge)
+{
+    for (uint64_t value : {uint64_t{1} << 32, uint64_t{1} << 56,
+                           ~uint64_t{0}}) {
+        std::vector<uint8_t> buf;
+        putVarint(buf, value);
+        size_t offset = 0;
+        uint64_t decoded = 0;
+        ASSERT_TRUE(getVarint(buf.data(), buf.size(), offset, decoded));
+        EXPECT_EQ(decoded, value);
+    }
+}
+
+TEST(Varint, EncodingLength)
+{
+    std::vector<uint8_t> buf;
+    putVarint(buf, 127);
+    EXPECT_EQ(buf.size(), 1u);
+    buf.clear();
+    putVarint(buf, 128);
+    EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(Varint, TruncatedInputFails)
+{
+    std::vector<uint8_t> buf;
+    putVarint(buf, 1 << 20);
+    size_t offset = 0;
+    uint64_t decoded = 0;
+    EXPECT_FALSE(getVarint(buf.data(), buf.size() - 1, offset, decoded));
+}
+
+TEST(Varint, SequentialDecodes)
+{
+    std::vector<uint8_t> buf;
+    putVarint(buf, 5);
+    putVarint(buf, 1000);
+    size_t offset = 0;
+    uint64_t a = 0, b = 0;
+    ASSERT_TRUE(getVarint(buf.data(), buf.size(), offset, a));
+    ASSERT_TRUE(getVarint(buf.data(), buf.size(), offset, b));
+    EXPECT_EQ(a, 5u);
+    EXPECT_EQ(b, 1000u);
+}
+
+TEST(WireClass, RoundTripsAllClasses)
+{
+    for (InstClass cls : {InstClass::Plain, InstClass::CondBranch,
+                          InstClass::Jump, InstClass::Call,
+                          InstClass::Return, InstClass::IndirectJump}) {
+        EXPECT_EQ(classFromWire(wireClass(cls)), cls);
+    }
+}
+
+TEST(WireClassDeath, RejectsBadWireValue)
+{
+    EXPECT_DEATH(classFromWire(7), "class");
+}
+
+} // namespace
+} // namespace specfetch

@@ -1,0 +1,50 @@
+/** @file Unit tests for util/csv.hh. */
+
+#include "util/csv.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace specfetch {
+namespace {
+
+TEST(Csv, PlainRow)
+{
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.writeRow({"a", "b", "c"});
+    EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesCommas)
+{
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, EscapesQuotes)
+{
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, EscapesNewlines)
+{
+    EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(Csv, PlainFieldUntouched)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(Csv, MixedRow)
+{
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.writeRow({"x", "1,5", "q\"q"});
+    EXPECT_EQ(out.str(), "x,\"1,5\",\"q\"\"q\"\n");
+}
+
+} // namespace
+} // namespace specfetch

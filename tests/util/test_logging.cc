@@ -1,0 +1,98 @@
+/** @file Unit tests for util/logging.hh. */
+
+#include "util/logging.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace specfetch {
+namespace {
+
+/** Captures messages instead of printing them. */
+class CaptureLogger : public Logger
+{
+  public:
+    void
+    emit(Level level, const std::string &message) override
+    {
+        entries.push_back({level, message});
+    }
+
+    std::vector<std::pair<Level, std::string>> entries;
+};
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { previous = Logger::exchange(&capture); }
+    void TearDown() override { Logger::exchange(previous); }
+
+    CaptureLogger capture;
+    Logger *previous = nullptr;
+};
+
+TEST_F(LoggingTest, WarnGoesToLogger)
+{
+    warn("count=%d", 42);
+    ASSERT_EQ(capture.entries.size(), 1u);
+    EXPECT_EQ(capture.entries[0].first, Logger::Level::Warn);
+    EXPECT_EQ(capture.entries[0].second, "count=42");
+}
+
+TEST_F(LoggingTest, InformFormatsStrings)
+{
+    inform("hello %s", "world");
+    ASSERT_EQ(capture.entries.size(), 1u);
+    EXPECT_EQ(capture.entries[0].first, Logger::Level::Inform);
+    EXPECT_EQ(capture.entries[0].second, "hello world");
+}
+
+TEST_F(LoggingTest, HackLevel)
+{
+    hack("shortcut");
+    ASSERT_EQ(capture.entries.size(), 1u);
+    EXPECT_EQ(capture.entries[0].first, Logger::Level::Hack);
+}
+
+TEST_F(LoggingTest, FormatHandlesLongStrings)
+{
+    std::string big(5000, 'x');
+    inform("%s", big.c_str());
+    ASSERT_EQ(capture.entries.size(), 1u);
+    EXPECT_EQ(capture.entries[0].second.size(), 5000u);
+}
+
+TEST_F(LoggingTest, ExchangeNullRestoresDefault)
+{
+    Logger *mine = Logger::exchange(nullptr);
+    EXPECT_EQ(mine, &capture);
+    // Restore for TearDown symmetry.
+    Logger::exchange(&capture);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "boom 7");
+}
+
+TEST(LoggingDeath, PanicIfTriggersOnTrue)
+{
+    EXPECT_DEATH(panic_if(true, "condition failed"), "condition failed");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST(LoggingDeath, FatalIfFalseDoesNothing)
+{
+    fatal_if(false, "never happens");
+    panic_if(false, "never happens");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace specfetch

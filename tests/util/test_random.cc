@@ -1,0 +1,199 @@
+/** @file Unit and statistical tests for util/random.hh. */
+
+#include "util/random.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace specfetch {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedWorks)
+{
+    Rng rng(0);
+    std::set<uint64_t> values;
+    for (int i = 0; i < 32; ++i)
+        values.insert(rng.next64());
+    EXPECT_GT(values.size(), 30u);    // not stuck at a fixed point
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng rng(7);
+    uint64_t first = rng.next64();
+    rng.next64();
+    rng.reseed(7);
+    EXPECT_EQ(rng.next64(), first);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform)
+{
+    Rng rng(11);
+    const int buckets = 8;
+    const int n = 80000;
+    int counts[buckets] = {};
+    for (int i = 0; i < n; ++i)
+        counts[rng.nextBelow(buckets)]++;
+    for (int b = 0; b < buckets; ++b) {
+        EXPECT_NEAR(counts[b], n / buckets, n / buckets / 5)
+            << "bucket " << b;
+    }
+}
+
+TEST(Rng, NextRangeInclusiveBounds)
+{
+    Rng rng(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextRangeSingleton)
+{
+    Rng rng(5);
+    EXPECT_EQ(rng.nextRange(42, 42), 42);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolMatchesProbability)
+{
+    Rng rng(13);
+    int heads = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.nextBool(0.3);
+    EXPECT_NEAR(heads / double(n), 0.3, 0.02);
+}
+
+TEST(Rng, NextBoolExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, NextLengthMeanAndMinimum)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        uint64_t v = rng.nextLength(6.0);
+        ASSERT_GE(v, 1u);
+        sum += static_cast<double>(v);
+    }
+    EXPECT_NEAR(sum / n, 6.0, 0.5);
+}
+
+TEST(Rng, NextLengthDegenerateMean)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextLength(1.0), 1u);
+}
+
+TEST(Rng, NextWeightedRespectsWeights)
+{
+    Rng rng(19);
+    std::vector<double> weights{1.0, 3.0, 0.0};
+    int counts[3] = {};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        counts[rng.nextWeighted(weights)]++;
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[1] / double(n), 0.75, 0.02);
+}
+
+TEST(Rng, NextZipfSkewsTowardHead)
+{
+    Rng rng(23);
+    const size_t n = 10;
+    const int draws = 50000;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < draws; ++i)
+        counts[rng.nextZipf(n, 1.0)]++;
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[4]);
+    EXPECT_GT(counts[0], counts[n - 1] * 4);
+}
+
+TEST(Rng, NextZipfZeroExponentIsUniform)
+{
+    Rng rng(29);
+    const size_t n = 4;
+    const int draws = 40000;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < draws; ++i)
+        counts[rng.nextZipf(n, 0.0)]++;
+    for (size_t k = 0; k < n; ++k)
+        EXPECT_NEAR(counts[k], draws / 4.0, draws / 20.0);
+}
+
+TEST(Rng, ForkDivergesFromParent)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next64() == child.next64();
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace specfetch

@@ -1,0 +1,91 @@
+/** @file Unit tests for util/sat_counter.hh. */
+
+#include "util/sat_counter.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(SatCounter, DefaultIsWeaklyNotTaken)
+{
+    SatCounter counter;    // 2 bits
+    EXPECT_EQ(counter.value(), 1u);
+    EXPECT_FALSE(counter.predictTaken());
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter counter(2, 0);
+    for (int i = 0; i < 10; ++i)
+        counter.increment();
+    EXPECT_EQ(counter.value(), 3u);
+    EXPECT_TRUE(counter.predictTaken());
+    EXPECT_TRUE(counter.isStrong());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter counter(2, 3);
+    for (int i = 0; i < 10; ++i)
+        counter.decrement();
+    EXPECT_EQ(counter.value(), 0u);
+    EXPECT_FALSE(counter.predictTaken());
+    EXPECT_TRUE(counter.isStrong());
+}
+
+TEST(SatCounter, HysteresisNeedsTwoFlips)
+{
+    SatCounter counter(2, 3);    // strongly taken
+    counter.update(false);
+    EXPECT_TRUE(counter.predictTaken());   // weakened but still taken
+    counter.update(false);
+    EXPECT_FALSE(counter.predictTaken());  // flipped after second miss
+}
+
+TEST(SatCounter, MidpointThreshold)
+{
+    // 2-bit: values 2 and 3 predict taken; 0 and 1 not.
+    for (unsigned value = 0; value < 4; ++value) {
+        SatCounter counter(2, value);
+        EXPECT_EQ(counter.predictTaken(), value >= 2) << "value " << value;
+    }
+}
+
+TEST(SatCounter, OneBitCounterFlipsImmediately)
+{
+    SatCounter counter(1, 0);
+    EXPECT_FALSE(counter.predictTaken());
+    counter.update(true);
+    EXPECT_TRUE(counter.predictTaken());
+    counter.update(false);
+    EXPECT_FALSE(counter.predictTaken());
+}
+
+TEST(SatCounter, ThreeBitRange)
+{
+    SatCounter counter(3, 0);
+    for (int i = 0; i < 100; ++i)
+        counter.increment();
+    EXPECT_EQ(counter.value(), 7u);
+    EXPECT_EQ(counter.bits(), 3u);
+}
+
+TEST(SatCounter, InitialValueClampedToMax)
+{
+    SatCounter counter(2, 99);
+    EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(SatCounterDeath, RejectsZeroWidth)
+{
+    EXPECT_DEATH({ SatCounter counter(0); }, "width");
+}
+
+TEST(SatCounterDeath, RejectsHugeWidth)
+{
+    EXPECT_DEATH({ SatCounter counter(9); }, "width");
+}
+
+} // namespace
+} // namespace specfetch

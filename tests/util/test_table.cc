@@ -1,0 +1,100 @@
+/** @file Unit tests for util/table.hh. */
+
+#include "util/table.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable table;
+    table.setColumns({"Name", "Value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table;
+    table.setColumns({"N", "V"});
+    table.addRow({"aaa", "1"});
+    table.addRow({"b", "22"});
+    std::string out = table.render();
+    // First column left-aligned, second right-aligned:
+    // "aaa |  1" and "b   | 22".
+    EXPECT_NE(out.find("aaa |  1"), std::string::npos) << out;
+    EXPECT_NE(out.find("b   | 22"), std::string::npos) << out;
+}
+
+TEST(TextTable, SeparatorLine)
+{
+    TextTable table;
+    table.setColumns({"A"});
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    std::string out = table.render();
+    // Header separator plus the explicit one.
+    size_t first = out.find("-\n");
+    EXPECT_NE(first, std::string::npos);
+    EXPECT_NE(out.find("-\n", first + 1), std::string::npos);
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable table;
+    table.setColumns({"A"});
+    EXPECT_EQ(table.rowCount(), 0u);
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    EXPECT_EQ(table.rowCount(), 3u);
+}
+
+TEST(TextTable, CustomAlignment)
+{
+    TextTable table;
+    table.setColumns({"A", "B"});
+    table.setAlign(1, TextTable::Align::Left);
+    table.addRow({"x", "y"});
+    table.addRow({"x", "longer"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("x | y"), std::string::npos) << out;
+}
+
+TEST(TextTable, RenderCsvBasic)
+{
+    TextTable table;
+    table.setColumns({"Name", "Value"});
+    table.addRow({"alpha", "1"});
+    table.addSeparator();    // separators are not CSV rows
+    table.addRow({"b,with,commas", "2"});
+    std::string csv = table.renderCsv();
+    EXPECT_EQ(csv,
+              "Name,Value\n"
+              "alpha,1\n"
+              "\"b,with,commas\",2\n");
+}
+
+TEST(TextTable, RenderCsvHeaderOnly)
+{
+    TextTable table;
+    table.setColumns({"A", "B"});
+    EXPECT_EQ(table.renderCsv(), "A,B\n");
+}
+
+TEST(TextTableDeath, MismatchedRowPanics)
+{
+    TextTable table;
+    table.setColumns({"A", "B"});
+    EXPECT_DEATH(table.addRow({"only one"}), "cells");
+}
+
+} // namespace
+} // namespace specfetch

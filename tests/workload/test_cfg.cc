@@ -1,0 +1,148 @@
+/** @file Unit tests for workload/cfg.hh validation and counting. */
+
+#include "workload/cfg.hh"
+
+#include <gtest/gtest.h>
+
+namespace specfetch {
+namespace {
+
+/** Minimal legal program: main = one block jumping to itself. */
+Cfg
+tinyCfg()
+{
+    Cfg cfg;
+    BasicBlock block;
+    block.id = 0;
+    block.func = 0;
+    block.bodyLen = 3;
+    block.term = TermKind::Jump;
+    block.target = 0;
+    cfg.blocks.push_back(block);
+
+    Function main;
+    main.index = 0;
+    main.firstBlock = 0;
+    main.lastBlock = 0;
+    cfg.functions.push_back(main);
+    return cfg;
+}
+
+TEST(Cfg, TinyProgramValidates)
+{
+    Cfg cfg = tinyCfg();
+    cfg.validate();
+    EXPECT_EQ(cfg.totalInstructions(), 4u);
+    EXPECT_EQ(cfg.totalControlInstructions(), 1u);
+}
+
+TEST(Cfg, FallThroughBlocksHaveNoTerminator)
+{
+    Cfg cfg = tinyCfg();
+    // Insert a fall-through block before the jump.
+    BasicBlock fall;
+    fall.id = 0;
+    fall.func = 0;
+    fall.bodyLen = 2;
+    fall.term = TermKind::FallThrough;
+    cfg.blocks.insert(cfg.blocks.begin(), fall);
+    cfg.blocks[1].id = 1;
+    cfg.functions[0].lastBlock = 1;
+    cfg.blocks[1].target = 0;
+    cfg.validate();
+    EXPECT_EQ(cfg.totalInstructions(), 2u + 4u);
+    EXPECT_EQ(cfg.totalControlInstructions(), 1u);
+}
+
+TEST(CfgDeath, EmptyProgramPanics)
+{
+    Cfg cfg;
+    EXPECT_DEATH(cfg.validate(), "functions");
+}
+
+TEST(CfgDeath, MainMustLoop)
+{
+    Cfg cfg = tinyCfg();
+    cfg.blocks[0].term = TermKind::Return;
+    EXPECT_DEATH(cfg.validate(), "function 0");
+}
+
+TEST(CfgDeath, BranchTargetOutOfRange)
+{
+    Cfg cfg = tinyCfg();
+    cfg.blocks[0].term = TermKind::Jump;
+    cfg.blocks[0].target = 99;
+    EXPECT_DEATH(cfg.validate(), "bad block");
+}
+
+TEST(CfgDeath, EmptyBlockRejected)
+{
+    Cfg cfg = tinyCfg();
+    // A zero-length fall-through block emits nothing: illegal.
+    BasicBlock empty;
+    empty.id = 0;
+    empty.func = 0;
+    empty.bodyLen = 0;
+    empty.term = TermKind::FallThrough;
+    cfg.blocks.insert(cfg.blocks.begin(), empty);
+    cfg.blocks[1].id = 1;
+    cfg.blocks[1].target = 0;
+    cfg.functions[0].lastBlock = 1;
+    EXPECT_DEATH(cfg.validate(), "empty");
+}
+
+TEST(CfgDeath, RecursiveCallRejected)
+{
+    // Function 1 calling itself (or a lower index) is cyclic.
+    Cfg cfg = tinyCfg();
+    BasicBlock site;
+    site.id = 1;
+    site.func = 1;
+    site.bodyLen = 1;
+    site.term = TermKind::Call;
+    site.calleeFunc = 1;
+    cfg.blocks.push_back(site);
+    BasicBlock cont;
+    cont.id = 2;
+    cont.func = 1;
+    cont.bodyLen = 1;
+    cont.term = TermKind::Return;
+    cfg.blocks.push_back(cont);
+
+    Function f1;
+    f1.index = 1;
+    f1.firstBlock = 1;
+    f1.lastBlock = 2;
+    cfg.functions.push_back(f1);
+    EXPECT_DEATH(cfg.validate(), "cyclic");
+}
+
+TEST(BasicBlock, NumInstsIncludesTerminator)
+{
+    BasicBlock block;
+    block.bodyLen = 5;
+    block.term = TermKind::FallThrough;
+    EXPECT_EQ(block.numInsts(), 5u);
+    block.term = TermKind::CondBranch;
+    EXPECT_EQ(block.numInsts(), 6u);
+}
+
+TEST(BasicBlock, CanFallThrough)
+{
+    BasicBlock block;
+    block.term = TermKind::FallThrough;
+    EXPECT_TRUE(block.canFallThrough());
+    block.term = TermKind::CondBranch;
+    EXPECT_TRUE(block.canFallThrough());
+    block.term = TermKind::Call;
+    EXPECT_TRUE(block.canFallThrough());
+    block.term = TermKind::Jump;
+    EXPECT_FALSE(block.canFallThrough());
+    block.term = TermKind::Return;
+    EXPECT_FALSE(block.canFallThrough());
+    block.term = TermKind::IndirectJump;
+    EXPECT_FALSE(block.canFallThrough());
+}
+
+} // namespace
+} // namespace specfetch

@@ -1,0 +1,163 @@
+/** @file Unit tests for workload/layout.hh. */
+
+#include "workload/layout.hh"
+
+#include <gtest/gtest.h>
+
+#include "workload/cfg_builder.hh"
+#include "workload/executor.hh"
+
+namespace specfetch {
+namespace {
+
+Cfg
+builtCfg(uint64_t seed = 3)
+{
+    WorkloadProfile profile;
+    profile.structureSeed = seed;
+    profile.numFunctions = 10;
+    profile.meanFuncBlocks = 16;
+    profile.meanBlockLen = 4.0;
+    return CfgBuilder(profile).build();
+}
+
+TEST(Layout, BlocksAreContiguous)
+{
+    Cfg cfg = builtCfg();
+    ProgramImage image = layoutProgram(cfg);
+    Addr expected = kTextBase;
+    for (const BasicBlock &block : cfg.blocks) {
+        EXPECT_EQ(block.startAddr, expected);
+        expected += block.numInsts() * kInstBytes;
+    }
+    EXPECT_EQ(image.end(), expected);
+}
+
+TEST(Layout, ImageSizeMatchesCfg)
+{
+    Cfg cfg = builtCfg();
+    ProgramImage image = layoutProgram(cfg);
+    EXPECT_EQ(image.size(), cfg.totalInstructions());
+    EXPECT_EQ(image.controlCount(), cfg.totalControlInstructions());
+}
+
+TEST(Layout, TerminatorsEncodeTargets)
+{
+    Cfg cfg = builtCfg();
+    ProgramImage image = layoutProgram(cfg);
+    for (const BasicBlock &block : cfg.blocks) {
+        if (block.term == TermKind::FallThrough)
+            continue;
+        Addr term_pc = block.startAddr + block.bodyLen * kInstBytes;
+        StaticInst inst = image.at(term_pc);
+        switch (block.term) {
+          case TermKind::CondBranch:
+            ASSERT_EQ(inst.cls, InstClass::CondBranch);
+            EXPECT_EQ(inst.target, cfg.blocks[block.target].startAddr);
+            break;
+          case TermKind::Jump:
+            ASSERT_EQ(inst.cls, InstClass::Jump);
+            EXPECT_EQ(inst.target, cfg.blocks[block.target].startAddr);
+            break;
+          case TermKind::Call: {
+            ASSERT_EQ(inst.cls, InstClass::Call);
+            const Function &callee = cfg.functions[block.calleeFunc];
+            EXPECT_EQ(inst.target,
+                      cfg.blocks[callee.entryBlock()].startAddr);
+            break;
+          }
+          case TermKind::Return:
+            EXPECT_EQ(inst.cls, InstClass::Return);
+            break;
+          case TermKind::IndirectJump:
+            EXPECT_EQ(inst.cls, InstClass::IndirectJump);
+            break;
+          case TermKind::IndirectCall:
+            EXPECT_EQ(inst.cls, InstClass::IndirectCall);
+            break;
+          case TermKind::FallThrough:
+            break;
+        }
+    }
+}
+
+TEST(Layout, BodyInstructionsArePlain)
+{
+    Cfg cfg = builtCfg();
+    ProgramImage image = layoutProgram(cfg);
+    const BasicBlock &block = cfg.blocks[0];
+    for (uint32_t i = 0; i < block.bodyLen; ++i) {
+        EXPECT_EQ(image.at(block.startAddr + i * kInstBytes).cls,
+                  InstClass::Plain);
+    }
+}
+
+TEST(Layout, CustomBaseRespected)
+{
+    Cfg cfg = builtCfg();
+    ProgramImage image = layoutProgram(cfg, 0x40000);
+    EXPECT_EQ(image.base(), 0x40000u);
+    EXPECT_EQ(cfg.blocks[0].startAddr, 0x40000u);
+}
+
+TEST(Layout, FunctionAlignmentPadsEntries)
+{
+    Cfg cfg = builtCfg();
+    LayoutOptions options;
+    options.functionAlign = 32;
+    ProgramImage image = layoutProgram(cfg, options);
+    for (const Function &fn : cfg.functions) {
+        EXPECT_EQ(cfg.blocks[fn.entryBlock()].startAddr % 32, 0u)
+            << fn.name;
+    }
+    // Padding decodes as Plain and enlarges the image.
+    Cfg packed = builtCfg();
+    ProgramImage packed_image = layoutProgram(packed);
+    EXPECT_GE(image.size(), packed_image.size());
+}
+
+TEST(Layout, AlignmentGapsDecodePlain)
+{
+    Cfg cfg = builtCfg();
+    LayoutOptions options;
+    options.functionAlign = 64;
+    ProgramImage image = layoutProgram(cfg, options);
+    // Probe every address in the image: must decode without panicking
+    // and all control instructions must belong to some block.
+    size_t control = 0;
+    for (size_t i = 0; i < image.size(); ++i)
+        control += isControl(image[i].cls);
+    EXPECT_EQ(control, cfg.totalControlInstructions());
+}
+
+TEST(Layout, AlignedProgramExecutesIdentically)
+{
+    Cfg packed = builtCfg();
+    layoutProgram(packed);
+    Cfg aligned = builtCfg();
+    LayoutOptions options;
+    options.functionAlign = 32;
+    layoutProgram(aligned, options);
+
+    Executor a(packed, 42);
+    Executor b(aligned, 42);
+    DynInst inst_a, inst_b;
+    for (int i = 0; i < 50000; ++i) {
+        a.next(inst_a);
+        b.next(inst_b);
+        ASSERT_EQ(inst_a.cls, inst_b.cls) << i;
+        ASSERT_EQ(inst_a.taken, inst_b.taken) << i;
+    }
+}
+
+TEST(LayoutDeath, RejectsBadAlignment)
+{
+    Cfg cfg = builtCfg();
+    LayoutOptions options;
+    options.functionAlign = 48;    // not a power of two
+    EXPECT_EXIT(layoutProgram(cfg, options),
+                ::testing::ExitedWithCode(1), "alignment");
+}
+
+} // namespace
+} // namespace specfetch

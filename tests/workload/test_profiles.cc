@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Parameterized property tests over the thirteen benchmark profiles:
+ * every profile must build, validate, execute, and land in a sane
+ * band for the characteristics it is calibrated against.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/executor.hh"
+#include "workload/registry.hh"
+#include "workload/workload.hh"
+
+namespace specfetch {
+namespace {
+
+class ProfileTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ProfileTest, BuildsAndValidates)
+{
+    Workload w = buildWorkload(getProfile(GetParam()));
+    EXPECT_GT(w.cfg.blocks.size(), 10u);
+    EXPECT_EQ(w.image.size(), w.cfg.totalInstructions());
+}
+
+TEST_P(ProfileTest, BuildIsDeterministic)
+{
+    Workload a = buildWorkload(getProfile(GetParam()));
+    Workload b = buildWorkload(getProfile(GetParam()));
+    ASSERT_EQ(a.cfg.blocks.size(), b.cfg.blocks.size());
+    EXPECT_EQ(a.footprintBytes(), b.footprintBytes());
+}
+
+TEST_P(ProfileTest, BranchFractionNearPaper)
+{
+    WorkloadProfile profile = getProfile(GetParam());
+    Workload w = buildWorkload(profile);
+    Executor executor(w.cfg, 42);
+    DynInst inst;
+    for (int i = 0; i < 400000; ++i)
+        executor.next(inst);
+    double measured = 100.0 * executor.branchFraction();
+    // Calibration tolerance: within a factor of 2.5 of the paper's
+    // Table 2 value (the stand-ins approximate, not clone).
+    EXPECT_GT(measured, profile.paperBranchPercent / 2.5)
+        << GetParam();
+    EXPECT_LT(measured, profile.paperBranchPercent * 2.5)
+        << GetParam();
+}
+
+TEST_P(ProfileTest, ExecutorNeverEscapesImage)
+{
+    Workload w = buildWorkload(getProfile(GetParam()));
+    Executor executor(w.cfg, 7);
+    DynInst inst;
+    for (int i = 0; i < 200000; ++i) {
+        executor.next(inst);
+        ASSERT_TRUE(w.image.contains(inst.pc));
+    }
+}
+
+TEST_P(ProfileTest, PaperReferenceDataPresent)
+{
+    WorkloadProfile profile = getProfile(GetParam());
+    EXPECT_GT(profile.paperBranchPercent, 0.0);
+    EXPECT_GT(profile.paperMissRate8K, 0.0);
+    EXPECT_GT(profile.paperInstMillions, 0.0);
+    EXPECT_FALSE(profile.description.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ProfileTest,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (!isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return name;
+                         });
+
+TEST(Registry, ThirteenBenchmarks)
+{
+    EXPECT_EQ(benchmarkNames().size(), 13u);
+    EXPECT_EQ(allProfiles().size(), 13u);
+}
+
+TEST(Registry, TableOrderMatchesPaper)
+{
+    const auto &names = benchmarkNames();
+    EXPECT_EQ(names.front(), "doduc");
+    EXPECT_EQ(names[4], "gcc");
+    EXPECT_EQ(names.back(), "porky");
+}
+
+TEST(Registry, LookupRoundTrip)
+{
+    for (const std::string &name : benchmarkNames()) {
+        EXPECT_TRUE(isBenchmark(name));
+        EXPECT_EQ(getProfile(name).name, name);
+    }
+    EXPECT_FALSE(isBenchmark("nonesuch"));
+}
+
+TEST(Registry, FamiliesGrouped)
+{
+    EXPECT_EQ(getProfile("doduc").family, LanguageFamily::Fortran);
+    EXPECT_EQ(getProfile("gcc").family, LanguageFamily::C);
+    EXPECT_EQ(getProfile("cfront").family, LanguageFamily::Cpp);
+}
+
+TEST(RegistryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(getProfile("nonesuch"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+} // namespace
+} // namespace specfetch

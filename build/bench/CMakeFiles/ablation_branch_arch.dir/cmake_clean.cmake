@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_branch_arch.dir/ablation_branch_arch.cc.o"
+  "CMakeFiles/ablation_branch_arch.dir/ablation_branch_arch.cc.o.d"
+  "ablation_branch_arch"
+  "ablation_branch_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_branch_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

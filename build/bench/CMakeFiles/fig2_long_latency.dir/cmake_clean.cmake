@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_long_latency.dir/fig2_long_latency.cc.o"
+  "CMakeFiles/fig2_long_latency.dir/fig2_long_latency.cc.o.d"
+  "fig2_long_latency"
+  "fig2_long_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_long_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

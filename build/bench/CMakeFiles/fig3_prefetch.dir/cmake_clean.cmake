@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_prefetch.dir/fig3_prefetch.cc.o"
+  "CMakeFiles/fig3_prefetch.dir/fig3_prefetch.cc.o.d"
+  "fig3_prefetch"
+  "fig3_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

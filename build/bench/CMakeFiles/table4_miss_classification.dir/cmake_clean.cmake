@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_miss_classification.dir/table4_miss_classification.cc.o"
+  "CMakeFiles/table4_miss_classification.dir/table4_miss_classification.cc.o.d"
+  "table4_miss_classification"
+  "table4_miss_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_miss_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_speculation_depth.dir/table5_speculation_depth.cc.o"
+  "CMakeFiles/table5_speculation_depth.dir/table5_speculation_depth.cc.o.d"
+  "table5_speculation_depth"
+  "table5_speculation_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_speculation_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_cache_size.dir/table6_cache_size.cc.o"
+  "CMakeFiles/table6_cache_size.dir/table6_cache_size.cc.o.d"
+  "table6_cache_size"
+  "table6_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

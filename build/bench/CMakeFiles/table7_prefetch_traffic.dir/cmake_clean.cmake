@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_prefetch_traffic.dir/table7_prefetch_traffic.cc.o"
+  "CMakeFiles/table7_prefetch_traffic.dir/table7_prefetch_traffic.cc.o.d"
+  "table7_prefetch_traffic"
+  "table7_prefetch_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_prefetch_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfetch_sim.dir/specfetch_sim.cpp.o"
+  "CMakeFiles/specfetch_sim.dir/specfetch_sim.cpp.o.d"
+  "specfetch_sim"
+  "specfetch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfetch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/btb.cc" "src/CMakeFiles/specfetch.dir/branch/btb.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/branch/btb.cc.o.d"
+  "/root/repo/src/branch/pht.cc" "src/CMakeFiles/specfetch.dir/branch/pht.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/branch/pht.cc.o.d"
+  "/root/repo/src/branch/predictor.cc" "src/CMakeFiles/specfetch.dir/branch/predictor.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/branch/predictor.cc.o.d"
+  "/root/repo/src/branch/ras.cc" "src/CMakeFiles/specfetch.dir/branch/ras.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/branch/ras.cc.o.d"
+  "/root/repo/src/cache/icache.cc" "src/CMakeFiles/specfetch.dir/cache/icache.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/cache/icache.cc.o.d"
+  "/root/repo/src/cache/memory_hierarchy.cc" "src/CMakeFiles/specfetch.dir/cache/memory_hierarchy.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/cache/memory_hierarchy.cc.o.d"
+  "/root/repo/src/cache/prefetch_unit.cc" "src/CMakeFiles/specfetch.dir/cache/prefetch_unit.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/cache/prefetch_unit.cc.o.d"
+  "/root/repo/src/cache/prefetcher.cc" "src/CMakeFiles/specfetch.dir/cache/prefetcher.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/cache/prefetcher.cc.o.d"
+  "/root/repo/src/cache/stream_buffer.cc" "src/CMakeFiles/specfetch.dir/cache/stream_buffer.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/cache/stream_buffer.cc.o.d"
+  "/root/repo/src/cache/victim_cache.cc" "src/CMakeFiles/specfetch.dir/cache/victim_cache.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/cache/victim_cache.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/specfetch.dir/core/config.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/core/config.cc.o.d"
+  "/root/repo/src/core/fetch_engine.cc" "src/CMakeFiles/specfetch.dir/core/fetch_engine.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/core/fetch_engine.cc.o.d"
+  "/root/repo/src/core/miss_classifier.cc" "src/CMakeFiles/specfetch.dir/core/miss_classifier.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/core/miss_classifier.cc.o.d"
+  "/root/repo/src/core/penalty.cc" "src/CMakeFiles/specfetch.dir/core/penalty.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/core/penalty.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/specfetch.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/results.cc" "src/CMakeFiles/specfetch.dir/core/results.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/core/results.cc.o.d"
+  "/root/repo/src/core/simulator.cc" "src/CMakeFiles/specfetch.dir/core/simulator.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/core/simulator.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/CMakeFiles/specfetch.dir/core/sweep.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/core/sweep.cc.o.d"
+  "/root/repo/src/core/wrong_path_walker.cc" "src/CMakeFiles/specfetch.dir/core/wrong_path_walker.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/core/wrong_path_walker.cc.o.d"
+  "/root/repo/src/isa/program_image.cc" "src/CMakeFiles/specfetch.dir/isa/program_image.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/isa/program_image.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/specfetch.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/stat_group.cc" "src/CMakeFiles/specfetch.dir/stats/stat_group.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/stats/stat_group.cc.o.d"
+  "/root/repo/src/trace/format.cc" "src/CMakeFiles/specfetch.dir/trace/format.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/trace/format.cc.o.d"
+  "/root/repo/src/trace/reader.cc" "src/CMakeFiles/specfetch.dir/trace/reader.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/trace/reader.cc.o.d"
+  "/root/repo/src/trace/writer.cc" "src/CMakeFiles/specfetch.dir/trace/writer.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/trace/writer.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/specfetch.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/specfetch.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/options.cc" "src/CMakeFiles/specfetch.dir/util/options.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/util/options.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/specfetch.dir/util/random.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/util/random.cc.o.d"
+  "/root/repo/src/util/string_utils.cc" "src/CMakeFiles/specfetch.dir/util/string_utils.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/util/string_utils.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/specfetch.dir/util/table.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/util/table.cc.o.d"
+  "/root/repo/src/workload/cfg.cc" "src/CMakeFiles/specfetch.dir/workload/cfg.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/workload/cfg.cc.o.d"
+  "/root/repo/src/workload/cfg_builder.cc" "src/CMakeFiles/specfetch.dir/workload/cfg_builder.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/workload/cfg_builder.cc.o.d"
+  "/root/repo/src/workload/executor.cc" "src/CMakeFiles/specfetch.dir/workload/executor.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/workload/executor.cc.o.d"
+  "/root/repo/src/workload/layout.cc" "src/CMakeFiles/specfetch.dir/workload/layout.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/workload/layout.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/specfetch.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/CMakeFiles/specfetch.dir/workload/registry.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/workload/registry.cc.o.d"
+  "/root/repo/src/workload/reorder.cc" "src/CMakeFiles/specfetch.dir/workload/reorder.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/workload/reorder.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/specfetch.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/specfetch.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

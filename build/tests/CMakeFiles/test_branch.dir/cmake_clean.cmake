@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch.dir/branch/test_btb.cc.o"
+  "CMakeFiles/test_branch.dir/branch/test_btb.cc.o.d"
+  "CMakeFiles/test_branch.dir/branch/test_pht.cc.o"
+  "CMakeFiles/test_branch.dir/branch/test_pht.cc.o.d"
+  "CMakeFiles/test_branch.dir/branch/test_predictor.cc.o"
+  "CMakeFiles/test_branch.dir/branch/test_predictor.cc.o.d"
+  "CMakeFiles/test_branch.dir/branch/test_ras.cc.o"
+  "CMakeFiles/test_branch.dir/branch/test_ras.cc.o.d"
+  "test_branch"
+  "test_branch.pdb"
+  "test_branch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

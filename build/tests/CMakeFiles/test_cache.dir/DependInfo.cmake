@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/test_bus.cc" "tests/CMakeFiles/test_cache.dir/cache/test_bus.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_bus.cc.o.d"
+  "/root/repo/tests/cache/test_icache.cc" "tests/CMakeFiles/test_cache.dir/cache/test_icache.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_icache.cc.o.d"
+  "/root/repo/tests/cache/test_line_buffer.cc" "tests/CMakeFiles/test_cache.dir/cache/test_line_buffer.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_line_buffer.cc.o.d"
+  "/root/repo/tests/cache/test_memory_hierarchy.cc" "tests/CMakeFiles/test_cache.dir/cache/test_memory_hierarchy.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_memory_hierarchy.cc.o.d"
+  "/root/repo/tests/cache/test_prefetcher.cc" "tests/CMakeFiles/test_cache.dir/cache/test_prefetcher.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_prefetcher.cc.o.d"
+  "/root/repo/tests/cache/test_stream_buffer.cc" "tests/CMakeFiles/test_cache.dir/cache/test_stream_buffer.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_stream_buffer.cc.o.d"
+  "/root/repo/tests/cache/test_target_prefetcher.cc" "tests/CMakeFiles/test_cache.dir/cache/test_target_prefetcher.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_target_prefetcher.cc.o.d"
+  "/root/repo/tests/cache/test_victim_cache.cc" "tests/CMakeFiles/test_cache.dir/cache/test_victim_cache.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_victim_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specfetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

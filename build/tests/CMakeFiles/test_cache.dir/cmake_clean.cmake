@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/test_bus.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_bus.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_icache.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_icache.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_line_buffer.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_line_buffer.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_memory_hierarchy.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_memory_hierarchy.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_prefetcher.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_prefetcher.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_stream_buffer.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_stream_buffer.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_target_prefetcher.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_target_prefetcher.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_victim_cache.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_victim_cache.cc.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_branch_unit.cc" "tests/CMakeFiles/test_core.dir/core/test_branch_unit.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_branch_unit.cc.o.d"
+  "/root/repo/tests/core/test_config.cc" "tests/CMakeFiles/test_core.dir/core/test_config.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config.cc.o.d"
+  "/root/repo/tests/core/test_fetch_engine.cc" "tests/CMakeFiles/test_core.dir/core/test_fetch_engine.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fetch_engine.cc.o.d"
+  "/root/repo/tests/core/test_miss_classifier.cc" "tests/CMakeFiles/test_core.dir/core/test_miss_classifier.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_miss_classifier.cc.o.d"
+  "/root/repo/tests/core/test_penalty.cc" "tests/CMakeFiles/test_core.dir/core/test_penalty.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_penalty.cc.o.d"
+  "/root/repo/tests/core/test_policy.cc" "tests/CMakeFiles/test_core.dir/core/test_policy.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_policy.cc.o.d"
+  "/root/repo/tests/core/test_policy_scenarios.cc" "tests/CMakeFiles/test_core.dir/core/test_policy_scenarios.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_policy_scenarios.cc.o.d"
+  "/root/repo/tests/core/test_prefetch_engine.cc" "tests/CMakeFiles/test_core.dir/core/test_prefetch_engine.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_prefetch_engine.cc.o.d"
+  "/root/repo/tests/core/test_walker_edge_cases.cc" "tests/CMakeFiles/test_core.dir/core/test_walker_edge_cases.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_walker_edge_cases.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specfetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_branch_unit.cc.o"
+  "CMakeFiles/test_core.dir/core/test_branch_unit.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_config.cc.o"
+  "CMakeFiles/test_core.dir/core/test_config.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_fetch_engine.cc.o"
+  "CMakeFiles/test_core.dir/core/test_fetch_engine.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_miss_classifier.cc.o"
+  "CMakeFiles/test_core.dir/core/test_miss_classifier.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_penalty.cc.o"
+  "CMakeFiles/test_core.dir/core/test_penalty.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_policy.cc.o"
+  "CMakeFiles/test_core.dir/core/test_policy.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_policy_scenarios.cc.o"
+  "CMakeFiles/test_core.dir/core/test_policy_scenarios.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_prefetch_engine.cc.o"
+  "CMakeFiles/test_core.dir/core/test_prefetch_engine.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_walker_edge_cases.cc.o"
+  "CMakeFiles/test_core.dir/core/test_walker_edge_cases.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_feature_matrix.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_feature_matrix.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_properties.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_properties.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_seed_robustness.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_seed_robustness.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_bit_ops.cc" "tests/CMakeFiles/test_util.dir/util/test_bit_ops.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_bit_ops.cc.o.d"
+  "/root/repo/tests/util/test_csv.cc" "tests/CMakeFiles/test_util.dir/util/test_csv.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_csv.cc.o.d"
+  "/root/repo/tests/util/test_logging.cc" "tests/CMakeFiles/test_util.dir/util/test_logging.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_logging.cc.o.d"
+  "/root/repo/tests/util/test_options.cc" "tests/CMakeFiles/test_util.dir/util/test_options.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_options.cc.o.d"
+  "/root/repo/tests/util/test_random.cc" "tests/CMakeFiles/test_util.dir/util/test_random.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_random.cc.o.d"
+  "/root/repo/tests/util/test_sat_counter.cc" "tests/CMakeFiles/test_util.dir/util/test_sat_counter.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_sat_counter.cc.o.d"
+  "/root/repo/tests/util/test_string_utils.cc" "tests/CMakeFiles/test_util.dir/util/test_string_utils.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_string_utils.cc.o.d"
+  "/root/repo/tests/util/test_table.cc" "tests/CMakeFiles/test_util.dir/util/test_table.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specfetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

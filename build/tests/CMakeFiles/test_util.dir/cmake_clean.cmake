@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_bit_ops.cc.o"
+  "CMakeFiles/test_util.dir/util/test_bit_ops.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_csv.cc.o"
+  "CMakeFiles/test_util.dir/util/test_csv.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_logging.cc.o"
+  "CMakeFiles/test_util.dir/util/test_logging.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_options.cc.o"
+  "CMakeFiles/test_util.dir/util/test_options.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_random.cc.o"
+  "CMakeFiles/test_util.dir/util/test_random.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_sat_counter.cc.o"
+  "CMakeFiles/test_util.dir/util/test_sat_counter.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_string_utils.cc.o"
+  "CMakeFiles/test_util.dir/util/test_string_utils.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cc.o"
+  "CMakeFiles/test_util.dir/util/test_table.cc.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

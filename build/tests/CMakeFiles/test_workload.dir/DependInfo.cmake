@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_cfg.cc" "tests/CMakeFiles/test_workload.dir/workload/test_cfg.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_cfg.cc.o.d"
+  "/root/repo/tests/workload/test_cfg_builder.cc" "tests/CMakeFiles/test_workload.dir/workload/test_cfg_builder.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_cfg_builder.cc.o.d"
+  "/root/repo/tests/workload/test_executor.cc" "tests/CMakeFiles/test_workload.dir/workload/test_executor.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_executor.cc.o.d"
+  "/root/repo/tests/workload/test_indirect_call.cc" "tests/CMakeFiles/test_workload.dir/workload/test_indirect_call.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_indirect_call.cc.o.d"
+  "/root/repo/tests/workload/test_layout.cc" "tests/CMakeFiles/test_workload.dir/workload/test_layout.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_layout.cc.o.d"
+  "/root/repo/tests/workload/test_profiles.cc" "tests/CMakeFiles/test_workload.dir/workload/test_profiles.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_profiles.cc.o.d"
+  "/root/repo/tests/workload/test_reorder.cc" "tests/CMakeFiles/test_workload.dir/workload/test_reorder.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_reorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specfetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

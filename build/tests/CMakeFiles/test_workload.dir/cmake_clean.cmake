@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_cfg.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_cfg.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_cfg_builder.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_cfg_builder.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_executor.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_executor.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_indirect_call.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_indirect_call.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_layout.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_layout.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_profiles.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_profiles.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_reorder.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_reorder.cc.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

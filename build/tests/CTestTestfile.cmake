@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_branch[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--benchmark=li" "--budget=50K")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;88;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_policy_explorer "/root/repo/build/examples/policy_explorer" "--benchmark=li" "--axis=depth" "--budget=50K")
+set_tests_properties(example_policy_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;90;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_custom_workload "/root/repo/build/examples/custom_workload" "--budget=50K")
+set_tests_properties(example_custom_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;92;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_prefetch_study "/root/repo/build/examples/prefetch_study" "--benchmark=li" "--budget=50K")
+set_tests_properties(example_prefetch_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;94;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_workload_inspector "/root/repo/build/examples/workload_inspector" "--benchmark=li" "--budget=50K")
+set_tests_properties(example_workload_inspector PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;96;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_specfetch_sim "/root/repo/build/examples/specfetch_sim" "--benchmark=li" "--budget=50K" "--l2" "--victim=4" "--prefetch-kind=combined" "--stats")
+set_tests_properties(example_specfetch_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;98;add_test;/root/repo/tests/CMakeLists.txt;0;")

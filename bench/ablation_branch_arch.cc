@@ -19,16 +19,21 @@ namespace {
 SimResults
 runVariant(const std::string &bench, const SimConfig &config)
 {
-    return runBenchmark(bench, config);
+    return runOneReported(bench, config);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "ablation_branch_arch",
+                           "branch architecture sizing",
+                           kDefaultBudget / 2)) {
+        return parseExitCode();
+    }
     SimConfig base;
-    base.instructionBudget = benchBudget(kDefaultBudget / 2);
+    base.instructionBudget = benchMain().budget;
     base.policy = FetchPolicy::Resume;
     banner("Ablation", "branch architecture sizing", base);
 

@@ -17,10 +17,15 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "ablation_cache_geometry",
+                           "cache geometry (associativity, line size)",
+                           kDefaultBudget / 2)) {
+        return parseExitCode();
+    }
     SimConfig base;
-    base.instructionBudget = benchBudget(kDefaultBudget / 2);
+    base.instructionBudget = benchMain().budget;
     banner("Ablation", "cache geometry (associativity, line size)",
            base);
 
@@ -38,7 +43,7 @@ main()
                 SimConfig config = base;
                 config.policy = FetchPolicy::Resume;
                 config.icache.ways = ways;
-                SimResults r = runBenchmark(name, config);
+                SimResults r = runOneReported(name, config);
                 row.push_back(formatFixed(r.missRatePercent(), 2));
                 ispis.push_back(formatFixed(r.ispi(), 3));
             }
@@ -62,7 +67,7 @@ main()
                 config.policy = FetchPolicy::Resume;
                 config.nextLinePrefetch = true;
                 config.icache.lineBytes = bytes;
-                SimResults r = runBenchmark(name, config);
+                SimResults r = runOneReported(name, config);
                 row.push_back(formatFixed(r.ispi(), 3));
                 traffic.push_back(
                     formatWithCommas(r.memoryTransactions()));

@@ -17,10 +17,15 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "ablation_future_work",
+                           "paper §6 further-study features",
+                           kDefaultBudget / 2)) {
+        return parseExitCode();
+    }
     SimConfig base;
-    base.instructionBudget = benchBudget(kDefaultBudget / 2);
+    base.instructionBudget = benchMain().budget;
     base.policy = FetchPolicy::Resume;
     banner("Ablation", "paper §6 further-study features", base);
 
@@ -39,6 +44,8 @@ main()
                                            /*profile_budget=*/1'000'000);
             SimResults before = runSimulation(w, base);
             SimResults after = runSimulation(opt, base);
+            benchMain().emitRun(before, base);
+            benchMain().emitRun(after, base);
             double delta =
                 100.0 * (after.ispi() - before.ispi()) / before.ispi();
             table.addRow({name,
@@ -65,7 +72,7 @@ main()
                 config.missPenaltyCycles = 20;
                 config.nextLinePrefetch = true;
                 config.memoryChannels = channels;
-                SimResults r = runBenchmark(name, config);
+                SimResults r = runOneReported(name, config);
                 row.push_back(formatFixed(r.ispi(), 3));
                 bus.push_back(
                     formatFixed(r.ispiOf(PenaltyKind::Bus), 3));
@@ -88,7 +95,7 @@ main()
             for (unsigned entries : {0u, 4u, 8u}) {
                 SimConfig config = base;
                 config.victimEntries = entries;
-                SimResults r = runBenchmark(name, config);
+                SimResults r = runOneReported(name, config);
                 row.push_back(formatFixed(r.ispi(), 3));
                 miss.push_back(formatFixed(r.missRatePercent(), 2));
             }
@@ -118,6 +125,10 @@ main()
             SimResults r20 = runSimulation(w, flat20);
             SimResults rbig = runSimulation(w, l2big);
             SimResults rsmall = runSimulation(w, l2small);
+            benchMain().emitRun(r5, flat5);
+            benchMain().emitRun(r20, flat20);
+            benchMain().emitRun(rbig, l2big);
+            benchMain().emitRun(rsmall, l2small);
             table.addRow({name, formatFixed(r5.ispi(), 3),
                           formatFixed(rbig.ispi(), 3),
                           formatFixed(rsmall.ispi(), 3),
@@ -145,7 +156,7 @@ main()
                   PrefetchKind::Stream}) {
                 SimConfig config = base;
                 config.prefetchKind = kind;
-                SimResults r = runBenchmark(name, config);
+                SimResults r = runOneReported(name, config);
                 row.push_back(formatFixed(r.ispi(), 3));
                 miss.push_back(formatFixed(r.missRatePercent(), 2));
             }

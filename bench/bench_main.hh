@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Shared command-line entry for every benchmark harness: one option
+ * parser (budget, parallelism, JSONL/CSV export paths) plus the
+ * process-wide report sinks and sweep wrappers that feed them.
+ *
+ * Usage pattern (every bench binary):
+ *
+ *   int main(int argc, char **argv) {
+ *       if (!benchMain().parse(argc, argv, "fig1", "what it does"))
+ *           return benchMain().parseFailed ? 1 : 0;
+ *       SimConfig base;
+ *       base.instructionBudget = benchMain().budget;
+ *       ...
+ *       auto results = runSweepReported(specs);   // exports per run
+ *   }
+ *
+ * `--json <path>` appends one schema-v1 record per run as JSON Lines;
+ * `--csv <path>` writes the same records flattened. Without either
+ * flag the harness behaves exactly as before (tables on stdout only).
+ */
+
+#ifndef SPECFETCH_BENCH_BENCH_MAIN_HH_
+#define SPECFETCH_BENCH_BENCH_MAIN_HH_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "report/record.hh"
+#include "report/report.hh"
+#include "util/options.hh"
+
+namespace specfetch {
+namespace bench {
+
+/** Default per-run instruction budget (SPECFETCH_BUDGET overrides). */
+constexpr uint64_t kDefaultBudget = 4'000'000;
+
+/** Parsed harness-wide options plus the open export sinks. */
+class BenchMain
+{
+  public:
+    /**
+     * Parse the shared options. Returns false when the caller should
+     * exit: on --help (parseFailed stays false, exit 0) or on a real
+     * error (parseFailed set, exit 1).
+     */
+    bool
+    parse(int argc, const char *const *argv, const std::string &name,
+          const std::string &what, uint64_t fallbackBudget = kDefaultBudget)
+    {
+        OptionParser opts(name, what);
+        opts.addCount("budget", benchBudget(fallbackBudget),
+                      "instructions per run (default honours "
+                      "SPECFETCH_BUDGET)");
+        opts.addCount("parallelism", 0,
+                      "sweep worker threads (0 = hardware concurrency)");
+        opts.addString("json", "",
+                       "write one JSONL record per run to this path");
+        opts.addString("csv", "",
+                       "write flattened per-run records to this CSV path");
+        if (!opts.parse(argc, argv)) {
+            parseFailed = !wantedHelp(argc, argv);
+            return false;
+        }
+        budget = opts.getCount("budget");
+        parallelism = static_cast<unsigned>(opts.getCount("parallelism"));
+        if (!opts.getString("json").empty() &&
+            !openJson(opts.getString("json"))) {
+            parseFailed = true;
+            return false;
+        }
+        if (!opts.getString("csv").empty()) {
+            csv = std::make_unique<CsvReportWriter>(opts.getString("csv"));
+            if (!csv->ok()) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             csv->path().c_str());
+                parseFailed = true;
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /** Open (or replace) the JSONL sink outside of parse(). */
+    bool
+    openJson(const std::string &path)
+    {
+        json = std::make_unique<JsonlWriter>(path);
+        if (!json->ok()) {
+            std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+            json.reset();
+            return false;
+        }
+        return true;
+    }
+
+    bool exporting() const { return json != nullptr || csv != nullptr; }
+
+    /** Send one record to every open sink. */
+    void
+    emit(const JsonValue &record)
+    {
+        if (json)
+            json->write(record);
+        if (csv)
+            csv->write(record);
+    }
+
+    /** Export one run (record = results + manifest [+ timing]). */
+    void
+    emitRun(const SimResults &results, const SimConfig &config,
+            const RunTiming *timing = nullptr,
+            const Classification *classification = nullptr)
+    {
+        if (exporting())
+            emit(makeRunRecord(results, config, timing, classification));
+    }
+
+    /** Export a whole sweep in submission order. */
+    void
+    emitSweep(const std::vector<RunSpec> &specs,
+              const std::vector<SimResults> &results,
+              const SweepTiming &timing)
+    {
+        if (!exporting())
+            return;
+        for (size_t i = 0; i < specs.size(); ++i) {
+            RunTiming rt;
+            rt.runSeconds = i < timing.perRunSeconds.size()
+                ? timing.perRunSeconds[i]
+                : 0.0;
+            rt.workloadBuildSeconds = timing.workloadBuildSeconds;
+            rt.sweepTotalSeconds = timing.totalSeconds;
+            emitRun(results[i], specs[i].config, &rt);
+        }
+    }
+
+    uint64_t budget = kDefaultBudget;
+    unsigned parallelism = 0;
+    bool parseFailed = false;
+    std::unique_ptr<JsonlWriter> json;
+    std::unique_ptr<CsvReportWriter> csv;
+
+  private:
+    static bool
+    wantedHelp(int argc, const char *const *argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h")
+                return true;
+        }
+        return false;
+    }
+};
+
+/** The process-wide harness state (one harness = one process). */
+inline BenchMain &
+benchMain()
+{
+    static BenchMain instance;
+    return instance;
+}
+
+/** Exit code helper for the `if (!parse(...))` pattern. */
+inline int
+parseExitCode()
+{
+    return benchMain().parseFailed ? 1 : 0;
+}
+
+/**
+ * runSweep + export: every result goes to the open sinks (with
+ * per-run timing) before being returned in submission order.
+ */
+inline std::vector<SimResults>
+runSweepReported(const std::vector<RunSpec> &specs)
+{
+    BenchMain &bm = benchMain();
+    SweepTiming timing;
+    std::vector<SimResults> results =
+        runSweep(specs, bm.parallelism, &timing);
+    bm.emitSweep(specs, results, timing);
+    return results;
+}
+
+/** Single-run convenience with the same export behavior. */
+inline SimResults
+runOneReported(const std::string &benchmark, const SimConfig &config)
+{
+    std::vector<RunSpec> specs{RunSpec{benchmark, config}};
+    return runSweepReported(specs)[0];
+}
+
+} // namespace bench
+} // namespace specfetch
+
+#endif // SPECFETCH_BENCH_BENCH_MAIN_HH_

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The cross-PR trajectory runner: executes the full paper grid — all
+ * 13 workload profiles × 5 fetch policies × {prefetch off, next-line
+ * prefetch} — at a small fixed budget and exports one schema-v1 JSONL
+ * record per run, each carrying the configuration manifest, every raw
+ * counter, the ISPI decomposition, the workload's Table-4 miss
+ * classification, and per-run wall-clock timing.
+ *
+ *   ./build/bench/bench_suite --json out.json
+ *   ./build/bench/bench_suite                 # writes BENCH_results.json
+ *
+ * The output is what `BENCH_*.json` trajectory tracking consumes: 130
+ * records whose counters are bit-reproducible for a given budget and
+ * seed, with only the `timing` member varying between machines.
+ */
+
+#include <cstdio>
+
+#include "bench_support.hh"
+#include "core/miss_classifier.hh"
+#include "workload/workload.hh"
+
+using namespace specfetch;
+using namespace specfetch::bench;
+
+namespace {
+
+/** Small default so the full grid stays CI-friendly. */
+constexpr uint64_t kSuiteBudget = 500'000;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (!benchMain().parse(argc, argv, "bench_suite",
+                           "full policy/prefetch grid with JSONL export",
+                           kSuiteBudget)) {
+        return parseExitCode();
+    }
+    if (!benchMain().json && !benchMain().openJson("BENCH_results.json"))
+        return 1;
+
+    SimConfig base;
+    base.instructionBudget = benchMain().budget;
+    banner("Bench suite",
+           "13 profiles x 5 policies x {no prefetch, next-line}", base);
+
+    const auto &names = benchmarkNames();
+
+    // One Table-4 classification per profile (policy-independent), so
+    // every record of that profile can carry the taxonomy.
+    std::vector<Classification> classifications;
+    classifications.reserve(names.size());
+    for (const std::string &name : names) {
+        Workload w = buildWorkload(getProfile(name));
+        classifications.push_back(classifyMisses(w, base));
+    }
+
+    // Profile-major, policy-minor, prefetch-innermost grid.
+    std::vector<RunSpec> specs;
+    specs.reserve(names.size() * allPolicies().size() * 2);
+    for (const std::string &name : names) {
+        for (FetchPolicy policy : allPolicies()) {
+            for (bool prefetch : {false, true}) {
+                SimConfig config = base;
+                config.policy = policy;
+                config.nextLinePrefetch = prefetch;
+                specs.push_back(RunSpec{name, config});
+            }
+        }
+    }
+
+    SweepTiming timing;
+    std::vector<SimResults> results =
+        runSweep(specs, benchMain().parallelism, &timing);
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        RunTiming rt;
+        rt.runSeconds = timing.perRunSeconds[i];
+        rt.workloadBuildSeconds = timing.workloadBuildSeconds;
+        rt.sweepTotalSeconds = timing.totalSeconds;
+        size_t profileIndex = i / (allPolicies().size() * 2);
+        benchMain().emit(makeRunRecord(results[i], specs[i].config, &rt,
+                                       &classifications[profileIndex]));
+    }
+
+    // Human-readable digest: suite-average ISPI per (policy, prefetch).
+    TextTable table;
+    table.setColumns({"policy", "ISPI", "ISPI+pref", "pref delta%"});
+    size_t perProfile = allPolicies().size() * 2;
+    for (size_t p = 0; p < allPolicies().size(); ++p) {
+        double off = 0.0, on = 0.0;
+        for (size_t b = 0; b < names.size(); ++b) {
+            off += results[b * perProfile + p * 2].ispi();
+            on += results[b * perProfile + p * 2 + 1].ispi();
+        }
+        off /= static_cast<double>(names.size());
+        on /= static_cast<double>(names.size());
+        table.addRow({toString(allPolicies()[p]), formatFixed(off, 3),
+                      formatFixed(on, 3),
+                      formatFixed(off == 0.0
+                                      ? 0.0
+                                      : 100.0 * (on - off) / off,
+                                  1)});
+    }
+    emitTable(table);
+
+    std::printf("\n%zu runs in %.2fs (workload build %.2fs); "
+                "%zu records -> %s\n",
+                specs.size(), timing.totalSeconds,
+                timing.workloadBuildSeconds,
+                benchMain().json->recordsWritten(),
+                benchMain().json->path().c_str());
+    return 0;
+}

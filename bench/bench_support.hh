@@ -18,6 +18,7 @@
 
 #include "util/csv.hh"
 
+#include "bench_main.hh"
 #include "core/results.hh"
 #include "core/sweep.hh"
 #include "util/string_utils.hh"
@@ -26,9 +27,6 @@
 
 namespace specfetch {
 namespace bench {
-
-/** Default per-run instruction budget (SPECFETCH_BUDGET overrides). */
-constexpr uint64_t kDefaultBudget = 4'000'000;
 
 /** "measured/paper" cell, e.g. "1.83/2.02". */
 inline std::string
@@ -120,7 +118,7 @@ printBreakdown(const std::vector<std::string> &benchmarks,
     for (const std::string &benchmark : benchmarks)
         for (const auto &[label, config] : variants)
             specs.push_back(RunSpec{benchmark, config});
-    std::vector<SimResults> results = runSweep(specs);
+    std::vector<SimResults> results = runSweepReported(specs);
 
     TextTable table;
     std::vector<std::string> columns{"program", "variant"};

@@ -14,10 +14,14 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "fig1_policy_breakdown",
+                           "penalty breakdown, baseline architecture")) {
+        return parseExitCode();
+    }
     SimConfig base;
-    base.instructionBudget = benchBudget(kDefaultBudget);
+    base.instructionBudget = benchMain().budget;
     banner("Figure 1", "penalty breakdown, baseline architecture", base);
 
     std::vector<std::pair<std::string, SimConfig>> variants;
@@ -38,7 +42,7 @@ main()
     for (const std::string &name : benchmarkNames())
         for (const auto &[label, config] : variants)
             specs.push_back(RunSpec{name, config});
-    std::vector<SimResults> results = runSweep(specs);
+    std::vector<SimResults> results = runSweepReported(specs);
 
     double sum[5] = {};
     size_t idx = 0;

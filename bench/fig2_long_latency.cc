@@ -14,10 +14,14 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "fig2_long_latency",
+                           "penalty breakdown, 20-cycle miss penalty")) {
+        return parseExitCode();
+    }
     SimConfig base;
-    base.instructionBudget = benchBudget(kDefaultBudget);
+    base.instructionBudget = benchMain().budget;
     base.missPenaltyCycles = 20;
     banner("Figure 2", "penalty breakdown, 20-cycle miss penalty", base);
 
@@ -41,7 +45,7 @@ main()
     for (const std::string &name : branchy)
         for (const auto &[label, config] : variants)
             specs.push_back(RunSpec{name, config});
-    std::vector<SimResults> results = runSweep(specs);
+    std::vector<SimResults> results = runSweepReported(specs);
 
     double sum[5] = {};
     size_t idx = 0;

@@ -12,10 +12,14 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "fig3_prefetch",
+                           "next-line prefetching, 5-cycle penalty")) {
+        return parseExitCode();
+    }
     SimConfig base;
-    base.instructionBudget = benchBudget(kDefaultBudget);
+    base.instructionBudget = benchMain().budget;
     banner("Figure 3", "next-line prefetching, 5-cycle penalty", base);
 
     std::vector<std::pair<std::string, SimConfig>> variants;
@@ -39,7 +43,7 @@ main()
     for (const std::string &name : benchmarkNames())
         for (const auto &[label, config] : variants)
             specs.push_back(RunSpec{name, config});
-    std::vector<SimResults> results = runSweep(specs);
+    std::vector<SimResults> results = runSweepReported(specs);
 
     double sum[6] = {};
     size_t idx = 0;

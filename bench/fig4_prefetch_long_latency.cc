@@ -13,10 +13,14 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "fig4_prefetch_long_latency",
+                           "next-line prefetching, 20-cycle penalty")) {
+        return parseExitCode();
+    }
     SimConfig base;
-    base.instructionBudget = benchBudget(kDefaultBudget);
+    base.instructionBudget = benchMain().budget;
     base.missPenaltyCycles = 20;
     banner("Figure 4", "next-line prefetching, 20-cycle penalty", base);
 
@@ -40,7 +44,7 @@ main()
     for (const std::string &name : benchmarkNames())
         for (const auto &[label, config] : variants)
             specs.push_back(RunSpec{name, config});
-    std::vector<SimResults> results = runSweep(specs);
+    std::vector<SimResults> results = runSweepReported(specs);
 
     double ispi_sum[6] = {};
     double bus_sum[6] = {};

@@ -17,9 +17,13 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    uint64_t budget = benchBudget(kDefaultBudget);
+    if (!benchMain().parse(argc, argv, "table2_workloads",
+                           "benchmark characteristics")) {
+        return parseExitCode();
+    }
+    uint64_t budget = benchMain().budget;
     SimConfig config;
     config.instructionBudget = budget;
     banner("Table 2", "benchmark characteristics", config);
@@ -55,6 +59,25 @@ main()
                       vsPaper(measured, profile.paperBranchPercent, 1),
                       formatFixed(cond, 1),
                       formatFixed(profile.paperInstMillions, 0)});
+
+        if (benchMain().exporting()) {
+            JsonValue record = JsonValue::object();
+            record.set("schema_version",
+                       JsonValue::integer(kReportSchemaVersion))
+                .set("record", JsonValue::string("workload"))
+                .set("workload", JsonValue::string(name))
+                .set("family", JsonValue::string(family))
+                .set("footprint_bytes",
+                     JsonValue::integer(w.footprintBytes()))
+                .set("blocks", JsonValue::integer(w.cfg.blocks.size()))
+                .set("functions",
+                     JsonValue::integer(w.cfg.functions.size()))
+                .set("instructions",
+                     JsonValue::integer(executor.instructions.value()))
+                .set("branch_percent", JsonValue::number(measured))
+                .set("cond_branch_percent", JsonValue::number(cond));
+            benchMain().emit(record);
+        }
     }
     table.addSeparator();
     table.addRow({"Average", "", "", "", "",

@@ -14,10 +14,15 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "table3_characterization",
+                           "cache and branch-prediction "
+                           "characteristics")) {
+        return parseExitCode();
+    }
     SimConfig base;
-    base.instructionBudget = benchBudget(kDefaultBudget);
+    base.instructionBudget = benchMain().budget;
     base.policy = FetchPolicy::Oracle;
     banner("Table 3", "cache and branch-prediction characteristics",
            base);
@@ -37,7 +42,7 @@ main()
         cfgB1.maxUnresolved = 1;
         specs.push_back(RunSpec{name, cfgB1});
     }
-    std::vector<SimResults> results = runSweep(specs);
+    std::vector<SimResults> results = runSweepReported(specs);
 
     TextTable table;
     table.setColumns({"Program", "8K miss%", "32K miss%", "PHT B1",

@@ -16,10 +16,15 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "table4_miss_classification",
+                           "miss-ratio categorization "
+                           "(Oracle vs Optimistic)")) {
+        return parseExitCode();
+    }
     SimConfig config;
-    config.instructionBudget = benchBudget(kDefaultBudget);
+    config.instructionBudget = benchMain().budget;
     banner("Table 4", "miss-ratio categorization (Oracle vs Optimistic)",
            config);
 
@@ -31,6 +36,8 @@ main()
     for (size_t i = 0; i < names.size(); ++i) {
         Workload w = buildWorkload(getProfile(names[i]));
         Classification c = classifyMisses(w, config);
+        if (benchMain().exporting())
+            benchMain().emit(makeClassificationRecord(c, config));
         const paper::Table4Row &p = paper::kTable4[i];
 
         bm.push_back(c.bothMissPercent());

@@ -13,10 +13,14 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "table5_speculation_depth",
+                           "effect of speculation depth")) {
+        return parseExitCode();
+    }
     SimConfig base;
-    base.instructionBudget = benchBudget(kDefaultBudget);
+    base.instructionBudget = benchMain().budget;
     banner("Table 5", "effect of speculation depth", base);
 
     const unsigned depths[3] = {1, 2, 4};
@@ -31,7 +35,7 @@ main()
             }
         }
     }
-    std::vector<SimResults> results = runSweep(specs);
+    std::vector<SimResults> results = runSweepReported(specs);
 
     for (size_t d = 0; d < 3; ++d) {
         std::printf("--- %u unresolved branch%s ---\n", depths[d],

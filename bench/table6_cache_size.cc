@@ -14,15 +14,26 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "table6_cache_size",
+                           "effect of cache size (32K)")) {
+        return parseExitCode();
+    }
     SimConfig base;
-    base.instructionBudget = benchBudget(kDefaultBudget);
+    base.instructionBudget = benchMain().budget;
     base.icache.sizeBytes = 32 * 1024;
     banner("Table 6", "effect of cache size (32K)", base);
 
-    std::vector<SimResults> results =
-        runPolicyGrid(benchmarkNames(), base, allPolicies());
+    std::vector<RunSpec> specs;
+    for (const std::string &name : benchmarkNames()) {
+        for (FetchPolicy policy : allPolicies()) {
+            SimConfig config = base;
+            config.policy = policy;
+            specs.push_back(RunSpec{name, config});
+        }
+    }
+    std::vector<SimResults> results = runSweepReported(specs);
 
     TextTable table;
     table.setColumns({"Program", "Oracle", "Opt", "Res", "Pess", "Dec"});

@@ -13,10 +13,14 @@ using namespace specfetch;
 using namespace specfetch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!benchMain().parse(argc, argv, "table7_prefetch_traffic",
+                           "memory traffic with next-line prefetching")) {
+        return parseExitCode();
+    }
     SimConfig base;
-    base.instructionBudget = benchBudget(kDefaultBudget);
+    base.instructionBudget = benchMain().budget;
     banner("Table 7", "memory traffic with next-line prefetching", base);
 
     std::vector<RunSpec> specs;
@@ -34,7 +38,7 @@ main()
             specs.push_back(RunSpec{name, config});
         }
     }
-    std::vector<SimResults> results = runSweep(specs);
+    std::vector<SimResults> results = runSweepReported(specs);
 
     TextTable table;
     table.setColumns({"Program", "Oracle", "Resume", "Pessimistic"});

@@ -10,10 +10,13 @@
  *   ./specfetch_sim --benchmark=li --reorder --stats --classify
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "core/miss_classifier.hh"
 #include "core/simulator.hh"
+#include "report/record.hh"
+#include "report/report.hh"
 #include "util/options.hh"
 #include "util/string_utils.hh"
 #include "workload/registry.hh"
@@ -102,6 +105,8 @@ main(int argc, char **argv)
     opts.addFlag("reorder", "apply profile-guided block reordering");
     opts.addFlag("stats", "dump the full statistics tree");
     opts.addFlag("classify", "also run the Table-4 miss classification");
+    opts.addString("json", "",
+                   "write the run as one schema-v1 JSONL record");
     if (!opts.parse(argc, argv))
         return 1;
 
@@ -166,15 +171,24 @@ main(int argc, char **argv)
     }
 
     std::printf("machine: %s\n\n", config.describe().c_str());
+    auto runStart = std::chrono::steady_clock::now();
     SimResults results = runSimulation(workload, config);
+    double runSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      runStart)
+            .count();
     std::fputs(results.summary().c_str(), stdout);
 
     if (opts.getFlag("stats")) {
         std::printf("\n%s", results.statsDump().c_str());
     }
 
+    bool haveClassification = false;
+    Classification classification;
     if (opts.getFlag("classify")) {
-        Classification c = classifyMisses(workload, config);
+        classification = classifyMisses(workload, config);
+        haveClassification = true;
+        const Classification &c = classification;
         std::printf("\nmiss classification (Oracle vs Optimistic, "
                     "%% of instructions):\n");
         std::printf("  both miss:     %.2f\n", c.bothMissPercent());
@@ -182,6 +196,23 @@ main(int argc, char **argv)
         std::printf("  spec prefetch: %.2f\n", c.specPrefetchPercent());
         std::printf("  wrong path:    %.2f\n", c.wrongPathPercent());
         std::printf("  traffic ratio: %.2f\n", c.trafficRatio());
+    }
+
+    if (!opts.getString("json").empty()) {
+        JsonlWriter writer(opts.getString("json"));
+        if (!writer.ok()) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opts.getString("json").c_str());
+            return 1;
+        }
+        RunTiming timing;
+        timing.runSeconds = runSeconds;
+        timing.sweepTotalSeconds = runSeconds;
+        writer.write(makeRunRecord(
+            results, config, &timing,
+            haveClassification ? &classification : nullptr));
+        std::printf("\nwrote run record to %s\n",
+                    writer.path().c_str());
     }
     return 0;
 }

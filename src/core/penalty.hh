@@ -72,6 +72,21 @@ class PenaltyBreakdown
 
     PenaltyBreakdown &operator+=(const PenaltyBreakdown &other);
 
+    bool
+    operator==(const PenaltyBreakdown &other) const
+    {
+        for (size_t i = 0; i < kNumPenaltyKinds; ++i) {
+            if (slotsLost[i] != other.slotsLost[i])
+                return false;
+        }
+        return true;
+    }
+    bool
+    operator!=(const PenaltyBreakdown &other) const
+    {
+        return !(*this == other);
+    }
+
     void reset();
 
   private:

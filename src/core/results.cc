@@ -44,6 +44,29 @@ SimResults::btbMispredictIspi() const
     return ratioOf(targetMispredicts * mispredictSlots, instructions);
 }
 
+bool
+operator==(const SimResults &a, const SimResults &b)
+{
+    return a.workload == b.workload && a.policy == b.policy &&
+           a.prefetch == b.prefetch && a.instructions == b.instructions &&
+           a.misfetchSlots == b.misfetchSlots &&
+           a.mispredictSlots == b.mispredictSlots &&
+           a.finalSlot == b.finalSlot && a.penalty == b.penalty &&
+           a.controlInsts == b.controlInsts &&
+           a.condBranches == b.condBranches &&
+           a.misfetches == b.misfetches &&
+           a.dirMispredicts == b.dirMispredicts &&
+           a.targetMispredicts == b.targetMispredicts &&
+           a.demandAccesses == b.demandAccesses &&
+           a.demandMisses == b.demandMisses &&
+           a.demandFills == b.demandFills &&
+           a.bufferHits == b.bufferHits &&
+           a.wrongAccesses == b.wrongAccesses &&
+           a.wrongMisses == b.wrongMisses &&
+           a.wrongFills == b.wrongFills &&
+           a.prefetchesIssued == b.prefetchesIssued;
+}
+
 std::string
 SimResults::summary() const
 {

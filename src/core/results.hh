@@ -102,6 +102,17 @@ struct SimResults
     std::string statsDump() const;
 };
 
+/** Exact equality over every raw field (identity, counters, penalty
+ *  slots). Used by the sweep-determinism and golden-file tests; the
+ *  derived metrics need no comparison since they are pure functions of
+ *  the raw fields. */
+bool operator==(const SimResults &a, const SimResults &b);
+inline bool
+operator!=(const SimResults &a, const SimResults &b)
+{
+    return !(a == b);
+}
+
 } // namespace specfetch
 
 #endif // SPECFETCH_CORE_RESULTS_HH_

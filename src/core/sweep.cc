@@ -1,6 +1,7 @@
 #include "core/sweep.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -12,9 +13,29 @@
 
 namespace specfetch {
 
-std::vector<SimResults>
-runSweep(const std::vector<RunSpec> &specs, unsigned parallelism)
+namespace {
+
+using SweepClock = std::chrono::steady_clock;
+
+double
+secondsSince(SweepClock::time_point start)
 {
+    return std::chrono::duration<double>(SweepClock::now() - start)
+        .count();
+}
+
+} // namespace
+
+std::vector<SimResults>
+runSweep(const std::vector<RunSpec> &specs, unsigned parallelism,
+         SweepTiming *timing)
+{
+    SweepClock::time_point sweepStart = SweepClock::now();
+    if (timing) {
+        *timing = SweepTiming{};
+        timing->perRunSeconds.assign(specs.size(), 0.0);
+    }
+
     // Build each distinct workload once; runs only read them.
     std::map<std::string, std::shared_ptr<const Workload>> workloads;
     for (const RunSpec &spec : specs) {
@@ -23,6 +44,8 @@ runSweep(const std::vector<RunSpec> &specs, unsigned parallelism)
                 buildWorkload(getProfile(spec.benchmark)));
         }
     }
+    if (timing)
+        timing->workloadBuildSeconds = secondsSince(sweepStart);
 
     std::vector<SimResults> results(specs.size());
 
@@ -32,6 +55,7 @@ runSweep(const std::vector<RunSpec> &specs, unsigned parallelism)
     if (workers > specs.size())
         workers = static_cast<unsigned>(specs.size());
 
+    SweepClock::time_point runStart = SweepClock::now();
     std::atomic<size_t> next{0};
     auto worker = [&]() {
         for (;;) {
@@ -39,8 +63,13 @@ runSweep(const std::vector<RunSpec> &specs, unsigned parallelism)
             if (index >= specs.size())
                 return;
             const RunSpec &spec = specs[index];
+            SweepClock::time_point start = SweepClock::now();
             results[index] =
                 runSimulation(*workloads.at(spec.benchmark), spec.config);
+            // Each index is claimed by exactly one worker, so the
+            // per-run slot needs no synchronization.
+            if (timing)
+                timing->perRunSeconds[index] = secondsSince(start);
         }
     };
 
@@ -55,6 +84,10 @@ runSweep(const std::vector<RunSpec> &specs, unsigned parallelism)
             thread.join();
     }
 
+    if (timing) {
+        timing->runSeconds = secondsSince(runStart);
+        timing->totalSeconds = secondsSince(sweepStart);
+    }
     return results;
 }
 

@@ -24,15 +24,35 @@ struct RunSpec
 };
 
 /**
+ * Wall-clock attribution of one sweep, split by stage. Filled by
+ * runSweep when requested; feeds the run manifests of the report
+ * layer. Timing never influences results — sweeps stay deterministic.
+ */
+struct SweepTiming
+{
+    /** Building the distinct workloads (shared across specs). */
+    double workloadBuildSeconds = 0.0;
+    /** Executing all runs (wall clock of the parallel stage). */
+    double runSeconds = 0.0;
+    /** The whole sweep, build + runs. */
+    double totalSeconds = 0.0;
+    /** Per-spec simulation seconds, in submission order. */
+    std::vector<double> perRunSeconds;
+};
+
+/**
  * Execute every spec (building each benchmark's workload once and
  * sharing it across that benchmark's specs) and return results in the
  * same order.
  *
  * @param specs        Requests.
  * @param parallelism  Worker threads; 0 = hardware concurrency.
+ * @param timing       When non-null, filled with per-stage and
+ *                     per-spec wall-clock times.
  */
 std::vector<SimResults> runSweep(const std::vector<RunSpec> &specs,
-                                 unsigned parallelism = 0);
+                                 unsigned parallelism = 0,
+                                 SweepTiming *timing = nullptr);
 
 /**
  * Convenience grid: every listed benchmark under every policy with

@@ -44,6 +44,27 @@ StatGroup::visit(const std::function<void(const std::string &, double,
     }
 }
 
+void
+StatGroup::visitEntries(
+    const std::function<void(const std::string &, const Counter *, double,
+                             const std::string &)> &fn) const
+{
+    for (const Entry &entry : entries) {
+        double value = entry.counter
+            ? static_cast<double>(entry.counter->value())
+            : entry.formula();
+        fn(groupName + "." + entry.name, entry.counter, value,
+           entry.description);
+    }
+    for (const StatGroup *child : children) {
+        child->visitEntries([&](const std::string &name,
+                                const Counter *counter, double value,
+                                const std::string &desc) {
+            fn(groupName + "." + name, counter, value, desc);
+        });
+    }
+}
+
 std::string
 StatGroup::dump() const
 {

@@ -43,6 +43,15 @@ class StatGroup
     void visit(const std::function<void(const std::string &, double,
                                         const std::string &)> &fn) const;
 
+    /**
+     * Typed visit: @p counter is non-null for counter entries (whose
+     * exact integer value then matters, e.g. for JSON export) and null
+     * for formulas; @p value is always filled.
+     */
+    void visitEntries(
+        const std::function<void(const std::string &, const Counter *,
+                                 double, const std::string &)> &fn) const;
+
     /** Render "name value # description" lines, gem5 stats style. */
     std::string dump() const;
 

@@ -101,6 +101,11 @@ parseScaled(const std::string &text, uint64_t kilo, uint64_t &out)
             return false;
     }
 
+    // strtoull would silently wrap "-5" to a huge value; these
+    // parsers are documented non-negative, so require a leading digit.
+    if (!std::isdigit(static_cast<unsigned char>(t.front())))
+        return false;
+
     char *end = nullptr;
     unsigned long long v = std::strtoull(t.c_str(), &end, 10);
     if (end == nullptr || *end != '\0')

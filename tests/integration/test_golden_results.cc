@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Golden-file regression suite: every workload profile runs under
+ * Oracle, Resume, and Pessimistic at a fixed small budget; the
+ * exported schema-v1 run records must match the checked-in files in
+ * tests/golden/ member-for-member, integer counters exact, no
+ * tolerances. Any intentional change to the simulator's numeric
+ * behaviour (or to the record schema) must regenerate them:
+ *
+ *   cmake --build build -j --target test_integration
+ *   SPECFETCH_REGEN_GOLDEN=1 ./build/tests/test_integration \
+ *       --gtest_filter='GoldenResults.*'
+ *
+ * and the diff reviewed like any other code change. The suite runs
+ * both serial and parallel sweeps against the same files, so it also
+ * pins runSweep's thread-count independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "core/sweep.hh"
+#include "report/record.hh"
+#include "report/report.hh"
+#include "workload/registry.hh"
+
+using namespace specfetch;
+
+namespace {
+
+/** Fixed, CI-friendly budget; golden files are bound to this value. */
+constexpr uint64_t kGoldenBudget = 100'000;
+
+const std::vector<FetchPolicy> &
+goldenPolicies()
+{
+    static const std::vector<FetchPolicy> policies{
+        FetchPolicy::Oracle, FetchPolicy::Resume,
+        FetchPolicy::Pessimistic};
+    return policies;
+}
+
+std::string
+goldenDir()
+{
+#ifdef SPECFETCH_GOLDEN_DIR
+    return SPECFETCH_GOLDEN_DIR;
+#else
+    return "tests/golden";
+#endif
+}
+
+std::string
+goldenPath(const std::string &profile)
+{
+    return goldenDir() + "/" + profile + ".json";
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("SPECFETCH_REGEN_GOLDEN");
+    return env && *env && std::string(env) != "0";
+}
+
+/** All specs, profile-major then policy, the golden file order. */
+std::vector<RunSpec>
+goldenSpecs()
+{
+    SimConfig base;
+    base.instructionBudget = kGoldenBudget;
+    std::vector<RunSpec> specs;
+    for (const std::string &name : benchmarkNames()) {
+        for (FetchPolicy policy : goldenPolicies()) {
+            SimConfig config = base;
+            config.policy = policy;
+            specs.push_back(RunSpec{name, config});
+        }
+    }
+    return specs;
+}
+
+/** Run the grid and serialize one timing-free record per run. */
+std::vector<JsonValue>
+buildRecords(unsigned parallelism)
+{
+    std::vector<RunSpec> specs = goldenSpecs();
+    std::vector<SimResults> results = runSweep(specs, parallelism);
+    std::vector<JsonValue> records;
+    records.reserve(results.size());
+    for (size_t i = 0; i < results.size(); ++i)
+        records.push_back(makeRunRecord(results[i], specs[i].config));
+    return records;
+}
+
+void
+regenerate(const std::vector<JsonValue> &records)
+{
+    size_t perProfile = goldenPolicies().size();
+    const auto &names = benchmarkNames();
+    for (size_t b = 0; b < names.size(); ++b) {
+        std::string path = goldenPath(names[b]);
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        for (size_t p = 0; p < perProfile; ++p)
+            out << records[b * perProfile + p].dump() << '\n';
+    }
+}
+
+void
+compareAgainstGolden(const std::vector<JsonValue> &records,
+                     const char *mode)
+{
+    size_t perProfile = goldenPolicies().size();
+    const auto &names = benchmarkNames();
+    ASSERT_EQ(records.size(), names.size() * perProfile);
+
+    for (size_t b = 0; b < names.size(); ++b) {
+        std::string path = goldenPath(names[b]);
+        std::vector<JsonValue> golden;
+        std::string error;
+        ASSERT_TRUE(readJsonl(path, golden, &error))
+            << error << " — regenerate with SPECFETCH_REGEN_GOLDEN=1 "
+            << "(see file header)";
+        ASSERT_EQ(golden.size(), perProfile) << "in " << path;
+
+        for (size_t p = 0; p < perProfile; ++p) {
+            const JsonValue &fresh = records[b * perProfile + p];
+            const JsonValue &expected = golden[p];
+            // Timing is the one nondeterministic member; golden
+            // records are written without it, but strip defensively.
+            JsonValue cleaned = fresh;
+            cleaned.remove("timing");
+            EXPECT_EQ(cleaned, expected)
+                << mode << " sweep diverged from " << path << " ("
+                << toString(goldenPolicies()[p]) << ")\n  expected: "
+                << expected.dump() << "\n  actual:   "
+                << cleaned.dump();
+        }
+    }
+}
+
+} // namespace
+
+TEST(GoldenResults, SerialSweepMatchesGolden)
+{
+    std::vector<JsonValue> records = buildRecords(/*parallelism=*/1);
+    if (regenRequested()) {
+        regenerate(records);
+        GTEST_SKIP() << "regenerated golden files in " << goldenDir();
+    }
+    compareAgainstGolden(records, "serial");
+}
+
+TEST(GoldenResults, ParallelSweepMatchesGolden)
+{
+    if (regenRequested())
+        GTEST_SKIP() << "regeneration uses the serial sweep";
+    std::vector<JsonValue> records = buildRecords(/*parallelism=*/4);
+    compareAgainstGolden(records, "parallel");
+}
+
+TEST(GoldenResults, GoldenFilesAreValidSchemaRecords)
+{
+    if (regenRequested())
+        GTEST_SKIP();
+    for (const std::string &name : benchmarkNames()) {
+        std::vector<JsonValue> golden;
+        std::string error;
+        ASSERT_TRUE(readJsonl(goldenPath(name), golden, &error)) << error;
+        for (const JsonValue &record : golden) {
+            ASSERT_NE(record.find("schema_version"), nullptr);
+            EXPECT_EQ(record.find("schema_version")->asUint(),
+                      kReportSchemaVersion);
+            ASSERT_NE(record.find("record"), nullptr);
+            EXPECT_EQ(record.find("record")->asString(), "run");
+            EXPECT_EQ(record.find("workload")->asString(), name);
+            ASSERT_NE(record.find("counters"), nullptr);
+            ASSERT_NE(record.find("config"), nullptr);
+            EXPECT_EQ(record.find("config")
+                          ->find("instruction_budget")
+                          ->asUint(),
+                      kGoldenBudget);
+        }
+    }
+}

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check_level.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
 #include "report/record.hh"
@@ -63,12 +64,38 @@ class BenchMain
                        "write one JSONL record per run to this path");
         opts.addString("csv", "",
                        "write flattened per-run records to this CSV path");
+        opts.addString("check", "off",
+                       "invariant-audit level: off, cheap or paranoid");
         if (!opts.parse(argc, argv)) {
             parseFailed = !wantedHelp(argc, argv);
             return false;
         }
         budget = opts.getCount("budget");
         parallelism = static_cast<unsigned>(opts.getCount("parallelism"));
+        if (opts.wasSet("parallelism") && parallelism == 0) {
+            std::fprintf(stderr,
+                         "error: --parallelism 0 is ambiguous; omit the "
+                         "option to use hardware concurrency\n");
+            parseFailed = true;
+            return false;
+        }
+        if (!parseCheckLevel(opts.getString("check"), checkLevel)) {
+            std::fprintf(stderr,
+                         "error: --check expects off, cheap or paranoid "
+                         "(got '%s')\n",
+                         opts.getString("check").c_str());
+            parseFailed = true;
+            return false;
+        }
+        if (!opts.getString("json").empty() &&
+            opts.getString("json") == opts.getString("csv")) {
+            std::fprintf(stderr,
+                         "error: --json and --csv name the same path "
+                         "(%s); the sinks would interleave\n",
+                         opts.getString("json").c_str());
+            parseFailed = true;
+            return false;
+        }
         if (!opts.getString("json").empty() &&
             !openJson(opts.getString("json"))) {
             parseFailed = true;
@@ -142,6 +169,7 @@ class BenchMain
 
     uint64_t budget = kDefaultBudget;
     unsigned parallelism = 0;
+    CheckLevel checkLevel = CheckLevel::Off;
     bool parseFailed = false;
     std::unique_ptr<JsonlWriter> json;
     std::unique_ptr<CsvReportWriter> csv;
@@ -182,10 +210,15 @@ inline std::vector<SimResults>
 runSweepReported(const std::vector<RunSpec> &specs)
 {
     BenchMain &bm = benchMain();
+    std::vector<RunSpec> audited = specs;
+    if (bm.checkLevel != CheckLevel::Off) {
+        for (RunSpec &spec : audited)
+            spec.config.checkLevel = bm.checkLevel;
+    }
     SweepTiming timing;
     std::vector<SimResults> results =
-        runSweep(specs, bm.parallelism, &timing);
-    bm.emitSweep(specs, results, timing);
+        runSweep(audited, bm.parallelism, &timing);
+    bm.emitSweep(audited, results, timing);
     return results;
 }
 

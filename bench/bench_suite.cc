@@ -44,6 +44,7 @@ main(int argc, char **argv)
 
     SimConfig base;
     base.instructionBudget = benchMain().budget;
+    base.checkLevel = benchMain().checkLevel;
     banner("Bench suite",
            "13 profiles x 5 policies x {no prefetch, next-line}", base);
 

@@ -53,7 +53,9 @@ main(int argc, char **argv)
             : profile.family == LanguageFamily::C     ? "C"
                                                       : "C++";
         table.addRow({name, family,
-                      formatFixed(w.footprintBytes() / 1024.0, 1),
+                      formatFixed(
+                          static_cast<double>(w.footprintBytes()) / 1024.0,
+                          1),
                       std::to_string(w.cfg.blocks.size()),
                       std::to_string(w.cfg.functions.size()),
                       vsPaper(measured, profile.paperBranchPercent, 1),

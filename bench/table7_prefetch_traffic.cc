@@ -51,7 +51,9 @@ main(int argc, char **argv)
         for (size_t v = 0; v < 3; ++v) {
             double ratio = denom == 0.0
                 ? 0.0
-                : results[b * 4 + 1 + v].memoryTransactions() / denom;
+                : static_cast<double>(
+                      results[b * 4 + 1 + v].memoryTransactions()) /
+                      denom;
             avg[v] += ratio;
             row.push_back(vsPaper(ratio, paper::kTable7[b][v]));
         }

@@ -113,7 +113,7 @@ main(int argc, char **argv)
     std::printf("interpreter: %llu static instructions (%.1f KB), "
                 "%zu handlers\n\n",
                 static_cast<unsigned long long>(cfg.totalInstructions()),
-                cfg.totalInstructions() * 4 / 1024.0,
+                static_cast<double>(cfg.totalInstructions() * 4) / 1024.0,
                 cfg.blocks[0].indirectTargets.size());
 
     SimConfig config;

@@ -57,7 +57,7 @@ main(int argc, char **argv)
                 benchmark.c_str(), workload.cfg.functions.size(),
                 static_cast<unsigned long long>(
                     workload.cfg.totalInstructions()),
-                workload.footprintBytes() / 1024.0);
+                static_cast<double>(workload.footprintBytes()) / 1024.0);
 
     TextTable table;
     table.setColumns({"Policy", "ISPI", "branch_full", "branch",

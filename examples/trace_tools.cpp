@@ -56,7 +56,8 @@ info(const OptionParser &opts)
     std::printf("image: base 0x%llx, %zu instructions (%.1f KB), "
                 "%zu control\n",
                 static_cast<unsigned long long>(reader.image().base()),
-                reader.image().size(), reader.image().size() * 4 / 1024.0,
+                reader.image().size(),
+                static_cast<double>(reader.image().size() * 4) / 1024.0,
                 reader.image().controlCount());
     std::printf("start pc: 0x%llx\n",
                 static_cast<unsigned long long>(reader.startPc()));

@@ -50,7 +50,7 @@ inspect(const std::string &name, uint64_t budget)
     Inspection out;
     out.name = name;
     out.staticInsts = workload.cfg.totalInstructions();
-    out.footprintKb = workload.footprintBytes() / 1024.0;
+    out.footprintKb = static_cast<double>(workload.footprintBytes()) / 1024.0;
 
     // Dynamic pass: branch mix + working set windows.
     Executor executor(workload.cfg, 42);
@@ -81,7 +81,10 @@ inspect(const std::string &name, uint64_t budget)
     out.distinctLines = all_lines.size();
     out.meanWindowLinesKb = windows == 0
         ? 0.0
-        : 32.0 * (static_cast<double>(window_line_total) / windows) / 1024.0;
+        : 32.0 *
+            (static_cast<double>(window_line_total) /
+             static_cast<double>(windows)) /
+            1024.0;
 
     // Oracle runs for cache + predictor characterization.
     SimConfig cfg;

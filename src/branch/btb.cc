@@ -5,9 +5,9 @@
 
 namespace specfetch {
 
-Btb::Btb(unsigned entries, unsigned ways)
-    : entries(entries), ways(ways), sets(entries / ways),
-      indexBits(log2Floor(entries / ways)), table(entries)
+Btb::Btb(unsigned _entries, unsigned _ways)
+    : entries(_entries), ways(_ways), sets(_entries / _ways),
+      indexBits(log2Floor(_entries / _ways)), table(_entries)
 {
     fatal_if(entries == 0 || ways == 0, "BTB must have entries and ways");
     fatal_if(entries % ways != 0, "BTB ways must divide entries");

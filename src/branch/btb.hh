@@ -77,10 +77,10 @@ class Btb
     unsigned setIndex(Addr pc) const;
     Addr tagOf(Addr pc) const;
 
-    unsigned entries;
-    unsigned ways;
-    unsigned sets;
-    unsigned indexBits;
+    unsigned entries = 0;
+    unsigned ways = 0;
+    unsigned sets = 0;
+    unsigned indexBits = 0;
     std::vector<Entry> table;     // sets * ways, set-major
     uint64_t useClock = 0;
 };

@@ -5,10 +5,10 @@
 
 namespace specfetch {
 
-Pht::Pht(unsigned entries, unsigned counter_bits, PhtIndexing indexing,
+Pht::Pht(unsigned _entries, unsigned counter_bits, PhtIndexing _indexing,
          unsigned local_entries)
-    : entries(entries), historyBits(log2Floor(entries)), indexing(indexing),
-      counters(entries, SatCounter(counter_bits))
+    : entries(_entries), historyBits(log2Floor(_entries)),
+      indexing(_indexing), counters(_entries, SatCounter(counter_bits))
 {
     fatal_if(!isPowerOfTwo(entries), "PHT entries must be a power of two");
     if (indexing == PhtIndexing::Local) {

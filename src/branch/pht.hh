@@ -84,8 +84,8 @@ class Pht
   private:
     unsigned indexFor(Addr pc) const;
 
-    unsigned entries;
-    unsigned historyBits;
+    unsigned entries = 0;
+    unsigned historyBits = 0;
     PhtIndexing indexing;
     std::vector<SatCounter> counters;
     uint64_t ghr = 0;

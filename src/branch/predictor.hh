@@ -106,7 +106,7 @@ class BranchPredictor
   private:
     Btb btbUnit;
     Pht phtUnit;
-    bool rasEnabled;
+    bool rasEnabled = false;
     ReturnAddressStack rasUnit;
 };
 

@@ -13,7 +13,7 @@ void
 ReturnAddressStack::push(Addr return_addr)
 {
     ++pushes;
-    topIndex = (topIndex + 1) % slots.size();
+    topIndex = static_cast<unsigned>((topIndex + 1) % slots.size());
     slots[topIndex] = return_addr;
     if (occupancy < slots.size())
         ++occupancy;
@@ -30,7 +30,8 @@ ReturnAddressStack::pop()
         return 0;
     }
     Addr result = slots[topIndex];
-    topIndex = (topIndex + slots.size() - 1) % slots.size();
+    topIndex =
+        static_cast<unsigned>((topIndex + slots.size() - 1) % slots.size());
     --occupancy;
     return result;
 }

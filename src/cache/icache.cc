@@ -141,4 +141,43 @@ ICache::reset()
     useClock = 0;
 }
 
+std::vector<std::string>
+ICache::audit() const
+{
+    std::vector<std::string> problems;
+
+    if (frames.size() != sets * cfg.ways) {
+        problems.push_back(
+            "frame store holds " + std::to_string(frames.size()) +
+            " frames but geometry needs " + std::to_string(sets * cfg.ways));
+        return problems;    // indexing below would be unsafe
+    }
+
+    for (uint64_t set = 0; set < sets; ++set) {
+        const Frame *base = &frames[set * cfg.ways];
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            if (!base[w].valid)
+                continue;
+            if (base[w].lastUse > useClock) {
+                problems.push_back(
+                    "set " + std::to_string(set) + " way " +
+                    std::to_string(w) + " has LRU stamp " +
+                    std::to_string(base[w].lastUse) +
+                    " beyond the use clock " + std::to_string(useClock));
+            }
+            for (unsigned other = w + 1; other < cfg.ways; ++other) {
+                if (base[other].valid && base[other].tag == base[w].tag) {
+                    problems.push_back(
+                        "set " + std::to_string(set) +
+                        " holds duplicate valid tag " +
+                        std::to_string(base[w].tag) + " in ways " +
+                        std::to_string(w) + " and " +
+                        std::to_string(other));
+                }
+            }
+        }
+    }
+    return problems;
+}
+
 } // namespace specfetch

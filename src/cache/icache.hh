@@ -20,6 +20,7 @@
 #define SPECFETCH_CACHE_ICACHE_HH_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "isa/types.hh"
@@ -88,6 +89,14 @@ class ICache
     /** Invalidate the whole array (between simulation runs). */
     void reset();
 
+    /**
+     * Structural self-audit for the check subsystem: verifies the
+     * frame store matches the configured geometry, no set holds
+     * duplicate valid tags, and LRU timestamps are plausible. Returns
+     * one description per problem (empty = consistent).
+     */
+    std::vector<std::string> audit() const;
+
     /** Spill evicted lines into @p victim (null disables). */
     void setVictimCache(VictimCache *victim) { victimCache = victim; }
 
@@ -118,10 +127,10 @@ class ICache
 
     ICacheConfig cfg;
     VictimCache *victimCache = nullptr;
-    unsigned lineBytes_;
-    Addr lineMask;
-    uint64_t sets;
-    unsigned lineShift;
+    unsigned lineBytes_ = 0;
+    Addr lineMask = 0;
+    uint64_t sets = 0;
+    unsigned lineShift = 0;
     std::vector<Frame> frames;    // sets * ways, set-major
     uint64_t useClock = 0;
 };

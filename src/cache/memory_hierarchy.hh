@@ -84,7 +84,7 @@ class MemoryHierarchy
 
   private:
     MemoryConfig cfg;
-    unsigned issueWidth;
+    unsigned issueWidth = 0;
     std::unique_ptr<ICache> l2;    ///< null in flat mode
 };
 

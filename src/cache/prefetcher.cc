@@ -39,13 +39,13 @@ NextLinePrefetcher::onAccess(Addr accessed_line, Slot now,
     return true;
 }
 
-TargetPrefetcher::TargetPrefetcher(ICache &cache, MemoryBus &bus,
+TargetPrefetcher::TargetPrefetcher(ICache &_cache, MemoryBus &_bus,
                                    LineBuffer &buffer,
-                                   const LineBuffer *shadow,
+                                   const LineBuffer *_shadow,
                                    unsigned entries,
-                                   MemoryHierarchy *hierarchy)
-    : cache(cache), bus(bus), shadow(shadow), prefetchBuffer(buffer),
-      hierarchy(hierarchy), table(entries), indexBits(log2Floor(entries))
+                                   MemoryHierarchy *_hierarchy)
+    : cache(_cache), bus(_bus), shadow(_shadow), prefetchBuffer(buffer),
+      hierarchy(_hierarchy), table(entries), indexBits(log2Floor(entries))
 {
     fatal_if(!isPowerOfTwo(entries),
              "target-prefetch table entries must be a power of two");

@@ -52,11 +52,11 @@ class NextLinePrefetcher
      * @param shadow Optional second buffer (the resume buffer) whose
      *               contents also count as "already present".
      */
-    NextLinePrefetcher(ICache &cache, MemoryBus &bus, LineBuffer &buffer,
-                       const LineBuffer *shadow = nullptr,
-                       MemoryHierarchy *hierarchy = nullptr)
-        : cache(cache), bus(bus), shadow(shadow), prefetchBuffer(buffer),
-          hierarchy(hierarchy)
+    NextLinePrefetcher(ICache &_cache, MemoryBus &_bus, LineBuffer &buffer,
+                       const LineBuffer *_shadow = nullptr,
+                       MemoryHierarchy *_hierarchy = nullptr)
+        : cache(_cache), bus(_bus), shadow(_shadow), prefetchBuffer(buffer),
+          hierarchy(_hierarchy)
     {
     }
 
@@ -151,7 +151,7 @@ class TargetPrefetcher
     LineBuffer &prefetchBuffer;
     MemoryHierarchy *hierarchy;
     std::vector<Entry> table;
-    unsigned indexBits;
+    unsigned indexBits = 0;
 };
 
 } // namespace specfetch

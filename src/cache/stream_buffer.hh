@@ -33,9 +33,9 @@ namespace specfetch {
 class StreamBuffer
 {
   public:
-    StreamBuffer(ICache &cache, MemoryBus &bus,
-                 MemoryHierarchy *hierarchy = nullptr)
-        : cache(cache), bus(bus), hierarchy(hierarchy)
+    StreamBuffer(ICache &_cache, MemoryBus &_bus,
+                 MemoryHierarchy *_hierarchy = nullptr)
+        : cache(_cache), bus(_bus), hierarchy(_hierarchy)
     {
     }
 

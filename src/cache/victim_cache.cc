@@ -4,9 +4,9 @@
 
 namespace specfetch {
 
-VictimCache::VictimCache(unsigned entries) : entries(entries)
+VictimCache::VictimCache(unsigned _entries) : entries(_entries)
 {
-    fatal_if(entries == 0, "victim cache needs at least one entry");
+    fatal_if(_entries == 0, "victim cache needs at least one entry");
 }
 
 bool

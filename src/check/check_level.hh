@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Audit level of the correctness-check subsystem.
+ *
+ * Kept free of other includes so core/config.hh can carry a
+ * CheckLevel without pulling the audit machinery into every
+ * translation unit.
+ */
+
+#ifndef SPECFETCH_CHECK_CHECK_LEVEL_HH_
+#define SPECFETCH_CHECK_CHECK_LEVEL_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace specfetch {
+
+/**
+ * How much invariant auditing a run performs.
+ *
+ *  - Off:      no checks (production-speed runs);
+ *  - Cheap:    end-of-run accounting identities only;
+ *  - Paranoid: end-of-run checks plus structural audits at
+ *              configurable instruction-count checkpoints, and
+ *              serial-vs-parallel sweep cross-validation.
+ */
+enum class CheckLevel : uint8_t
+{
+    Off,
+    Cheap,
+    Paranoid,
+};
+
+/** Display name ("off", "cheap", "paranoid"). */
+std::string toString(CheckLevel level);
+
+/** Parse a level name (case-insensitive). False on unknown names. */
+bool parseCheckLevel(const std::string &text, CheckLevel &out);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_CHECK_CHECK_LEVEL_HH_

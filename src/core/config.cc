@@ -27,6 +27,8 @@ SimConfig::describe() const
     }
     if (victimEntries > 0)
         out += ", victim " + std::to_string(victimEntries);
+    if (checkLevel != CheckLevel::Off)
+        out += ", check " + specfetch::toString(checkLevel);
     return out;
 }
 

@@ -12,6 +12,7 @@
 #include "cache/icache.hh"
 #include "cache/memory_hierarchy.hh"
 #include "cache/prefetch_unit.hh"
+#include "check/check_level.hh"
 #include "core/policy.hh"
 #include "isa/types.hh"
 
@@ -98,6 +99,16 @@ struct SimConfig
     uint64_t instructionBudget = 10'000'000;
     uint64_t warmupInstructions = 0;  ///< retired before stats reset
     uint64_t runSeed = 42;            ///< dynamic-behavior seed
+    /** @} */
+
+    /** @name Correctness auditing (src/check; never affects results) @{ */
+    /** Invariant-audit level: off (default), cheap (end-of-run
+     *  identities), paranoid (adds checkpoint audits and sweep
+     *  cross-validation). */
+    CheckLevel checkLevel = CheckLevel::Off;
+    /** Paranoid-mode audit cadence in retired instructions
+     *  (0 = end-of-run only). */
+    uint64_t checkpointInterval = 100'000;
     /** @} */
 
     /** @name Slot-unit conversions (4 slots = 1 cycle at width 4) @{ */

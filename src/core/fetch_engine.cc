@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariant.hh"
 #include "util/logging.hh"
 
 namespace specfetch {
@@ -12,24 +13,30 @@ constexpr Addr kNoLine = ~Addr{0};
 
 } // namespace
 
-FetchEngine::FetchEngine(const SimConfig &config, const ProgramImage &image)
-    : config(config), image(image), predictor(config.predictor),
-      cache(config.icache), bus(config.memoryChannels), resumeBuffer(),
-      hierarchy(config.memoryConfig(), config.issueWidth),
-      victimCache(config.victimEntries ? config.victimEntries : 1),
-      prefetcher(config.effectivePrefetchKind(), cache, bus,
-                 &resumeBuffer, config.targetTableEntries, &hierarchy),
-      walker(this->config, image, predictor, cache, bus, resumeBuffer,
+FetchEngine::FetchEngine(const SimConfig &_config, const ProgramImage &_image)
+    : config(_config), image(_image), predictor(_config.predictor),
+      cache(_config.icache), bus(_config.memoryChannels), resumeBuffer(),
+      hierarchy(_config.memoryConfig(), _config.issueWidth),
+      victimCache(_config.victimEntries ? _config.victimEntries : 1),
+      prefetcher(_config.effectivePrefetchKind(), cache, bus,
+                 &resumeBuffer, _config.targetTableEntries, &hierarchy),
+      walker(this->config, _image, predictor, cache, bus, resumeBuffer,
              hierarchy, prefetcher.enabled() ? &prefetcher : nullptr),
       curLine(kNoLine)
 {
     this->config.validate();
     if (config.victimEntries > 0)
         cache.setVictimCache(&victimCache);
+    if (config.checkLevel != CheckLevel::Off) {
+        auditor = std::make_unique<InvariantAuditor>(
+            InvariantAuditor::standard(config.checkLevel));
+    }
     walker.setStats(&stats);
     walker.setVictim(config.victimEntries > 0 ? &victimCache : nullptr,
                      Slot(config.victimHitCycles) * config.issueWidth);
 }
+
+FetchEngine::~FetchEngine() = default;
 
 void
 FetchEngine::setObserver(AccessObserver *obs)
@@ -55,6 +62,8 @@ FetchEngine::reset()
     curLine = kNoLine;
     stats = SimResults{};
     prefetchBaseline = prefetcher.issuedCount();
+    statsBaseSlot = now;
+    busBaseline = bus.transactions.value();
     walker.setStats(&stats);
 }
 
@@ -69,7 +78,40 @@ FetchEngine::resetStats()
     fresh.mispredictSlots = stats.mispredictSlots;
     stats = fresh;
     prefetchBaseline = prefetcher.issuedCount();
+    statsBaseSlot = now;
+    busBaseline = bus.transactions.value();
     walker.setStats(&stats);
+}
+
+void
+FetchEngine::runAudit(bool end_of_run)
+{
+    if (!auditor)
+        return;
+
+    AuditContext ctx;
+    ctx.config = &config;
+    ctx.stats = &stats;
+    ctx.now = now;
+    ctx.statsBaseSlot = statsBaseSlot;
+    ctx.busBaseTransactions = busBaseline;
+    ctx.prefetchBaseline = prefetchBaseline;
+    ctx.prefetchesIssuedNow = prefetcher.issuedCount();
+    ctx.icache = &cache;
+    ctx.resumeBuffer = &resumeBuffer;
+    ctx.prefetcher = &prefetcher;
+    ctx.predictor = &predictor;
+    ctx.bus = &bus;
+    ctx.endOfRun = end_of_run;
+
+    if (auditor->runChecks(ctx) == 0)
+        return;
+    auditor->emitReport(config);
+    const InvariantViolation &first = auditor->violations().front();
+    panic("invariant '%s' violated at instruction %llu: %s",
+          first.invariant.c_str(),
+          static_cast<unsigned long long>(stats.instructions),
+          first.detail.c_str());
 }
 
 void
@@ -356,13 +398,25 @@ FetchEngine::run(InstructionSource &source)
     if (warmup > 0)
         resetStats();
 
+    // Paranoid mode audits every checkpointInterval retired
+    // instructions; cheap mode audits only at end-of-run.
+    uint64_t audit_step = 0;
+    if (auditor && config.checkLevel == CheckLevel::Paranoid)
+        audit_step = config.checkpointInterval;
+    uint64_t next_audit = audit_step ? audit_step : UINT64_MAX;
+
     while (stats.instructions < config.instructionBudget &&
            source.next(inst)) {
         fetchOne(inst);
+        if (stats.instructions >= next_audit) {
+            runAudit(false);
+            next_audit += audit_step;
+        }
     }
 
     stats.finalSlot = now;
     stats.prefetchesIssued = prefetcher.issuedCount() - prefetchBaseline;
+    runAudit(true);
     return stats;
 }
 

@@ -17,6 +17,7 @@
 #define SPECFETCH_CORE_FETCH_ENGINE_HH_
 
 #include <deque>
+#include <memory>
 
 #include "branch/predictor.hh"
 #include "cache/bus.hh"
@@ -33,6 +34,8 @@
 
 namespace specfetch {
 
+class InvariantAuditor;
+
 /**
  * One simulated front end. Construct per run (state is not reusable
  * across runs unless reset() is called).
@@ -45,6 +48,7 @@ class FetchEngine
      * @param image  Static program image for wrong-path fetches.
      */
     FetchEngine(const SimConfig &config, const ProgramImage &image);
+    ~FetchEngine();
 
     /** Attach a lockstep observer (miss classification). */
     void setObserver(AccessObserver *obs);
@@ -86,6 +90,12 @@ class FetchEngine
     /** Zero the statistics after warmup (machine state persists). */
     void resetStats();
 
+    /**
+     * Run the registered invariants (config.checkLevel != Off). On any
+     * violation: emit the structured report and stop the run.
+     */
+    void runAudit(bool end_of_run);
+
     SimConfig config;
     const ProgramImage &image;
 
@@ -102,17 +112,23 @@ class FetchEngine
     /** Pending resolve-time predictor updates, in issue order. */
     struct PendingResolve
     {
-        Slot at;
+        Slot at = 0;
         DynInst inst;
     };
     std::deque<PendingResolve> pendingResolves;
 
     Slot now = 0;
     Slot lastIssue = -1;
-    Addr curLine;
+    Addr curLine = 0;
     SimResults stats;
     /** Prefetch count at the last stats reset (warmup boundary). */
     uint64_t prefetchBaseline = 0;
+    /** Slot clock at the last stats reset (audit identity base). */
+    Slot statsBaseSlot = 0;
+    /** Bus transactions at the last stats reset. */
+    uint64_t busBaseline = 0;
+    /** Non-null iff config.checkLevel != Off. */
+    std::unique_ptr<InvariantAuditor> auditor;
     AccessObserver *observer = nullptr;
 };
 

@@ -1,7 +1,9 @@
 #include "core/miss_classifier.hh"
 
+#include "check/invariant.hh"
 #include "core/fetch_engine.hh"
 #include "stats/stats.hh"
+#include "util/logging.hh"
 #include "workload/executor.hh"
 
 namespace specfetch {
@@ -76,11 +78,13 @@ class ShadowObserver : public AccessObserver
 } // namespace
 
 Classification
-classifyMisses(const Workload &workload, const SimConfig &config)
+classifyMisses(const Workload &workload, const SimConfig &config,
+               SimResults *timed_results)
 {
     SimConfig cfg = config;
     cfg.policy = FetchPolicy::Optimistic;
     cfg.nextLinePrefetch = false;
+    cfg.prefetchKind = PrefetchKind::None;
     // The shadow observer counts from the first access; a warmup
     // would desynchronize its counts from the stats denominator.
     cfg.warmupInstructions = 0;
@@ -98,6 +102,22 @@ classifyMisses(const Workload &workload, const SimConfig &config)
     out.specPollute = shadow.specPollute;
     out.specPrefetch = shadow.specPrefetch;
     out.wrongPath = shadow.wrongPath;
+
+    if (cfg.checkLevel != CheckLevel::Off) {
+        InvariantAuditor auditor(cfg.checkLevel);
+        auditClassification(out, results,
+                            engine.memoryBus().transactions.value(),
+                            auditor);
+        if (!auditor.clean()) {
+            auditor.emitReport(cfg);
+            panic("Table 4 conservation violated for workload '%s': %s",
+                  out.workload.c_str(),
+                  auditor.violations().front().detail.c_str());
+        }
+    }
+
+    if (timed_results)
+        *timed_results = results;
     return out;
 }
 

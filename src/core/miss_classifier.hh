@@ -30,6 +30,8 @@
 
 namespace specfetch {
 
+struct SimResults;
+
 /** Table 4 results for one workload. */
 struct Classification
 {
@@ -66,9 +68,16 @@ struct Classification
  * and branch architecture. The policy and prefetch fields of @p
  * config are ignored (the comparison is Optimistic vs Oracle without
  * prefetching, as in the paper).
+ *
+ * When config.checkLevel != Off, the taxonomy is audited against the
+ * timed run's counters (Table 4 conservation) before returning; a
+ * violation emits the audit report and aborts. @p timed_results, when
+ * non-null, receives the underlying Optimistic run's results so
+ * callers (tests) can re-verify the conservation identities.
  */
 Classification classifyMisses(const Workload &workload,
-                              const SimConfig &config);
+                              const SimConfig &config,
+                              SimResults *timed_results = nullptr);
 
 } // namespace specfetch
 

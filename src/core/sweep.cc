@@ -1,5 +1,6 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -7,7 +8,9 @@
 #include <memory>
 #include <thread>
 
+#include "check/invariant.hh"
 #include "core/simulator.hh"
+#include "util/logging.hh"
 #include "util/string_utils.hh"
 #include "workload/registry.hh"
 
@@ -87,6 +90,29 @@ runSweep(const std::vector<RunSpec> &specs, unsigned parallelism,
     if (timing) {
         timing->runSeconds = secondsSince(runStart);
         timing->totalSeconds = secondsSince(sweepStart);
+    }
+
+    // Paranoid sweeps cross-validate the parallel schedule: every run
+    // is repeated serially and must be bit-identical (the simulator is
+    // deterministic; any divergence is cross-thread state leakage).
+    bool paranoid =
+        std::any_of(specs.begin(), specs.end(), [](const RunSpec &s) {
+            return s.config.checkLevel == CheckLevel::Paranoid;
+        });
+    if (paranoid && workers > 1) {
+        std::vector<SimResults> serial(specs.size());
+        for (size_t i = 0; i < specs.size(); ++i) {
+            serial[i] = runSimulation(*workloads.at(specs[i].benchmark),
+                                      specs[i].config);
+        }
+        InvariantAuditor auditor(CheckLevel::Paranoid);
+        auditSweepDeterminism(results, serial, auditor);
+        if (!auditor.clean()) {
+            auditor.emitReport(specs.front().config);
+            panic("parallel sweep diverged from its serial re-run "
+                  "(%zu of %zu runs differ)",
+                  auditor.violations().size(), specs.size());
+        }
     }
     return results;
 }

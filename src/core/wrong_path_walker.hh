@@ -74,13 +74,13 @@ class WrongPathWalker
      * @param hierarchy   Fill-latency provider (L2 model or flat).
      * @param prefetcher  Prefetch unit, or null when disabled.
      */
-    WrongPathWalker(const SimConfig &config, const ProgramImage &image,
-                    BranchPredictor &predictor, ICache &cache,
-                    MemoryBus &bus, LineBuffer &resume_buf,
-                    MemoryHierarchy &hierarchy, PrefetchUnit *prefetcher)
-        : config(config), image(image), predictor(predictor), cache(cache),
-          bus(bus), resumeBuffer(resume_buf), hierarchy(hierarchy),
-          prefetcher(prefetcher)
+    WrongPathWalker(const SimConfig &_config, const ProgramImage &_image,
+                    BranchPredictor &_predictor, ICache &_cache,
+                    MemoryBus &_bus, LineBuffer &resume_buf,
+                    MemoryHierarchy &_hierarchy, PrefetchUnit *_prefetcher)
+        : config(_config), image(_image), predictor(_predictor),
+          cache(_cache), bus(_bus), resumeBuffer(resume_buf),
+          hierarchy(_hierarchy), prefetcher(_prefetcher)
     {
     }
 

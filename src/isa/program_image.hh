@@ -60,7 +60,7 @@ class ProgramImage
     Addr addrOf(size_t index) const { return baseAddr + index * kInstBytes; }
 
   private:
-    Addr baseAddr;
+    Addr baseAddr = 0;
     std::vector<StaticInst> instructions;
 };
 

@@ -289,8 +289,8 @@ namespace {
 class Parser
 {
   public:
-    Parser(const std::string &text, std::string *error)
-        : text(text), error(error)
+    Parser(const std::string &_text, std::string *_error)
+        : text(_text), error(_error)
     {}
 
     bool

@@ -125,8 +125,18 @@ toJson(const SimConfig &config)
              JsonValue::integer(config.instructionBudget))
         .set("warmup_instructions",
              JsonValue::integer(config.warmupInstructions))
-        .set("run_seed", JsonValue::integer(config.runSeed))
-        .set("description", JsonValue::string(config.describe()));
+        .set("run_seed", JsonValue::integer(config.runSeed));
+    // Auditing never changes results; the members appear only when
+    // enabled so records of unaudited runs stay byte-identical to
+    // schema v1 golden files.
+    if (config.checkLevel != CheckLevel::Off) {
+        manifest
+            .set("check_level",
+                 JsonValue::string(toString(config.checkLevel)))
+            .set("checkpoint_interval",
+                 JsonValue::integer(config.checkpointInterval));
+    }
+    manifest.set("description", JsonValue::string(config.describe()));
     return manifest;
 }
 

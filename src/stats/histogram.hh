@@ -52,7 +52,7 @@ class Histogram
     void reset();
 
   private:
-    uint64_t width;
+    uint64_t width = 0;
     std::vector<uint64_t> bins;    // last entry = overflow
     uint64_t total = 0;
     uint64_t sumValues = 0;

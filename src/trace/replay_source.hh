@@ -16,7 +16,7 @@ namespace specfetch {
 class ReplaySource : public InstructionSource
 {
   public:
-    explicit ReplaySource(TraceReader &reader) : reader(reader) {}
+    explicit ReplaySource(TraceReader &_reader) : reader(_reader) {}
 
     bool next(DynInst &out) override { return reader.next(out); }
 

@@ -54,8 +54,8 @@ class TraceWriter
     std::vector<uint8_t> buffer;
     uint64_t plainRun = 0;
     uint64_t records = 0;
-    Addr expectedPc;
-    bool expectedValid;
+    Addr expectedPc = 0;
+    bool expectedValid = false;
 };
 
 } // namespace specfetch

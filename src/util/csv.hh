@@ -20,7 +20,7 @@ namespace specfetch {
 class CsvWriter
 {
   public:
-    explicit CsvWriter(std::ostream &out) : out(out) {}
+    explicit CsvWriter(std::ostream &_out) : out(_out) {}
 
     /** Write one row; fields are escaped as needed. */
     void writeRow(const std::vector<std::string> &fields);

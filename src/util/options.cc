@@ -8,8 +8,8 @@
 
 namespace specfetch {
 
-OptionParser::OptionParser(std::string program, std::string description)
-    : program(std::move(program)), description(std::move(description))
+OptionParser::OptionParser(std::string _program, std::string _description)
+    : program(std::move(_program)), description(std::move(_description))
 {
 }
 
@@ -67,6 +67,13 @@ OptionParser::assign(const std::string &name, const std::string &value)
         return false;
     }
     Option &opt = it->second;
+    if (opt.set) {
+        std::fprintf(stderr,
+                     "%s: option --%s given more than once "
+                     "(values would conflict)\n",
+                     program.c_str(), name.c_str());
+        return false;
+    }
 
     switch (opt.kind) {
       case Kind::String:
@@ -141,6 +148,12 @@ OptionParser::parse(int argc, const char *const *argv)
         // --name value, or bare --flag.
         auto it = options.find(body);
         if (it != options.end() && it->second.kind == Kind::Flag) {
+            if (it->second.set) {
+                std::fprintf(stderr,
+                             "%s: option --%s given more than once\n",
+                             program.c_str(), body.c_str());
+                return false;
+            }
             it->second.value = "true";
             it->second.set = true;
             continue;

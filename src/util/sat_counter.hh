@@ -81,9 +81,9 @@ class SatCounter
     }
 
   private:
-    unsigned numBits;
-    uint8_t maxValue;
-    uint8_t value_;
+    unsigned numBits = 0;
+    uint8_t maxValue = 0;
+    uint8_t value_ = 0;
 };
 
 } // namespace specfetch

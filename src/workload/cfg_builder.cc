@@ -7,8 +7,8 @@
 
 namespace specfetch {
 
-CfgBuilder::CfgBuilder(const WorkloadProfile &profile)
-    : profile(profile), rng(profile.structureSeed * 0x9e3779b97f4a7c15ull + 1)
+CfgBuilder::CfgBuilder(const WorkloadProfile &_profile)
+    : profile(_profile), rng(_profile.structureSeed * 0x9e3779b97f4a7c15ull + 1)
 {
     fatal_if(profile.numFunctions == 0, "profile needs at least a main");
     fatal_if(profile.meanBlockLen < 1.0, "meanBlockLen must be >= 1");
@@ -258,7 +258,7 @@ CfgBuilder::emitIndirectCall(uint32_t func)
     cfg.blocks[site].term = TermKind::IndirectCall;
     std::vector<double> weights;
     for (size_t c = 0; c < callees.size(); ++c)
-        weights.push_back(1.0 / std::pow(c + 1.0, 0.8));
+        weights.push_back(1.0 / std::pow(static_cast<double>(c) + 1.0, 0.8));
     cfg.blocks[site].indirectTargets = std::move(callees);
     cfg.blocks[site].indirectWeights = std::move(weights);
     appendGlueBlock(func);    // the return lands here

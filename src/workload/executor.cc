@@ -6,11 +6,11 @@
 
 namespace specfetch {
 
-Executor::Executor(const Cfg &cfg, uint64_t run_seed)
-    : cfg(cfg), rng(run_seed ^ 0xc0ffee5eed5ull),
-      loopRemaining(cfg.blocks.size(), 0),
-      patternCount(cfg.blocks.size(), 0),
-      visits(cfg.blocks.size(), 0)
+Executor::Executor(const Cfg &_cfg, uint64_t run_seed)
+    : cfg(_cfg), rng(run_seed ^ 0xc0ffee5eed5ull),
+      loopRemaining(_cfg.blocks.size(), 0),
+      patternCount(_cfg.blocks.size(), 0),
+      visits(_cfg.blocks.size(), 0)
 {
     panic_if(cfg.blocks.empty(), "executor needs a program");
     curBlock = cfg.functions[0].entryBlock();

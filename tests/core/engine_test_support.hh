@@ -21,8 +21,8 @@ namespace test {
 class ScriptedSource : public InstructionSource
 {
   public:
-    explicit ScriptedSource(std::vector<DynInst> script)
-        : script(std::move(script))
+    explicit ScriptedSource(std::vector<DynInst> _script)
+        : script(std::move(_script))
     {
     }
 

@@ -90,10 +90,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, 2),    // policy
                        ::testing::Range(0, 4),    // prefetch kind
                        ::testing::Range(0, 4)),   // memory features
-    [](const auto &info) {
-        return "p" + std::to_string(std::get<0>(info.param)) + "_pf" +
-               std::to_string(std::get<1>(info.param)) + "_m" +
-               std::to_string(std::get<2>(info.param));
+    [](const auto &param_info) {
+        return "p" + std::to_string(std::get<0>(param_info.param)) + "_pf" +
+               std::to_string(std::get<1>(param_info.param)) + "_m" +
+               std::to_string(std::get<2>(param_info.param));
     });
 
 TEST(FeatureMatrix, ReorderedWorkloadComposesWithEverything)

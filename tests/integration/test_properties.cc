@@ -131,9 +131,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("doduc", "fpppp", "gcc", "li",
                                          "cfront", "groff", "idl"),
                        ::testing::Range(0, 5)),
-    [](const auto &info) {
-        std::string name = std::get<0>(info.param) + "_" +
-                           shortName(allPolicies()[std::get<1>(info.param)]);
+    [](const auto &param_info) {
+        std::string name = std::get<0>(param_info.param) + "_" +
+                           shortName(allPolicies()[std::get<1>(param_info.param)]);
         for (char &c : name)
             if (!isalnum(static_cast<unsigned char>(c)))
                 c = '_';
@@ -255,8 +255,8 @@ TEST_P(BenchTest, LongLatencyFavorsConservative)
 INSTANTIATE_TEST_SUITE_P(CrossPolicy, BenchTest,
                          ::testing::Values("gcc", "li", "groff", "idl",
                                            "lic", "ditroff"),
-                         [](const auto &info) {
-                             std::string name = info.param;
+                         [](const auto &param_info) {
+                             std::string name = param_info.param;
                              for (char &c : name)
                                  if (!isalnum(static_cast<unsigned char>(c)))
                                      c = '_';

@@ -68,9 +68,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("gcc", "groff"),
                        ::testing::Values(uint64_t{42}, uint64_t{7},
                                          uint64_t{20260706})),
-    [](const auto &info) {
-        return std::get<0>(info.param) + "_seed" +
-               std::to_string(std::get<1>(info.param));
+    [](const auto &param_info) {
+        return std::get<0>(param_info.param) + "_seed" +
+               std::to_string(std::get<1>(param_info.param));
     });
 
 // ---- Config plumbing equivalences --------------------------------------

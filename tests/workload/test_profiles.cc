@@ -72,8 +72,8 @@ TEST_P(ProfileTest, PaperReferenceDataPresent)
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ProfileTest,
                          ::testing::ValuesIn(benchmarkNames()),
-                         [](const auto &info) {
-                             std::string name = info.param;
+                         [](const auto &param_info) {
+                             std::string name = param_info.param;
                              for (char &c : name)
                                  if (!isalnum(static_cast<unsigned char>(c)))
                                      c = '_';

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Determinism lint for the simulation core.
+
+The simulator's contract (DESIGN.md, tests/integration/test_golden_results)
+is bit-exact reproducibility: the same config and seed must produce the
+same counters on every machine, at every parallelism. This lint fails CI
+on source patterns that historically break that contract:
+
+  wall-clock    Reading real time inside the simulation core
+                (std::chrono::system_clock, time(), gettimeofday,
+                localtime, clock()). steady_clock is allowed: the
+                harness uses it for *reporting* elapsed time, which is
+                outside the deterministic state.
+  libc-random   rand()/srand()/random_device. All simulated randomness
+                must flow through util/random.hh's seeded generator.
+  unordered     Iterating std::unordered_map/set feeds hash-order (and
+                therefore libstdc++-version-dependent) sequences into
+                results. Ordered containers cost a log factor and keep
+                runs comparable; use them in the core.
+  uninit-counter A bare arithmetic member declaration without an
+                initializer in a header ("uint64_t hits;") starts life
+                as stack garbage when the struct is stack-constructed,
+                which is exactly how counter nondeterminism enters.
+
+A finding can be waived on its line (or the line above) with:
+    // lint: allow(<rule>)
+naming one of: wall-clock, libc-random, unordered, uninit-counter.
+
+Usage:
+    tools/lint.py [--root DIR]    lint the simulation core (exit 1 on
+                                  findings)
+    tools/lint.py --self-test     verify every rule catches its seeded
+                                  violation (exit 1 if any slips by)
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Directories whose sources must be deterministic. bench/ and tools are
+# excluded: harness timing (steady_clock) and report timestamps live
+# there by design.
+CORE_DIRS = [
+    "src/core",
+    "src/cache",
+    "src/branch",
+    "src/workload",
+    "src/isa",
+    "src/trace",
+    "src/check",
+    "src/stats",
+    "src/util",
+    "src/report",
+]
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
+
+RULES = [
+    (
+        "wall-clock",
+        re.compile(
+            r"system_clock|gettimeofday|\blocaltime\b|\bgmtime\b"
+            r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+            r"|\bclock\s*\(\s*\)"
+        ),
+        "reads wall-clock time inside the simulation core",
+    ),
+    (
+        "libc-random",
+        re.compile(r"\b(?:std::)?(?:s?rand)\s*\(|random_device"),
+        "uses unseeded/libc randomness (route through util/random.hh)",
+    ),
+    (
+        "unordered",
+        re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
+        "hash-ordered container in the core (iteration order feeds "
+        "results)",
+    ),
+]
+
+# Arithmetic member without an initializer, e.g. "uint64_t hits;".
+# Restricted to headers (struct/class bodies); locals in .cc files are
+# the compiler's problem (-Wuninitialized / sanitizers).
+UNINIT_RE = re.compile(
+    r"^\s*(?:uint(?:8|16|32|64)_t|int(?:8|16|32|64)_t|unsigned|int"
+    r"|size_t|double|float|bool|Slot|Addr)\s+"
+    r"[A-Za-z_]\w*\s*;\s*(?://.*)?$"
+)
+
+
+def allowed(lines, idx, rule):
+    for probe in (idx, idx - 1):
+        if probe < 0:
+            continue
+        m = ALLOW_RE.search(lines[probe])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def lint_text(path, text):
+    """Return [(path, line_no, rule, message)] for one file's content."""
+    findings = []
+    lines = text.splitlines()
+    in_block_comment = False
+    for idx, line in enumerate(lines):
+        code = line
+        # Strip comments so documentation may mention the banned names.
+        if in_block_comment:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2:]
+            in_block_comment = False
+        while True:
+            start = code.find("/*")
+            if start < 0:
+                break
+            end = code.find("*/", start + 2)
+            if end < 0:
+                code = code[:start]
+                in_block_comment = True
+                break
+            code = code[:start] + code[end + 2:]
+        slash = code.find("//")
+        if slash >= 0:
+            code = code[:slash]
+        if not code.strip():
+            continue
+
+        for rule, pattern, message in RULES:
+            if pattern.search(code) and not allowed(lines, idx, rule):
+                findings.append((path, idx + 1, rule, message))
+        if (
+            path.endswith((".hh", ".h"))
+            and UNINIT_RE.match(code)
+            and not allowed(lines, idx, "uninit-counter")
+        ):
+            findings.append(
+                (
+                    path,
+                    idx + 1,
+                    "uninit-counter",
+                    "arithmetic member without an initializer",
+                )
+            )
+    return findings
+
+
+def lint_tree(root):
+    findings = []
+    for rel in CORE_DIRS:
+        base = os.path.join(root, rel)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if not name.endswith((".cc", ".hh", ".h", ".cpp")):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8") as handle:
+                    findings.extend(lint_text(path, handle.read()))
+    return findings
+
+
+SELF_TEST_CASES = [
+    ("wall-clock", "a.cc", "auto t = std::chrono::system_clock::now();"),
+    ("wall-clock", "a.cc", "time_t t = time(nullptr);"),
+    ("libc-random", "a.cc", "int r = rand();"),
+    ("libc-random", "a.cc", "std::random_device rd;"),
+    ("unordered", "a.cc", "std::unordered_map<int, int> seen;"),
+    ("uninit-counter", "a.hh", "    uint64_t hits;"),
+]
+
+SELF_TEST_CLEAN = [
+    ("a.cc", "auto t = std::chrono::steady_clock::now();"),
+    ("a.cc", "Random rng(seed);"),
+    ("a.hh", "    uint64_t hits = 0;"),
+    ("a.cc", "// rand() must never appear in the core"),
+    ("a.cc", "std::unordered_map<int, int> ok; // lint: allow(unordered)"),
+]
+
+
+def self_test():
+    failures = 0
+    for rule, path, snippet in SELF_TEST_CASES:
+        found = lint_text(path, snippet + "\n")
+        if not any(f[2] == rule for f in found):
+            print(f"self-test FAIL: {rule} missed: {snippet!r}")
+            failures += 1
+    for path, snippet in SELF_TEST_CLEAN:
+        found = lint_text(path, snippet + "\n")
+        if found:
+            print(f"self-test FAIL: false positive on {snippet!r}: {found}")
+            failures += 1
+    if failures:
+        return 1
+    print(
+        f"self-test OK: {len(SELF_TEST_CASES)} violations caught, "
+        f"{len(SELF_TEST_CLEAN)} clean lines passed"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="check that every rule catches its seeded violation",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint_tree(args.root)
+    for path, line, rule, message in findings:
+        print(f"{path}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"{len(findings)} determinism-lint finding(s)")
+        return 1
+    print("determinism lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

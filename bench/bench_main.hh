@@ -162,6 +162,7 @@ class BenchMain
                 ? timing.perRunSeconds[i]
                 : 0.0;
             rt.workloadBuildSeconds = timing.workloadBuildSeconds;
+            rt.snapshotRecordSeconds = timing.snapshotRecordSeconds;
             rt.sweepTotalSeconds = timing.totalSeconds;
             emitRun(results[i], specs[i].config, &rt);
         }

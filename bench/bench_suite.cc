@@ -81,6 +81,7 @@ main(int argc, char **argv)
         RunTiming rt;
         rt.runSeconds = timing.perRunSeconds[i];
         rt.workloadBuildSeconds = timing.workloadBuildSeconds;
+        rt.snapshotRecordSeconds = timing.snapshotRecordSeconds;
         rt.sweepTotalSeconds = timing.totalSeconds;
         size_t profileIndex = i / (allPolicies().size() * 2);
         benchMain().emit(makeRunRecord(results[i], specs[i].config, &rt,
@@ -108,10 +109,11 @@ main(int argc, char **argv)
     }
     emitTable(table);
 
-    std::printf("\n%zu runs in %.2fs (workload build %.2fs); "
-                "%zu records -> %s\n",
+    std::printf("\n%zu runs in %.2fs (workload build %.2fs, "
+                "snapshot record %.2fs); %zu records -> %s\n",
                 specs.size(), timing.totalSeconds,
                 timing.workloadBuildSeconds,
+                timing.snapshotRecordSeconds,
                 benchMain().json->recordsWritten(),
                 benchMain().json->path().c_str());
     return 0;

@@ -1,116 +1,267 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulator itself:
- * simulation throughput per policy and the hot substrate operations
- * (cache probe, predictor lookup, executor step). These guard the
- * "hundreds of millions of instructions per experiment" budget the
- * table harnesses rely on.
+ * Self-timed perf-regression harness for the simulator itself. It
+ * times the stages the sweep pipeline is built from — workload
+ * construction, the live executor, snapshot record, snapshot replay,
+ * a live and a replayed full simulation, and a 10-spec policy grid —
+ * and reports each as a throughput (work units per second, best of
+ * --repeats wall-clock measurements).
+ *
+ * With --json it appends one schema-v1 "perf" record per stage:
+ *
+ *   {"schema_version":1,"record":"perf","stage":"sim_replay",
+ *    "unit":"instructions","work":2000000,"seconds":0.05,
+ *    "rate":4.0e7}
+ *
+ * preceded by one "perf_meta" record naming the benchmark, budget and
+ * repeat count so a comparison (tools/perf_compare.py) can refuse to
+ * diff runs measured under different settings. These guard the
+ * "hundreds of millions of instructions per experiment" wall-clock
+ * budget the table harnesses rely on; CI runs this as a warn-only
+ * smoke check against bench/perf_baseline.json.
+ *
+ * Timing methodology (README "Performance methodology"): every stage
+ * runs --repeats times and the minimum is kept — the minimum is the
+ * least-contended observation and is the stable statistic on shared
+ * CI machines. Stages run strictly sequentially, never overlapped.
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "branch/predictor.hh"
-#include "cache/icache.hh"
 #include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "report/json.hh"
+#include "report/record.hh"
+#include "report/report.hh"
+#include "trace/snapshot.hh"
+#include "util/options.hh"
 #include "workload/executor.hh"
 #include "workload/registry.hh"
+#include "workload/workload.hh"
 
 using namespace specfetch;
 
 namespace {
 
-const Workload &
-gccWorkload()
+/** Seconds elapsed running @p fn once. */
+template <typename Fn>
+double
+timeOnce(Fn &&fn)
 {
-    static const Workload workload = buildWorkload(getProfile("gcc"));
-    return workload;
+    auto begin = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - begin).count();
 }
 
-void
-BM_ExecutorStep(benchmark::State &state)
+/** Best (minimum) of @p repeats timed runs of @p fn. */
+template <typename Fn>
+double
+bestOf(unsigned repeats, Fn &&fn)
 {
-    Executor executor(gccWorkload().cfg, 42);
-    DynInst inst;
-    for (auto _ : state) {
-        executor.next(inst);
-        benchmark::DoNotOptimize(inst);
-    }
-    state.SetItemsProcessed(state.iterations());
+    double best = timeOnce(fn);
+    for (unsigned i = 1; i < repeats; ++i)
+        best = std::min(best, timeOnce(fn));
+    return best;
 }
-BENCHMARK(BM_ExecutorStep);
 
-void
-BM_ICacheProbe(benchmark::State &state)
+/** One measured stage, ready to print and export. */
+struct StageResult
 {
-    ICache cache;
-    for (Addr line = 0; line < 256; ++line)
-        cache.insert(0x10000 + line * 32);
-    Addr line = 0x10000;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(cache.access(line));
-        line = 0x10000 + ((line + 32) & 0x1fff);
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ICacheProbe);
+    std::string stage;
+    std::string unit;
+    uint64_t work = 0;
+    double seconds = 0.0;
 
-void
-BM_PredictorLookup(benchmark::State &state)
-{
-    BranchPredictor predictor;
-    Addr pc = 0x10000;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            predictor.predict(pc, InstClass::CondBranch));
-        pc = 0x10000 + ((pc + 4) & 0xfff);
+    double
+    rate() const
+    {
+        return seconds > 0.0 ? static_cast<double>(work) / seconds : 0.0;
     }
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_PredictorLookup);
+};
 
-void
-BM_SimulateGcc(benchmark::State &state)
+JsonValue
+toRecord(const StageResult &r)
 {
-    FetchPolicy policy = static_cast<FetchPolicy>(state.range(0));
-    SimConfig config;
-    config.policy = policy;
-    config.instructionBudget = 200'000;
-    for (auto _ : state) {
-        SimResults r = runSimulation(gccWorkload(), config);
-        benchmark::DoNotOptimize(r.finalSlot);
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            config.instructionBudget);
-    state.SetLabel(toString(policy));
+    JsonValue rec = JsonValue::object();
+    rec.set("schema_version", JsonValue::integer(kReportSchemaVersion));
+    rec.set("record", JsonValue::string("perf"));
+    rec.set("stage", JsonValue::string(r.stage));
+    rec.set("unit", JsonValue::string(r.unit));
+    rec.set("work", JsonValue::integer(r.work));
+    rec.set("seconds", JsonValue::number(r.seconds));
+    rec.set("rate", JsonValue::number(r.rate()));
+    return rec;
 }
-BENCHMARK(BM_SimulateGcc)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 
-void
-BM_SimulateWithPrefetch(benchmark::State &state)
-{
-    SimConfig config;
-    config.policy = FetchPolicy::Resume;
-    config.nextLinePrefetch = true;
-    config.instructionBudget = 200'000;
-    for (auto _ : state) {
-        SimResults r = runSimulation(gccWorkload(), config);
-        benchmark::DoNotOptimize(r.finalSlot);
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            config.instructionBudget);
-}
-BENCHMARK(BM_SimulateWithPrefetch)->Unit(benchmark::kMillisecond);
-
-void
-BM_BuildWorkload(benchmark::State &state)
-{
-    for (auto _ : state) {
-        Workload w = buildWorkload(getProfile("li"));
-        benchmark::DoNotOptimize(w.image.size());
-    }
-}
-BENCHMARK(BM_BuildWorkload)->Unit(benchmark::kMillisecond);
+/** Defeat dead-code elimination without a compiler intrinsic. */
+volatile uint64_t gSink = 0;
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("perf_microbench",
+                      "Time the simulator's pipeline stages and emit "
+                      "schema-v1 perf records for regression tracking");
+    opts.addCount("budget", benchBudget(2'000'000),
+                  "instructions per stage (default honours "
+                  "SPECFETCH_BUDGET)");
+    opts.addCount("repeats", 3, "timed repetitions per stage (min kept)");
+    opts.addString("benchmark", "gcc", "workload profile to measure");
+    opts.addString("json", "", "append schema-v1 perf records to this path");
+    if (!opts.parse(argc, argv))
+        return 1;
+
+    const uint64_t budget = opts.getCount("budget");
+    const unsigned repeats = static_cast<unsigned>(
+        std::max<uint64_t>(1, opts.getCount("repeats")));
+    const std::string benchmark = opts.getString("benchmark");
+
+    // Open the sink before spending minutes measuring.
+    std::unique_ptr<JsonlWriter> writer;
+    if (!opts.getString("json").empty()) {
+        writer = std::make_unique<JsonlWriter>(opts.getString("json"));
+        if (!writer->ok()) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opts.getString("json").c_str());
+            return 1;
+        }
+    }
+
+    const Workload &workload = *sharedWorkload(benchmark);
+    SimConfig base;
+    base.instructionBudget = budget;
+
+    std::vector<StageResult> results;
+
+    // Stage: build the workload CFG from its profile (what sweeps pay
+    // once per benchmark thanks to sharedWorkload()).
+    {
+        StageResult r{"workload_build", "builds", 1, 0.0};
+        r.seconds = bestOf(repeats, [&] {
+            Workload w = buildWorkload(getProfile(benchmark));
+            gSink = gSink + w.image.size();
+        });
+        results.push_back(r);
+    }
+
+    // Stage: the live architectural executor alone (the correct-path
+    // generator every live run steps once per instruction).
+    {
+        StageResult r{"executor_step", "instructions", budget, 0.0};
+        r.seconds = bestOf(repeats, [&] {
+            Executor executor(workload.cfg, base.runSeed);
+            DynInst inst;
+            uint64_t sum = 0;
+            for (uint64_t i = 0; i < budget; ++i) {
+                executor.next(inst);
+                sum += inst.pc;
+            }
+            gSink = gSink + sum;
+        });
+        results.push_back(r);
+    }
+
+    // Stage: recording a correct-path snapshot from the executor.
+    {
+        StageResult r{"snapshot_record", "instructions", budget, 0.0};
+        r.seconds = bestOf(repeats, [&] {
+            Executor executor(workload.cfg, base.runSeed);
+            TraceSnapshot snap = TraceSnapshot::record(executor, budget);
+            gSink = gSink + snap.byteSize();
+        });
+        results.push_back(r);
+    }
+
+    // Stage: replaying that snapshot through the replay cursor alone
+    // (upper bound on how fast any replayed simulation can consume
+    // its stream).
+    Executor recorder(workload.cfg, base.runSeed);
+    const TraceSnapshot snapshot = TraceSnapshot::record(recorder, budget);
+    {
+        StageResult r{"snapshot_replay", "instructions", budget, 0.0};
+        r.seconds = bestOf(repeats, [&] {
+            SnapshotReplaySource source(snapshot);
+            DynInst inst;
+            uint64_t sum = 0;
+            while (source.next(inst))
+                sum += inst.pc;
+            gSink = gSink + sum;
+        });
+        results.push_back(r);
+    }
+
+    // Stage: one full simulation fed by the live executor.
+    {
+        StageResult r{"sim_live", "instructions", budget, 0.0};
+        r.seconds = bestOf(repeats, [&] {
+            SimResults res = runSimulation(workload, base);
+            gSink = gSink + res.finalSlot;
+        });
+        results.push_back(r);
+    }
+
+    // Stage: the same simulation fed by the recorded snapshot (the
+    // sweep fast path; results are bit-identical to sim_live).
+    {
+        StageResult r{"sim_replay", "instructions", budget, 0.0};
+        r.seconds = bestOf(repeats, [&] {
+            SimResults res = runSimulation(workload, base, snapshot);
+            gSink = gSink + res.finalSlot;
+        });
+        results.push_back(r);
+    }
+
+    // Stage: a serial 10-spec grid (5 policies x prefetch off/on) on
+    // one benchmark — the record-once/replay-many sweep path end to
+    // end, including the snapshot-record stage it amortizes.
+    {
+        std::vector<RunSpec> specs;
+        for (int p = 0; p < 5; ++p) {
+            for (int pf = 0; pf < 2; ++pf) {
+                SimConfig config = base;
+                config.policy = static_cast<FetchPolicy>(p);
+                config.nextLinePrefetch = pf != 0;
+                specs.push_back(RunSpec{benchmark, config});
+            }
+        }
+        StageResult r{"grid", "instructions", budget * specs.size(), 0.0};
+        r.seconds = bestOf(repeats, [&] {
+            std::vector<SimResults> res = runSweep(specs, 1);
+            gSink = gSink + res.back().finalSlot;
+        });
+        results.push_back(r);
+    }
+
+    std::printf("perf_microbench: %s, budget %llu, best of %u\n",
+                benchmark.c_str(),
+                static_cast<unsigned long long>(budget), repeats);
+    std::printf("%-16s %14s %12s %16s\n", "stage", "work", "seconds",
+                "rate/s");
+    for (const StageResult &r : results) {
+        std::printf("%-16s %14llu %12.6f %16.0f\n", r.stage.c_str(),
+                    static_cast<unsigned long long>(r.work), r.seconds,
+                    r.rate());
+    }
+
+    if (writer) {
+        JsonValue meta = JsonValue::object();
+        meta.set("schema_version", JsonValue::integer(kReportSchemaVersion));
+        meta.set("record", JsonValue::string("perf_meta"));
+        meta.set("benchmark", JsonValue::string(benchmark));
+        meta.set("budget", JsonValue::integer(budget));
+        meta.set("repeats", JsonValue::integer(repeats));
+        writer->write(meta);
+        for (const StageResult &r : results)
+            writer->write(toRecord(r));
+        std::printf("%zu perf records -> %s\n", results.size() + 1,
+                    writer->path().c_str());
+    }
+    return 0;
+}

@@ -11,7 +11,7 @@ ICache::ICache(const ICacheConfig &config)
     : cfg(config), lineBytes_(config.lineBytes),
       lineMask(config.lineBytes - 1), sets(config.numSets()),
       lineShift(log2Floor(config.lineBytes)),
-      frames(config.numLines())
+      setShift(log2Floor(config.numSets())), frames(config.numLines())
 {
     fatal_if(!isPowerOfTwo(cfg.lineBytes), "line size must be power of two");
     fatal_if(!isPowerOfTwo(cfg.sizeBytes), "cache size must be power of two");
@@ -30,7 +30,7 @@ ICache::setOf(Addr line_addr) const
 Addr
 ICache::tagOf(Addr line_addr) const
 {
-    return line_addr >> lineShift >> log2Floor(sets);
+    return line_addr >> lineShift >> setShift;
 }
 
 ICache::Frame *
@@ -38,7 +38,8 @@ ICache::find(Addr line_addr)
 {
     Frame *base = &frames[setOf(line_addr) * cfg.ways];
     Addr tag = tagOf(line_addr);
-    for (unsigned w = 0; w < cfg.ways; ++w)
+    const unsigned ways = cfg.ways;
+    for (unsigned w = 0; w < ways; ++w)
         if (base[w].valid && base[w].tag == tag)
             return &base[w];
     return nullptr;
@@ -49,7 +50,8 @@ ICache::find(Addr line_addr) const
 {
     const Frame *base = &frames[setOf(line_addr) * cfg.ways];
     Addr tag = tagOf(line_addr);
-    for (unsigned w = 0; w < cfg.ways; ++w)
+    const unsigned ways = cfg.ways;
+    for (unsigned w = 0; w < ways; ++w)
         if (base[w].valid && base[w].tag == tag)
             return &base[w];
     return nullptr;
@@ -110,7 +112,7 @@ ICache::insert(Addr line_addr)
         ++evictions;
         result.valid = true;
         uint64_t set = setOf(line_addr);
-        result.lineAddr = ((victim->tag << log2Floor(sets)) | set)
+        result.lineAddr = ((victim->tag << setShift) | set)
                           << lineShift;
         if (victimCache)
             victimCache->insert(result.lineAddr);

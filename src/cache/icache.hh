@@ -131,6 +131,9 @@ class ICache
     Addr lineMask = 0;
     uint64_t sets = 0;
     unsigned lineShift = 0;
+    /** log2(sets), precomputed: tagOf/insert sit on the per-line
+     *  fetch probe path and must not recompute it per access. */
+    unsigned setShift = 0;
     std::vector<Frame> frames;    // sets * ways, set-major
     uint64_t useClock = 0;
 };

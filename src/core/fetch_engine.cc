@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/invariant.hh"
+#include "trace/snapshot.hh"
 #include "util/logging.hh"
 
 namespace specfetch {
@@ -266,6 +267,31 @@ FetchEngine::fetchOne(const DynInst &inst)
 }
 
 void
+FetchEngine::fetchPlainRun(Addr pc, uint32_t count)
+{
+    // One drain covers the whole run: resolves only mutate predictor
+    // state, and plains never read it — the next control instruction
+    // (or the next run) drains again before any prediction.
+    drainResolves();
+    const Addr line_bytes = cache.lineBytes();
+    while (count > 0) {
+        Addr line = cache.lineOf(pc);
+        if (line != curLine) {
+            handleLineAccess(line);
+            curLine = line;
+        }
+        Addr line_end = line + line_bytes;
+        uint32_t in_line = static_cast<uint32_t>(
+            std::min<uint64_t>(count, (line_end - pc) / kInstBytes));
+        stats.instructions += in_line;
+        now += in_line;
+        lastIssue = now - 1;
+        pc += Addr(in_line) * kInstBytes;
+        count -= in_line;
+    }
+}
+
+void
 FetchEngine::handleControl(const DynInst &inst, Slot issue)
 {
     ++stats.controlInsts;
@@ -379,18 +405,22 @@ FetchEngine::handleControl(const DynInst &inst, Slot issue)
     }
 }
 
+template <typename Source>
 SimResults
-FetchEngine::run(InstructionSource &source)
+FetchEngine::runWith(Source &source)
 {
     stats.policy = config.policy;
     stats.prefetch = config.effectivePrefetchKind() != PrefetchKind::None;
     stats.misfetchSlots = static_cast<uint64_t>(config.decodeSlots());
     stats.mispredictSlots = static_cast<uint64_t>(config.resolveSlots());
 
-    uint64_t warmup = config.warmupInstructions;
+    const uint64_t warmup = config.warmupInstructions;
     uint64_t retired_warmup = 0;
     DynInst inst;
 
+    // Statically bound when Source is a final class; the generic
+    // InstructionSource instantiation keeps the virtual dispatch.
+    // lint: allow(loop-virtual)
     while (retired_warmup < warmup && source.next(inst)) {
         fetchOne(inst);
         ++retired_warmup;
@@ -405,8 +435,31 @@ FetchEngine::run(InstructionSource &source)
         audit_step = config.checkpointInterval;
     uint64_t next_audit = audit_step ? audit_step : UINT64_MAX;
 
-    while (stats.instructions < config.instructionBudget &&
-           source.next(inst)) {
+    const uint64_t budget = config.instructionBudget;
+    for (;;) {
+        uint64_t room = budget - stats.instructions;
+        if (room == 0)
+            break;
+        // Snapshot replay exposes its plain runs in bulk; burn them
+        // through the arithmetic-only fast path instead of one
+        // virtual-dispatch + decode round-trip per instruction.
+        if constexpr (requires(Addr &a) { source.takePlainRun(a, 1u); }) {
+            Addr run_pc;
+            uint32_t batch = static_cast<uint32_t>(
+                std::min<uint64_t>(room, UINT32_MAX));
+            uint32_t got = source.takePlainRun(run_pc, batch);
+            if (got > 0) {
+                fetchPlainRun(run_pc, got);
+                if (stats.instructions >= next_audit) {
+                    runAudit(false);
+                    next_audit += audit_step;
+                }
+                continue;
+            }
+        }
+        // lint: allow(loop-virtual)
+        if (!source.next(inst))
+            break;
         fetchOne(inst);
         if (stats.instructions >= next_audit) {
             runAudit(false);
@@ -418,6 +471,18 @@ FetchEngine::run(InstructionSource &source)
     stats.prefetchesIssued = prefetcher.issuedCount() - prefetchBaseline;
     runAudit(true);
     return stats;
+}
+
+template SimResults
+FetchEngine::runWith<InstructionSource>(InstructionSource &);
+template SimResults FetchEngine::runWith<Executor>(Executor &);
+template SimResults
+FetchEngine::runWith<SnapshotReplaySource>(SnapshotReplaySource &);
+
+SimResults
+FetchEngine::run(InstructionSource &source)
+{
+    return runWith<InstructionSource>(source);
 }
 
 } // namespace specfetch

@@ -59,6 +59,17 @@ class FetchEngine
      */
     SimResults run(InstructionSource &source);
 
+    /**
+     * Typed variant of run(): when @p Source is a final concrete
+     * class (Executor, SnapshotReplaySource) the per-instruction
+     * source step is statically bound and inlined instead of being a
+     * virtual call per instruction. Results are identical to run().
+     * Instantiated in fetch_engine.cc for InstructionSource,
+     * Executor, and SnapshotReplaySource.
+     */
+    template <typename Source>
+    SimResults runWith(Source &source);
+
     /** Reset all machine state (cache, predictor, clocks, stats). */
     void reset();
 
@@ -80,6 +91,16 @@ class FetchEngine
 
     /** Issue one correct-path instruction; returns its issue slot. */
     void fetchOne(const DynInst &inst);
+
+    /**
+     * Issue @p count contiguous correct-path plain instructions
+     * starting at @p pc (the replay fast path). Equivalent to count
+     * fetchOne() calls on plain instructions: line accesses happen on
+     * line crossings, and the slot clock advances one slot per
+     * instruction. Plains charge no penalties and never read the
+     * predictor, so the per-instruction work collapses to arithmetic.
+     */
+    void fetchPlainRun(Addr pc, uint32_t count);
 
     /** Handle a control instruction's outcome after issue. */
     void handleControl(const DynInst &inst, Slot issue);

@@ -11,7 +11,18 @@ runSimulation(const Workload &workload, const SimConfig &config)
 {
     Executor executor(workload.cfg, config.runSeed);
     FetchEngine engine(config, workload.image);
-    SimResults results = engine.run(executor);
+    SimResults results = engine.runWith(executor);
+    results.workload = workload.profile.name;
+    return results;
+}
+
+SimResults
+runSimulation(const Workload &workload, const SimConfig &config,
+              const TraceSnapshot &snapshot)
+{
+    SnapshotReplaySource source(snapshot);
+    FetchEngine engine(config, workload.image);
+    SimResults results = engine.runWith(source);
     results.workload = workload.profile.name;
     return results;
 }
@@ -19,8 +30,7 @@ runSimulation(const Workload &workload, const SimConfig &config)
 SimResults
 runBenchmark(const std::string &benchmark, const SimConfig &config)
 {
-    Workload workload = buildWorkload(getProfile(benchmark));
-    return runSimulation(workload, config);
+    return runSimulation(*sharedWorkload(benchmark), config);
 }
 
 } // namespace specfetch

@@ -11,6 +11,7 @@
 
 #include "core/config.hh"
 #include "core/results.hh"
+#include "trace/snapshot.hh"
 #include "workload/workload.hh"
 
 namespace specfetch {
@@ -24,7 +25,22 @@ namespace specfetch {
  */
 SimResults runSimulation(const Workload &workload, const SimConfig &config);
 
-/** Convenience: build the named benchmark and run it. */
+/**
+ * Run one policy on an already-built workload, replaying a recorded
+ * correct-path stream instead of re-interpreting the CFG. Results are
+ * bit-identical to the live-executor overload provided the snapshot
+ * was recorded from (workload, config.runSeed) and covers at least
+ * warmupInstructions + instructionBudget instructions
+ * (tests/trace/test_snapshot.cc pins this).
+ */
+SimResults runSimulation(const Workload &workload, const SimConfig &config,
+                         const TraceSnapshot &snapshot);
+
+/**
+ * Convenience: run the named benchmark. The built workload comes from
+ * the process-wide memoized store (sharedWorkload), so repeated
+ * single-run calls don't pay the CFG build each time.
+ */
 SimResults runBenchmark(const std::string &benchmark,
                         const SimConfig &config);
 

@@ -4,15 +4,19 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <memory>
 #include <thread>
+#include <utility>
 
 #include "check/invariant.hh"
 #include "core/simulator.hh"
+#include "trace/snapshot.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
-#include "workload/registry.hh"
+#include "workload/executor.hh"
+#include "workload/workload.hh"
 
 namespace specfetch {
 
@@ -27,6 +31,39 @@ secondsSince(SweepClock::time_point start)
         .count();
 }
 
+/** Run fn(0..count-1) across @p workers threads (work-stealing). */
+void
+parallelFor(size_t count, unsigned workers,
+            const std::function<void(size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers > count)
+        workers = static_cast<unsigned>(count);
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            size_t index = next.fetch_add(1);
+            if (index >= count)
+                return;
+            fn(index);
+        }
+    };
+    if (workers <= 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+        thread.join();
+}
+
+/** Identity of one correct-path stream: program + dynamic seed. */
+using StreamKey = std::pair<std::string, uint64_t>;
+
 } // namespace
 
 std::vector<SimResults>
@@ -39,67 +76,89 @@ runSweep(const std::vector<RunSpec> &specs, unsigned parallelism,
         timing->perRunSeconds.assign(specs.size(), 0.0);
     }
 
-    // Build each distinct workload once; runs only read them.
+    unsigned workers = parallelism != 0
+        ? parallelism
+        : std::max(1u, std::thread::hardware_concurrency());
+
+    // Fetch each distinct workload once (process-wide memoized store);
+    // runs only read them.
     std::map<std::string, std::shared_ptr<const Workload>> workloads;
     for (const RunSpec &spec : specs) {
-        if (!workloads.count(spec.benchmark)) {
-            workloads[spec.benchmark] = std::make_shared<const Workload>(
-                buildWorkload(getProfile(spec.benchmark)));
-        }
+        if (!workloads.count(spec.benchmark))
+            workloads[spec.benchmark] = sharedWorkload(spec.benchmark);
     }
     if (timing)
         timing->workloadBuildSeconds = secondsSince(sweepStart);
 
+    // Record-once/replay-many: every spec sharing (benchmark, seed)
+    // consumes the identical correct-path stream, so record it in one
+    // executor pass — long enough for the hungriest consumer — and
+    // replay it across all of them. Streams with a single consumer
+    // (or beyond the memory cap) stay on live execution.
+    SweepClock::time_point recordStart = SweepClock::now();
+    std::map<StreamKey, uint64_t> streamLength;
+    std::map<StreamKey, size_t> streamUses;
+    for (const RunSpec &spec : specs) {
+        StreamKey key{spec.benchmark, spec.config.runSeed};
+        uint64_t length =
+            spec.config.warmupInstructions + spec.config.instructionBudget;
+        streamLength[key] = std::max(streamLength[key], length);
+        ++streamUses[key];
+    }
+    std::vector<std::pair<StreamKey, uint64_t>> toRecord;
+    for (const auto &[key, length] : streamLength) {
+        if (streamUses.at(key) >= 2 &&
+            length <= kSweepSnapshotMaxInstructions) {
+            toRecord.emplace_back(key, length);
+        }
+    }
+    std::vector<std::shared_ptr<const TraceSnapshot>> recorded(
+        toRecord.size());
+    parallelFor(toRecord.size(), workers, [&](size_t i) {
+        const auto &[key, length] = toRecord[i];
+        Executor executor(workloads.at(key.first)->cfg, key.second);
+        // lint: allow(loop-alloc) one allocation per distinct stream
+        recorded[i] = std::make_shared<const TraceSnapshot>(
+            TraceSnapshot::record(executor, length));
+    });
+    std::map<StreamKey, std::shared_ptr<const TraceSnapshot>> snapshots;
+    for (size_t i = 0; i < toRecord.size(); ++i)
+        snapshots.emplace(toRecord[i].first, recorded[i]);
+    if (timing)
+        timing->snapshotRecordSeconds = secondsSince(recordStart);
+
     std::vector<SimResults> results(specs.size());
 
-    unsigned workers = parallelism != 0
-        ? parallelism
-        : std::max(1u, std::thread::hardware_concurrency());
-    if (workers > specs.size())
-        workers = static_cast<unsigned>(specs.size());
-
     SweepClock::time_point runStart = SweepClock::now();
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            size_t index = next.fetch_add(1);
-            if (index >= specs.size())
-                return;
-            const RunSpec &spec = specs[index];
-            SweepClock::time_point start = SweepClock::now();
-            results[index] =
-                runSimulation(*workloads.at(spec.benchmark), spec.config);
-            // Each index is claimed by exactly one worker, so the
-            // per-run slot needs no synchronization.
-            if (timing)
-                timing->perRunSeconds[index] = secondsSince(start);
-        }
-    };
-
-    if (workers <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> threads;
-        threads.reserve(workers);
-        for (unsigned w = 0; w < workers; ++w)
-            threads.emplace_back(worker);
-        for (std::thread &thread : threads)
-            thread.join();
-    }
+    parallelFor(specs.size(), workers, [&](size_t index) {
+        const RunSpec &spec = specs[index];
+        const Workload &workload = *workloads.at(spec.benchmark);
+        SweepClock::time_point start = SweepClock::now();
+        auto snap =
+            snapshots.find(StreamKey{spec.benchmark, spec.config.runSeed});
+        results[index] = snap != snapshots.end()
+            ? runSimulation(workload, spec.config, *snap->second)
+            : runSimulation(workload, spec.config);
+        // Each index is claimed by exactly one worker, so the
+        // per-run slot needs no synchronization.
+        if (timing)
+            timing->perRunSeconds[index] = secondsSince(start);
+    });
 
     if (timing) {
         timing->runSeconds = secondsSince(runStart);
         timing->totalSeconds = secondsSince(sweepStart);
     }
 
-    // Paranoid sweeps cross-validate the parallel schedule: every run
-    // is repeated serially and must be bit-identical (the simulator is
-    // deterministic; any divergence is cross-thread state leakage).
+    // Paranoid sweeps cross-validate the whole fast path: every run is
+    // repeated serially *through the live executor* (never a replay)
+    // and must be bit-identical. Any divergence is either cross-thread
+    // state leakage or a snapshot record/replay defect.
     bool paranoid =
         std::any_of(specs.begin(), specs.end(), [](const RunSpec &s) {
             return s.config.checkLevel == CheckLevel::Paranoid;
         });
-    if (paranoid && workers > 1) {
+    if (paranoid) {
         std::vector<SimResults> serial(specs.size());
         for (size_t i = 0; i < specs.size(); ++i) {
             serial[i] = runSimulation(*workloads.at(specs[i].benchmark),

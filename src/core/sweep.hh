@@ -32,18 +32,33 @@ struct SweepTiming
 {
     /** Building the distinct workloads (shared across specs). */
     double workloadBuildSeconds = 0.0;
+    /** Recording the distinct correct-path snapshots (shared across
+     *  each benchmark's specs; see trace/snapshot.hh). */
+    double snapshotRecordSeconds = 0.0;
     /** Executing all runs (wall clock of the parallel stage). */
     double runSeconds = 0.0;
-    /** The whole sweep, build + runs. */
+    /** The whole sweep, build + record + runs. */
     double totalSeconds = 0.0;
     /** Per-spec simulation seconds, in submission order. */
     std::vector<double> perRunSeconds;
 };
 
 /**
- * Execute every spec (building each benchmark's workload once and
- * sharing it across that benchmark's specs) and return results in the
- * same order.
+ * Snapshots larger than this are not recorded (the runs fall back to
+ * live execution): beyond it the packed stream's memory footprint
+ * (~3-4 bytes/instruction) outweighs the replay win.
+ */
+constexpr uint64_t kSweepSnapshotMaxInstructions = 64'000'000;
+
+/**
+ * Execute every spec and return results in the same order.
+ *
+ * Shared work is hoisted out of the per-spec runs: each benchmark's
+ * workload is built (or fetched from the process-wide store) once,
+ * and each distinct (benchmark, run seed) correct-path stream that
+ * more than one spec consumes is recorded once into a TraceSnapshot
+ * and replayed by all of them — the identical stream, so results are
+ * bit-identical to live execution at any parallelism.
  *
  * @param specs        Requests.
  * @param parallelism  Worker threads; 0 = hardware concurrency.

@@ -15,8 +15,13 @@ Slot
 WrongPathWalker::walk(Addr start_pc, Slot from, Slot window_end,
                       size_t unresolved)
 {
+    // Hoist every per-walk-invariant configuration load: the loop
+    // below runs once per wrong-path instruction, squarely inside the
+    // simulator's hot path.
     const FetchPolicy policy = config.policy;
     const Slot fill_slots = config.missPenaltySlots();
+    const Slot decode_slots = config.decodeSlots();
+    const size_t max_unresolved = config.maxUnresolved;
     const bool aggressive_prefetch =
         prefetcher != nullptr && prefetchesOnWrongPath(policy);
 
@@ -88,7 +93,7 @@ WrongPathWalker::walk(Addr start_pc, Slot from, Slot window_end,
                     // Inside a misfetch window this lands at or past
                     // the redirect, so misfetch-path misses are never
                     // serviced — exactly the policy's intent.
-                    serviceable = slot + config.decodeSlots();
+                    serviceable = slot + decode_slots;
                     break;
                 }
 
@@ -102,8 +107,10 @@ WrongPathWalker::walk(Addr start_pc, Slot from, Slot window_end,
                 Slot done = bus.acquire(start, hierarchy.fillSlots(line));
                 if (stats)
                     ++stats->wrongFills;
+                // Virtual per wrong-path *fill*, not per instruction,
+                // and only the miss classifier attaches an observer.
                 if (observer)
-                    observer->onWrongPathMiss(line);
+                    observer->onWrongPathMiss(line); // lint: allow(loop-virtual)
 
                 if (policy == FetchPolicy::Resume) {
                     // "Storing the line in the cache will take place
@@ -141,7 +148,7 @@ WrongPathWalker::walk(Addr start_pc, Slot from, Slot window_end,
 
           case InstClass::CondBranch: {
             // Wrong-path branches consume speculation depth too.
-            if (unresolved + wrong_cond >= config.maxUnresolved)
+            if (unresolved + wrong_cond >= max_unresolved)
                 return window_end;
             ++wrong_cond;
             Prediction p = predictor.predict(wpc, inst.cls);

@@ -192,6 +192,8 @@ makeRunRecord(const SimResults &results, const SimConfig &config,
         t.set("run_seconds", JsonValue::number(timing->runSeconds))
             .set("workload_build_seconds",
                  JsonValue::number(timing->workloadBuildSeconds))
+            .set("snapshot_record_seconds",
+                 JsonValue::number(timing->snapshotRecordSeconds))
             .set("sweep_total_seconds",
                  JsonValue::number(timing->sweepTotalSeconds));
         record.set("timing", std::move(t));

@@ -44,6 +44,9 @@ struct RunTiming
     double runSeconds = 0.0;
     /** The sweep's shared workload-construction stage. */
     double workloadBuildSeconds = 0.0;
+    /** The sweep's shared correct-path snapshot-record stage
+     *  (trace/snapshot.hh record-once/replay-many). */
+    double snapshotRecordSeconds = 0.0;
     /** The whole sweep, end to end. */
     double sweepTotalSeconds = 0.0;
 };

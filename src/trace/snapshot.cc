@@ -1,0 +1,57 @@
+#include "trace/snapshot.hh"
+
+#include "util/logging.hh"
+
+namespace specfetch {
+
+TraceSnapshot
+TraceSnapshot::record(InstructionSource &source, uint64_t length,
+                      uint32_t max_plain_run)
+{
+    panic_if(max_plain_run == 0, "snapshot plain runs cannot be empty");
+
+    TraceSnapshot snap;
+    // ~20-25% of dynamic instructions are control (paper Table 3), so
+    // one record per ~4-5 instructions; reserve for the dense case.
+    snap.recs.reserve(static_cast<size_t>(length / 4 + 1));
+
+    DynInst inst;
+    uint64_t plain_run = 0;
+    Addr expected = 0;
+    while (snap.count < length && source.next(inst)) {
+        if (snap.count == 0) {
+            snap.start = inst.pc;
+        } else {
+            panic_if(inst.pc != expected,
+                     "snapshot source is not path-continuous at "
+                     "instruction %llu: pc %llx, expected %llx",
+                     static_cast<unsigned long long>(snap.count),
+                     static_cast<unsigned long long>(inst.pc),
+                     static_cast<unsigned long long>(expected));
+        }
+        expected = inst.nextPc();
+        ++snap.count;
+
+        if (inst.cls == InstClass::Plain) {
+            if (++plain_run == max_plain_run) {
+                snap.recs.push_back(
+                    ControlRecord{0, max_plain_run, kRunOnly, 0});
+                plain_run = 0;
+            }
+        } else {
+            snap.recs.push_back(ControlRecord{
+                inst.target, static_cast<uint32_t>(plain_run),
+                wireClass(inst.cls),
+                static_cast<uint8_t>(inst.taken ? 1 : 0)});
+            plain_run = 0;
+        }
+    }
+    if (plain_run > 0) {
+        snap.recs.push_back(ControlRecord{
+            0, static_cast<uint32_t>(plain_run), kRunOnly, 0});
+    }
+    snap.recs.shrink_to_fit();
+    return snap;
+}
+
+} // namespace specfetch

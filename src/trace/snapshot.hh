@@ -1,0 +1,200 @@
+/**
+ * @file
+ * In-memory record-once/replay-many encoding of a workload's dynamic
+ * correct-path stream (DESIGN.md §9).
+ *
+ * A sweep runs the same benchmark under many machine configurations,
+ * and every one of those runs consumes the *identical* correct-path
+ * stream: the stream depends only on (program, run seed), never on
+ * the machine being simulated. A TraceSnapshot captures that stream
+ * from one architectural-executor pass so every subsequent run can
+ * replay it instead of re-interpreting the CFG.
+ *
+ * The encoding exploits the same correct-path property as the on-disk
+ * trace format (trace/format.hh): PCs never need to be stored, because
+ * the next correct-path PC is always the previous instruction's
+ * nextPc(). A snapshot is therefore just the start PC plus one packed
+ * 16-byte ControlRecord per control instruction, each carrying the
+ * run of sequential plain instructions preceding it. At the paper
+ * workloads' ~20-25% branch fractions this costs ~3-4 bytes per
+ * dynamic instruction, and replay is a branch-predictable run-length
+ * walk that is much cheaper than CFG interpretation.
+ */
+
+#ifndef SPECFETCH_TRACE_SNAPSHOT_HH_
+#define SPECFETCH_TRACE_SNAPSHOT_HH_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "trace/format.hh"
+#include "workload/executor.hh"
+
+namespace specfetch {
+
+/**
+ * Immutable packed encoding of a finite correct-path prefix. Record
+ * once (from any InstructionSource), replay concurrently from any
+ * number of SnapshotReplaySource cursors — the snapshot itself is
+ * never mutated after record() returns, so sharing it across sweep
+ * worker threads is safe.
+ */
+class TraceSnapshot
+{
+  public:
+    /**
+     * @ref plainBefore sequential plain instructions followed by one
+     * control instruction — or by nothing when @ref cls is kRunOnly
+     * (a continuation chunk of an over-long plain run, or the
+     * trailing plains after the stream's last control instruction).
+     */
+    struct ControlRecord
+    {
+        /** Dynamic destination if taken (executor resolve-time truth;
+         *  kept for not-taken conditionals too — the engine trains
+         *  the BTB and walks misfetch paths with it). */
+        Addr target = 0;
+        /** Sequential plain instructions preceding this control. */
+        uint32_t plainBefore = 0;
+        /** 3-bit wire encoding (trace/format.hh), or kRunOnly. */
+        uint8_t cls = 0;
+        /** Dynamic direction (always 1 for unconditional control). */
+        uint8_t taken = 0;
+    };
+    static_assert(sizeof(ControlRecord) == 16,
+                  "records are packed for cache-friendly replay");
+
+    /** @ref ControlRecord::cls value meaning "no control follows". */
+    static constexpr uint8_t kRunOnly = 0xff;
+
+    /** Longest plain run one record may carry before chunking. */
+    static constexpr uint32_t kMaxPlainRun =
+        std::numeric_limits<uint32_t>::max();
+
+    TraceSnapshot() = default;
+
+    /**
+     * Record up to @p length instructions from @p source.
+     *
+     * The source must produce a path-continuous stream (each pc equal
+     * to the previous instruction's nextPc()); anything else is a
+     * corrupted source and panics. @p max_plain_run exists for tests
+     * that exercise run chunking without billions of instructions.
+     */
+    static TraceSnapshot record(InstructionSource &source, uint64_t length,
+                                uint32_t max_plain_run = kMaxPlainRun);
+
+    /** Dynamic instructions captured (min of requested and available). */
+    uint64_t instructionCount() const { return count; }
+
+    /** PC of the first recorded instruction. */
+    Addr startPc() const { return start; }
+
+    /** Memory footprint of the packed stream. */
+    uint64_t
+    byteSize() const
+    {
+        return static_cast<uint64_t>(recs.size()) * sizeof(ControlRecord);
+    }
+
+    const std::vector<ControlRecord> &records() const { return recs; }
+
+  private:
+    std::vector<ControlRecord> recs;
+    Addr start = 0;
+    uint64_t count = 0;
+};
+
+/**
+ * Replay cursor over a TraceSnapshot. The class is final and next()
+ * is defined inline so FetchEngine::runWith<SnapshotReplaySource>
+ * statically binds and inlines the per-instruction source step — the
+ * replay fast path is a decrement, three stores and an add.
+ *
+ * Unlike the live executor (which never exhausts), a replay source
+ * ends with its snapshot; record at least the longest consumer's
+ * (warmup + budget) instructions.
+ */
+class SnapshotReplaySource final : public InstructionSource
+{
+  public:
+    explicit SnapshotReplaySource(const TraceSnapshot &snapshot)
+        : cur(snapshot.records().data()),
+          end(cur + snapshot.records().size()), pc(snapshot.startPc())
+    {
+        if (cur != end)
+            loadRecord();
+    }
+
+    /**
+     * Bulk variant of next() for the engine's plain fast path:
+     * consume up to @p max instructions of the pending plain run in
+     * one call. Returns the count consumed (0 when the next record is
+     * a control instruction or the snapshot is exhausted) and the PC
+     * of the first consumed instruction in @p pc_out; the run is
+     * contiguous from there at kInstBytes stride. Interleaves freely
+     * with next() — consuming the same stream either way yields the
+     * same instructions.
+     */
+    uint32_t
+    takePlainRun(Addr &pc_out, uint32_t max)
+    {
+        uint32_t n = plainLeft < max ? plainLeft : max;
+        pc_out = pc;
+        plainLeft -= n;
+        pc += Addr(n) * kInstBytes;
+        return n;
+    }
+
+    bool
+    next(DynInst &out) override
+    {
+        for (;;) {
+            if (plainLeft > 0) {
+                --plainLeft;
+                out = DynInst{pc, InstClass::Plain, false, 0};
+                pc += kInstBytes;
+                return true;
+            }
+            if (cur == end)
+                return false;
+            if (controlPending) {
+                controlPending = false;
+                // Direct cast, not classFromWire(): records never
+                // cross a process boundary, record() wrote a genuine
+                // InstClass, and this is the per-control hot path.
+                out = DynInst{pc, static_cast<InstClass>(cur->cls),
+                              cur->taken != 0, cur->target};
+                pc = cur->taken ? cur->target : pc + kInstBytes;
+                ++cur;
+                if (cur != end)
+                    loadRecord();
+                return true;
+            }
+            // A run-only record whose plains are drained: move on.
+            ++cur;
+            if (cur != end)
+                loadRecord();
+        }
+    }
+
+  private:
+    void
+    loadRecord()
+    {
+        plainLeft = cur->plainBefore;
+        controlPending = cur->cls != TraceSnapshot::kRunOnly;
+    }
+
+    const TraceSnapshot::ControlRecord *cur = nullptr;
+    const TraceSnapshot::ControlRecord *end = nullptr;
+    Addr pc = 0;
+    uint32_t plainLeft = 0;
+    bool controlPending = false;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_TRACE_SNAPSHOT_HH_

@@ -40,9 +40,10 @@ class InstructionSource
 };
 
 /**
- * CFG interpreter.
+ * CFG interpreter. Final so the engine's typed run loop
+ * (FetchEngine::runWith) can statically bind next().
  */
-class Executor : public InstructionSource
+class Executor final : public InstructionSource
 {
   public:
     /**

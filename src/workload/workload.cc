@@ -1,7 +1,11 @@
 #include "workload/workload.hh"
 
+#include <map>
+#include <mutex>
+
 #include "workload/cfg_builder.hh"
 #include "workload/layout.hh"
+#include "workload/registry.hh"
 
 namespace specfetch {
 
@@ -12,6 +16,26 @@ buildWorkload(const WorkloadProfile &profile)
     Cfg cfg = builder.build();
     ProgramImage image = layoutProgram(cfg);
     return Workload{profile, std::move(cfg), std::move(image)};
+}
+
+std::shared_ptr<const Workload>
+sharedWorkload(const std::string &benchmark)
+{
+    // Bounded by the 13 registered benchmarks; the mutex stays held
+    // during the build so concurrent callers never build twice.
+    static std::mutex mutex;
+    static std::map<std::string, std::shared_ptr<const Workload>> cache;
+
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(benchmark);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(benchmark,
+                          std::make_shared<const Workload>(
+                              buildWorkload(getProfile(benchmark))))
+                 .first;
+    }
+    return it->second;
 }
 
 } // namespace specfetch

@@ -6,6 +6,9 @@
 #ifndef SPECFETCH_WORKLOAD_WORKLOAD_HH_
 #define SPECFETCH_WORKLOAD_WORKLOAD_HH_
 
+#include <memory>
+#include <string>
+
 #include "isa/program_image.hh"
 #include "workload/cfg.hh"
 #include "workload/profile.hh"
@@ -28,6 +31,14 @@ struct Workload
 
 /** Generate, lay out, and validate a workload from a profile. */
 Workload buildWorkload(const WorkloadProfile &profile);
+
+/**
+ * Process-wide memoized build of the named registered benchmark.
+ * Workloads are immutable once built, so one shared instance serves
+ * every run — single-run harnesses (runBenchmark) and sweeps alike —
+ * without rebuilding the CFG. Thread-safe.
+ */
+std::shared_ptr<const Workload> sharedWorkload(const std::string &benchmark);
 
 } // namespace specfetch
 

@@ -22,9 +22,23 @@ on source patterns that historically break that contract:
                 as stack garbage when the struct is stack-constructed,
                 which is exactly how counter nondeterminism enters.
 
+Two further rules guard the *hot path* rather than determinism. They
+apply only to src/core/*.cc, where the per-instruction loops live and
+a single allocation or virtual dispatch per instruction is the
+difference between minutes and hours at paper-scale budgets:
+
+  loop-alloc    Heap allocation (new/make_shared/make_unique/malloc)
+                inside a loop body.
+  loop-virtual  Call to a method that some header declares virtual
+                (e.g. InstructionSource::next) inside a loop body.
+                Prefer the statically-bound path (FetchEngine::runWith)
+                or hoist the call; waive it when the dispatch is
+                genuinely rare (e.g. only on cache misses).
+
 A finding can be waived on its line (or the line above) with:
     // lint: allow(<rule>)
-naming one of: wall-clock, libc-random, unordered, uninit-counter.
+naming one of: wall-clock, libc-random, unordered, uninit-counter,
+loop-alloc, loop-virtual.
 
 Usage:
     tools/lint.py [--root DIR]    lint the simulation core (exit 1 on
@@ -88,6 +102,35 @@ UNINIT_RE = re.compile(
     r"[A-Za-z_]\w*\s*;\s*(?://.*)?$"
 )
 
+# Hot-path rules, applied only inside loop bodies in src/core/*.cc.
+HOT_DIR = "src/core"
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+ALLOC_RE = re.compile(
+    r"\bnew\b|\bmake_shared\b|\bmake_unique\b|\bmalloc\s*\("
+)
+# "virtual <anything> name(" in a header: harvest name so call sites
+# through a pointer/reference can be flagged. Destructors and
+# operators are dispatch sites too but have no flaggable call syntax.
+VIRTUAL_DECL_RE = re.compile(
+    r"\bvirtual\s+[\w:<>,&*\s]*?\b([a-zA-Z_]\w*)\s*\("
+)
+
+
+def harvest_virtual_names(root):
+    """Method names declared virtual anywhere under src/ headers."""
+    names = set()
+    base = os.path.join(root, "src")
+    for dirpath, _, filenames in os.walk(base):
+        for name in filenames:
+            if not name.endswith((".hh", ".h")):
+                continue
+            with open(os.path.join(dirpath, name),
+                      encoding="utf-8") as handle:
+                for m in VIRTUAL_DECL_RE.finditer(handle.read()):
+                    if not m.group(1).startswith("operator"):
+                        names.add(m.group(1))
+    return names
+
 
 def allowed(lines, idx, rule):
     for probe in (idx, idx - 1):
@@ -99,11 +142,26 @@ def allowed(lines, idx, rule):
     return False
 
 
-def lint_text(path, text):
-    """Return [(path, line_no, rule, message)] for one file's content."""
+def lint_text(path, text, hot_loops=False, virtual_names=frozenset()):
+    """Return [(path, line_no, rule, message)] for one file's content.
+
+    With hot_loops set (src/core/*.cc), also run the loop-alloc and
+    loop-virtual rules on code inside loop bodies, using
+    @p virtual_names as the set of virtually-dispatched method names.
+    """
+    virtual_call_re = None
+    if hot_loops and virtual_names:
+        virtual_call_re = re.compile(
+            r"(?:->|\.)\s*(?:"
+            + "|".join(sorted(re.escape(n) for n in virtual_names))
+            + r")\s*\("
+        )
     findings = []
     lines = text.splitlines()
     in_block_comment = False
+    brace_depth = 0
+    loop_stack = []  # brace depths at which a loop body opened
+    pending_loop = False  # saw for/while, waiting for its "{"
     for idx, line in enumerate(lines):
         code = line
         # Strip comments so documentation may mention the banned names.
@@ -129,6 +187,45 @@ def lint_text(path, text):
         if not code.strip():
             continue
 
+        if hot_loops:
+            # The loop header itself re-evaluates its condition every
+            # iteration, so check it along with the body.
+            in_loop = bool(loop_stack) or pending_loop \
+                or LOOP_RE.search(code)
+            if in_loop:
+                if ALLOC_RE.search(code) \
+                        and not allowed(lines, idx, "loop-alloc"):
+                    findings.append((
+                        path, idx + 1, "loop-alloc",
+                        "heap allocation inside a hot loop",
+                    ))
+                if virtual_call_re and virtual_call_re.search(code) \
+                        and not allowed(lines, idx, "loop-virtual"):
+                    findings.append((
+                        path, idx + 1, "loop-virtual",
+                        "virtual dispatch inside a hot loop (hoist it "
+                        "or use the statically-bound path)",
+                    ))
+            # A one-liner ("for (...) stmt;" or "} while (cond);")
+            # opens no body; anything else waits for its "{".
+            if LOOP_RE.search(code) and not (
+                    "{" not in code and code.rstrip().endswith(";")):
+                pending_loop = True
+            for ch in code:
+                if ch == "{":
+                    brace_depth += 1
+                    if pending_loop:
+                        loop_stack.append(brace_depth)
+                        pending_loop = False
+                elif ch == "}":
+                    if loop_stack and loop_stack[-1] == brace_depth:
+                        loop_stack.pop()
+                    brace_depth -= 1
+            # A braceless loop body ends at the statement's ";".
+            if pending_loop and code.rstrip().endswith(";") \
+                    and not LOOP_RE.search(code):
+                pending_loop = False
+
         for rule, pattern, message in RULES:
             if pattern.search(code) and not allowed(lines, idx, rule):
                 findings.append((path, idx + 1, rule, message))
@@ -149,18 +246,23 @@ def lint_text(path, text):
 
 
 def lint_tree(root):
+    virtual_names = harvest_virtual_names(root)
     findings = []
     for rel in CORE_DIRS:
         base = os.path.join(root, rel)
         if not os.path.isdir(base):
             continue
+        hot = rel == HOT_DIR
         for dirpath, _, names in os.walk(base):
             for name in sorted(names):
                 if not name.endswith((".cc", ".hh", ".h", ".cpp")):
                     continue
                 path = os.path.join(dirpath, name)
                 with open(path, encoding="utf-8") as handle:
-                    findings.extend(lint_text(path, handle.read()))
+                    findings.extend(lint_text(
+                        path, handle.read(),
+                        hot_loops=hot and name.endswith((".cc", ".cpp")),
+                        virtual_names=virtual_names))
     return findings
 
 
@@ -181,6 +283,57 @@ SELF_TEST_CLEAN = [
     ("a.cc", "std::unordered_map<int, int> ok; // lint: allow(unordered)"),
 ]
 
+# Hot-loop rules run with hot_loops=True and virtual_names={"next"},
+# mimicking a src/core/*.cc file. Snippets are whole fragments because
+# the rules are loop-scoped, not line-scoped.
+SELF_TEST_HOT_CASES = [
+    ("loop-alloc",
+     "for (int i = 0; i < n; ++i) {\n"
+     "    auto p = std::make_unique<int>(i);\n"
+     "}\n"),
+    ("loop-alloc",
+     "while (more) {\n"
+     "    buf = new char[64];\n"
+     "}\n"),
+    ("loop-alloc",
+     "for (int i = 0; i < n; ++i)\n"
+     "    items.push_back(std::make_shared<Foo>());\n"),
+    ("loop-virtual",
+     "while (budget > 0) {\n"
+     "    source.next(inst);\n"
+     "}\n"),
+    ("loop-virtual",
+     "for (;;) {\n"
+     "    if (!src->next(inst))\n"
+     "        break;\n"
+     "}\n"),
+]
+
+SELF_TEST_HOT_CLEAN = [
+    # Allocation before the loop, none inside.
+    "auto p = std::make_unique<int>(7);\n"
+    "for (int i = 0; i < n; ++i) {\n"
+    "    *p += i;\n"
+    "}\n",
+    # Non-virtual call inside a loop.
+    "for (int i = 0; i < n; ++i) {\n"
+    "    cache.access(line);\n"
+    "}\n",
+    # Waived virtual dispatch.
+    "for (int i = 0; i < n; ++i) {\n"
+    "    // lint: allow(loop-virtual)\n"
+    "    source.next(inst);\n"
+    "}\n",
+    # One-line loop leaves no dangling body.
+    "for (int i = 0; i < n; ++i) sum += i;\n"
+    "auto q = std::make_unique<int>(9);\n",
+    # After the loop closes, allocation is fine again.
+    "while (more) {\n"
+    "    step();\n"
+    "}\n"
+    "auto r = new Thing();\n",
+]
+
 
 def self_test():
     failures = 0
@@ -194,11 +347,26 @@ def self_test():
         if found:
             print(f"self-test FAIL: false positive on {snippet!r}: {found}")
             failures += 1
+    hot_names = {"next"}
+    for rule, snippet in SELF_TEST_HOT_CASES:
+        found = lint_text("src/core/a.cc", snippet, hot_loops=True,
+                          virtual_names=hot_names)
+        if not any(f[2] == rule for f in found):
+            print(f"self-test FAIL: {rule} missed: {snippet!r}")
+            failures += 1
+    for snippet in SELF_TEST_HOT_CLEAN:
+        found = lint_text("src/core/a.cc", snippet, hot_loops=True,
+                          virtual_names=hot_names)
+        if found:
+            print(f"self-test FAIL: false positive on {snippet!r}: {found}")
+            failures += 1
     if failures:
         return 1
     print(
-        f"self-test OK: {len(SELF_TEST_CASES)} violations caught, "
-        f"{len(SELF_TEST_CLEAN)} clean lines passed"
+        f"self-test OK: "
+        f"{len(SELF_TEST_CASES) + len(SELF_TEST_HOT_CASES)} violations "
+        f"caught, {len(SELF_TEST_CLEAN) + len(SELF_TEST_HOT_CLEAN)} "
+        f"clean fragments passed"
     )
     return 0
 

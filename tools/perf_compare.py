@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare a perf_microbench run against a checked-in baseline.
+
+Both inputs are JSONL files produced by `perf_microbench --json`: one
+"perf_meta" record (benchmark, budget, repeats) followed by one "perf"
+record per stage carrying its throughput ("rate", work units per
+second). The comparison prints a per-stage table of the rate ratio
+current/baseline and flags stages whose throughput dropped by more
+than --tolerance (default 25%).
+
+By default the exit code is 0 even when stages regressed: CI machines
+are shared and noisy, so the perf-smoke job is warn-only — the table
+and the uploaded BENCH_perf.json artifact are the signal, and a human
+decides whether a flagged drop is real. --strict turns flagged
+regressions into exit code 1 for local A/B runs on quiet machines.
+
+Mismatched measurement settings (different benchmark or budget in the
+two meta records) are a hard error in both modes: the ratio would be
+meaningless.
+
+Usage:
+    tools/perf_compare.py BASELINE CURRENT [--tolerance 0.25] [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_perf(path):
+    """Return (meta, {stage: record}) from a perf JSONL file."""
+    meta = None
+    stages = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: malformed JSON: {err}")
+            kind = record.get("record")
+            if kind == "perf_meta":
+                meta = record
+            elif kind == "perf":
+                stages[record["stage"]] = record
+    if meta is None:
+        raise SystemExit(f"{path}: no perf_meta record found")
+    if not stages:
+        raise SystemExit(f"{path}: no perf records found")
+    return meta, stages
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compare perf_microbench output against a baseline")
+    parser.add_argument("baseline", help="baseline perf JSONL")
+    parser.add_argument("current", help="current perf JSONL")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="flag throughput drops beyond this fraction "
+                             "(default 0.25)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any stage is flagged "
+                             "(default: warn only)")
+    args = parser.parse_args(argv)
+
+    base_meta, base = load_perf(args.baseline)
+    cur_meta, cur = load_perf(args.current)
+
+    for key in ("benchmark", "budget"):
+        if base_meta.get(key) != cur_meta.get(key):
+            raise SystemExit(
+                f"error: measurement settings differ: {key} is "
+                f"{base_meta.get(key)!r} in {args.baseline} but "
+                f"{cur_meta.get(key)!r} in {args.current}")
+
+    flagged = []
+    print(f"{'stage':<16} {'baseline/s':>14} {'current/s':>14} "
+          f"{'ratio':>7}")
+    for stage in base:
+        if stage not in cur:
+            flagged.append(stage)
+            print(f"{stage:<16} {base[stage]['rate']:>14.0f} "
+                  f"{'MISSING':>14} {'-':>7}")
+            continue
+        base_rate = base[stage]["rate"]
+        cur_rate = cur[stage]["rate"]
+        ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
+        mark = ""
+        if ratio < 1.0 - args.tolerance:
+            flagged.append(stage)
+            mark = "  << regressed"
+        print(f"{stage:<16} {base_rate:>14.0f} {cur_rate:>14.0f} "
+              f"{ratio:>7.2f}{mark}")
+    for stage in cur:
+        if stage not in base:
+            print(f"{stage:<16} {'(new)':>14} {cur[stage]['rate']:>14.0f} "
+                  f"{'-':>7}")
+
+    if flagged:
+        drops = ", ".join(flagged)
+        print(f"warning: throughput dropped >"
+              f"{args.tolerance:.0%} on: {drops}", file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

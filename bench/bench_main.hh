@@ -31,6 +31,7 @@
 #include "check/check_level.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
+#include "fault/injector.hh"
 #include "report/record.hh"
 #include "report/report.hh"
 #include "util/options.hh"
@@ -40,6 +41,9 @@ namespace bench {
 
 /** Default per-run instruction budget (SPECFETCH_BUDGET overrides). */
 constexpr uint64_t kDefaultBudget = 4'000'000;
+
+/** Retry counts beyond this are a typo, not a policy. */
+constexpr uint64_t kMaxRetries = 16;
 
 /** Parsed harness-wide options plus the open export sinks. */
 class BenchMain
@@ -66,11 +70,32 @@ class BenchMain
                        "write flattened per-run records to this CSV path");
         opts.addString("check", "off",
                        "invariant-audit level: off, cheap or paranoid");
+        opts.addString("ledger", "",
+                       "journal completed runs to this write-ahead "
+                       "ledger (enables --resume)");
+        opts.addFlag("resume",
+                     "skip runs already journaled in --ledger and "
+                     "re-run only the remainder");
+        opts.addCount("retries", 3,
+                      "attempts per run before quarantine (1.."
+                      + std::to_string(kMaxRetries) + ")");
+        opts.addDouble("run-timeout", 0.0,
+                       "per-run watchdog budget in seconds (0 = off)");
+        opts.addString("fault-inject", "",
+                       "fault-injection spec, e.g. throw@5x2,crash@9 "
+                       "(default honours SPECFETCH_FAULT_INJECT)");
         if (!opts.parse(argc, argv)) {
             parseFailed = !wantedHelp(argc, argv);
             return false;
         }
         budget = opts.getCount("budget");
+        if (budget == 0) {
+            std::fprintf(stderr,
+                         "error: --budget must be a positive "
+                         "instruction count (got 0)\n");
+            parseFailed = true;
+            return false;
+        }
         parallelism = static_cast<unsigned>(opts.getCount("parallelism"));
         if (opts.wasSet("parallelism") && parallelism == 0) {
             std::fprintf(stderr,
@@ -84,6 +109,50 @@ class BenchMain
                          "error: --check expects off, cheap or paranoid "
                          "(got '%s')\n",
                          opts.getString("check").c_str());
+            parseFailed = true;
+            return false;
+        }
+        ledgerPath = opts.getString("ledger");
+        resume = opts.getFlag("resume");
+        if (resume && ledgerPath.empty()) {
+            std::fprintf(stderr,
+                         "error: --resume needs --ledger to say which "
+                         "ledger to resume from\n");
+            parseFailed = true;
+            return false;
+        }
+        uint64_t retriesRaw = opts.getCount("retries");
+        if (retriesRaw < 1 || retriesRaw > kMaxRetries) {
+            std::fprintf(stderr,
+                         "error: --retries must be in [1, %llu] (got "
+                         "%llu)\n",
+                         static_cast<unsigned long long>(kMaxRetries),
+                         static_cast<unsigned long long>(retriesRaw));
+            parseFailed = true;
+            return false;
+        }
+        retries = static_cast<unsigned>(retriesRaw);
+        runTimeoutSeconds = opts.getDouble("run-timeout");
+        if (runTimeoutSeconds < 0.0) {
+            std::fprintf(stderr,
+                         "error: --run-timeout must be non-negative "
+                         "seconds (got %g)\n",
+                         runTimeoutSeconds);
+            parseFailed = true;
+            return false;
+        }
+        std::string injectError;
+        if (opts.wasSet("fault-inject")) {
+            if (!FaultInjector::parse(opts.getString("fault-inject"),
+                                      injector, &injectError)) {
+                std::fprintf(stderr, "error: --fault-inject: %s\n",
+                             injectError.c_str());
+                parseFailed = true;
+                return false;
+            }
+        } else if (!FaultInjector::fromEnv(injector, &injectError)) {
+            std::fprintf(stderr, "error: %s: %s\n",
+                         kFaultInjectEnv, injectError.c_str());
             parseFailed = true;
             return false;
         }
@@ -174,6 +243,13 @@ class BenchMain
     bool parseFailed = false;
     std::unique_ptr<JsonlWriter> json;
     std::unique_ptr<CsvReportWriter> csv;
+    /** @name Fault-tolerance options (DESIGN.md §10) @{ */
+    std::string ledgerPath;
+    bool resume = false;
+    unsigned retries = 3;
+    double runTimeoutSeconds = 0.0;
+    FaultInjector injector;
+    /** @} */
 
   private:
     static bool

@@ -19,6 +19,8 @@
 
 #include "bench_support.hh"
 #include "core/miss_classifier.hh"
+#include "fault/resilient_sweep.hh"
+#include "util/logging.hh"
 #include "workload/workload.hh"
 
 using namespace specfetch;
@@ -28,6 +30,83 @@ namespace {
 
 /** Small default so the full grid stays CI-friendly. */
 constexpr uint64_t kSuiteBudget = 500'000;
+
+/**
+ * Fault-tolerant mode (--ledger [+ --resume]): the grid runs through
+ * runResilientSweep — every completed run journaled, failing runs
+ * quarantined, resumable after a crash. Records deliberately omit the
+ * timing member (the lone nondeterministic part), so an interrupted +
+ * resumed sweep's JSONL output is byte-identical to a clean one.
+ */
+int
+runLedgered(const std::vector<RunSpec> &specs,
+            const std::vector<Classification> &classifications,
+            size_t perProfile)
+{
+    ResilientSweepOptions options;
+    options.ledgerPath = benchMain().ledgerPath;
+    options.resume = benchMain().resume;
+    options.maxAttempts = benchMain().retries;
+    options.runTimeoutSeconds = benchMain().runTimeoutSeconds;
+    options.parallelism = benchMain().parallelism;
+    if (!benchMain().injector.empty())
+        options.injector = &benchMain().injector;
+    options.makeRecord = [&](size_t index, const SimResults &results) {
+        return makeRunRecord(results, specs[index].config, nullptr,
+                             &classifications[index / perProfile]);
+    };
+    std::string rerun = "bench_suite --ledger=" + options.ledgerPath +
+        " --resume --budget=" + std::to_string(benchMain().budget);
+    options.rerunCommand = [rerun](size_t) { return rerun; };
+
+    ResilientSweepResult sweep = runResilientSweep(specs, options);
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (sweep.completed[i])
+            benchMain().emit(sweep.records[i]);
+    }
+
+    // Trailing manifest record: what ran and what was quarantined.
+    // Deliberately free of timing and resumed-run counts so a clean
+    // and a resumed sweep write identical bytes.
+    JsonValue manifest = JsonValue::object();
+    manifest.set("schema_version", JsonValue::integer(kReportSchemaVersion));
+    manifest.set("record", JsonValue::string("sweep_manifest"));
+    manifest.set("runs", JsonValue::integer(specs.size()));
+    manifest.set("completed",
+                 JsonValue::integer(specs.size() - sweep.failures.size()));
+    JsonValue failures = JsonValue::array();
+    for (const SweepFailure &failure : sweep.failures) {
+        JsonValue entry = JsonValue::object();
+        entry.set("index", JsonValue::integer(failure.index));
+        entry.set("benchmark", JsonValue::string(failure.benchmark));
+        entry.set("config", JsonValue::string(failure.config));
+        entry.set("cause", JsonValue::string(failure.cause));
+        entry.set("attempts", JsonValue::integer(failure.attempts));
+        entry.set("rerun", JsonValue::string(failure.rerunCommand));
+        failures.push(entry);
+    }
+    manifest.set("failures", failures);
+    benchMain().emit(manifest);
+
+    std::printf("\n%zu runs (%zu resumed from %s, %zu executed), "
+                "%zu quarantined; %zu records -> %s\n",
+                specs.size(), sweep.resumedRuns,
+                options.ledgerPath.c_str(), sweep.executedRuns,
+                sweep.failures.size(),
+                benchMain().json->recordsWritten(),
+                benchMain().json->path().c_str());
+    for (const SweepFailure &failure : sweep.failures) {
+        std::printf("  quarantined run %zu (%s): %s after %u attempts\n"
+                    "    rerun: %s\n",
+                    failure.index, failure.benchmark.c_str(),
+                    failure.cause.c_str(), failure.attempts,
+                    failure.rerunCommand.c_str());
+    }
+    // Quarantine is the success path of fault tolerance: the sweep
+    // finished and said exactly what it could not do.
+    return 0;
+}
 
 } // namespace
 
@@ -71,6 +150,15 @@ main(int argc, char **argv)
                 specs.push_back(RunSpec{name, config});
             }
         }
+    }
+
+    if (!benchMain().ledgerPath.empty()) {
+        return runLedgered(specs, classifications,
+                           allPolicies().size() * 2);
+    }
+    if (!benchMain().injector.empty()) {
+        warn("fault injection is active but no --ledger was given; "
+             "directives are ignored in the unguarded path");
     }
 
     SweepTiming timing;

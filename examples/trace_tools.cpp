@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "core/fetch_engine.hh"
+#include "trace/format.hh"
 #include "trace/reader.hh"
 #include "trace/replay_source.hh"
 #include "trace/writer.hh"
@@ -132,12 +133,18 @@ main(int argc, char **argv)
         return 1;
     }
     const std::string &verb = opts.positional()[0];
-    if (verb == "record")
-        return record(opts);
-    if (verb == "info")
-        return info(opts);
-    if (verb == "simulate")
-        return simulate(opts);
+    try {
+        if (verb == "record")
+            return record(opts);
+        if (verb == "info")
+            return info(opts);
+        if (verb == "simulate")
+            return simulate(opts);
+    } catch (const TraceError &e) {
+        // Damaged or missing trace input: a user error, not a crash.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
     std::fprintf(stderr, "unknown verb '%s'\n", verb.c_str());
     return 1;
 }

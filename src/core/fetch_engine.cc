@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/invariant.hh"
+#include "fault/guard.hh"
 #include "trace/snapshot.hh"
 #include "util/logging.hh"
 
@@ -418,15 +419,34 @@ FetchEngine::runWith(Source &source)
     uint64_t retired_warmup = 0;
     DynInst inst;
 
+    // Cooperative watchdog (fault/guard.hh): guarded sweeps arm a
+    // per-thread wall-clock/instruction budget, and — since a thread
+    // cannot be preempted portably — the run itself must notice
+    // expiry. Poll once up front (deterministic for already-expired
+    // budgets) and then on a cheap instruction cadence. Unarmed runs
+    // pay a single branch per batch.
+    const bool watchdog_armed = Watchdog::armed();
+    if (watchdog_armed)
+        Watchdog::poll(0);
+    uint64_t next_watchdog =
+        watchdog_armed ? kWatchdogPollInterval : UINT64_MAX;
+
     // Statically bound when Source is a final class; the generic
     // InstructionSource instantiation keeps the virtual dispatch.
     // lint: allow(loop-virtual)
     while (retired_warmup < warmup && source.next(inst)) {
         fetchOne(inst);
         ++retired_warmup;
+        if (retired_warmup >= next_watchdog) {
+            Watchdog::poll(retired_warmup);
+            next_watchdog += kWatchdogPollInterval;
+        }
     }
-    if (warmup > 0)
+    if (warmup > 0) {
         resetStats();
+        next_watchdog =
+            watchdog_armed ? kWatchdogPollInterval : UINT64_MAX;
+    }
 
     // Paranoid mode audits every checkpointInterval retired
     // instructions; cheap mode audits only at end-of-run.
@@ -454,6 +474,10 @@ FetchEngine::runWith(Source &source)
                     runAudit(false);
                     next_audit += audit_step;
                 }
+                if (stats.instructions >= next_watchdog) {
+                    Watchdog::poll(retired_warmup + stats.instructions);
+                    next_watchdog += kWatchdogPollInterval;
+                }
                 continue;
             }
         }
@@ -464,6 +488,10 @@ FetchEngine::runWith(Source &source)
         if (stats.instructions >= next_audit) {
             runAudit(false);
             next_audit += audit_step;
+        }
+        if (stats.instructions >= next_watchdog) {
+            Watchdog::poll(retired_warmup + stats.instructions);
+            next_watchdog += kWatchdogPollInterval;
         }
     }
 

@@ -7,11 +7,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "check/invariant.hh"
 #include "core/simulator.hh"
+#include "fault/guard.hh"
+#include "fault/injector.hh"
 #include "trace/snapshot.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
@@ -64,28 +67,29 @@ parallelFor(size_t count, unsigned workers,
 /** Identity of one correct-path stream: program + dynamic seed. */
 using StreamKey = std::pair<std::string, uint64_t>;
 
-} // namespace
-
-std::vector<SimResults>
-runSweep(const std::vector<RunSpec> &specs, unsigned parallelism,
-         SweepTiming *timing)
+/** The work every sweep hoists out of its per-spec runs. */
+struct SweepShared
 {
-    SweepClock::time_point sweepStart = SweepClock::now();
-    if (timing) {
-        *timing = SweepTiming{};
-        timing->perRunSeconds.assign(specs.size(), 0.0);
-    }
+    std::map<std::string, std::shared_ptr<const Workload>> workloads;
+    std::map<StreamKey, std::shared_ptr<const TraceSnapshot>> snapshots;
+};
 
-    unsigned workers = parallelism != 0
-        ? parallelism
-        : std::max(1u, std::thread::hardware_concurrency());
+/**
+ * Build the distinct workloads and record the shared correct-path
+ * snapshots (record-once/replay-many; see runSweep's contract).
+ */
+SweepShared
+prepareShared(const std::vector<RunSpec> &specs, unsigned workers,
+              SweepTiming *timing, SweepClock::time_point sweepStart)
+{
+    SweepShared shared;
 
     // Fetch each distinct workload once (process-wide memoized store);
     // runs only read them.
-    std::map<std::string, std::shared_ptr<const Workload>> workloads;
     for (const RunSpec &spec : specs) {
-        if (!workloads.count(spec.benchmark))
-            workloads[spec.benchmark] = sharedWorkload(spec.benchmark);
+        if (!shared.workloads.count(spec.benchmark))
+            shared.workloads[spec.benchmark] =
+                sharedWorkload(spec.benchmark);
     }
     if (timing)
         timing->workloadBuildSeconds = secondsSince(sweepStart);
@@ -116,27 +120,176 @@ runSweep(const std::vector<RunSpec> &specs, unsigned parallelism,
         toRecord.size());
     parallelFor(toRecord.size(), workers, [&](size_t i) {
         const auto &[key, length] = toRecord[i];
-        Executor executor(workloads.at(key.first)->cfg, key.second);
+        Executor executor(shared.workloads.at(key.first)->cfg, key.second);
         // lint: allow(loop-alloc) one allocation per distinct stream
         recorded[i] = std::make_shared<const TraceSnapshot>(
             TraceSnapshot::record(executor, length));
     });
-    std::map<StreamKey, std::shared_ptr<const TraceSnapshot>> snapshots;
     for (size_t i = 0; i < toRecord.size(); ++i)
-        snapshots.emplace(toRecord[i].first, recorded[i]);
+        shared.snapshots.emplace(toRecord[i].first, recorded[i]);
     if (timing)
         timing->snapshotRecordSeconds = secondsSince(recordStart);
+
+    return shared;
+}
+
+/**
+ * Paranoid sweeps cross-validate the whole fast path: every run is
+ * repeated serially *through the live executor* (never a replay) and
+ * must be bit-identical. Any divergence is either cross-thread state
+ * leakage or a snapshot record/replay defect. Quarantined runs (when
+ * @p completed is non-null) are excluded — they have no result to
+ * validate.
+ */
+void
+paranoidCrossValidate(const std::vector<RunSpec> &specs,
+                      const std::vector<SimResults> &results,
+                      const SweepShared &shared,
+                      const std::vector<uint8_t> *completed)
+{
+    bool paranoid =
+        std::any_of(specs.begin(), specs.end(), [](const RunSpec &s) {
+            return s.config.checkLevel == CheckLevel::Paranoid;
+        });
+    if (!paranoid)
+        return;
+
+    std::vector<SimResults> checkedResults;
+    std::vector<SimResults> serial;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (completed && !(*completed)[i])
+            continue;
+        checkedResults.push_back(results[i]);
+        serial.push_back(runSimulation(
+            *shared.workloads.at(specs[i].benchmark), specs[i].config));
+    }
+    InvariantAuditor auditor(CheckLevel::Paranoid);
+    auditSweepDeterminism(checkedResults, serial, auditor);
+    if (!auditor.clean()) {
+        auditor.emitReport(specs.front().config);
+        panic("parallel sweep diverged from its serial re-run "
+              "(%zu of %zu runs differ)",
+              auditor.violations().size(), checkedResults.size());
+    }
+}
+
+unsigned
+resolveWorkers(unsigned parallelism)
+{
+    return parallelism != 0
+        ? parallelism
+        : std::max(1u, std::thread::hardware_concurrency());
+}
+
+/** Outcome of one guarded run. */
+struct GuardedRun
+{
+    bool ok = false;
+    SimResults results;
+    std::string cause;
+};
+
+/**
+ * Execute one spec behind the guard: exception boundary, optional
+ * watchdog, snapshot-integrity check, retry with exponential backoff
+ * degrading from snapshot replay to the live executor.
+ */
+GuardedRun
+runOneGuarded(const Workload &workload, const RunSpec &spec,
+              const TraceSnapshot *snapshot, const SweepGuard &guard,
+              size_t index)
+{
+    GuardedRun out;
+    unsigned attempts = std::max(1u, guard.maxAttempts);
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        if (attempt > 1)
+            sleepSeconds(
+                backoffSeconds(attempt, guard.backoffBaseSeconds));
+        try {
+            const FaultInjector *injector = guard.injector;
+            if (injector &&
+                injector->fires(FaultKind::Throw, index, attempt)) {
+                throw InjectedFault("injected fault: forced throw");
+            }
+            bool expireNow = injector &&
+                injector->fires(FaultKind::Timeout, index, attempt);
+
+            // Degraded retry: only the first attempt may replay; a
+            // rerun goes through the live executor in case the
+            // snapshot itself is implicated.
+            const TraceSnapshot *snap = attempt == 1 ? snapshot : nullptr;
+            TraceSnapshot corrupted;
+            if (snap && injector &&
+                injector->fires(FaultKind::CorruptSnapshot, index,
+                                attempt)) {
+                corrupted = *snap;
+                corrupted.corruptBitForTesting(index * 131 + 7);
+                snap = &corrupted;
+            }
+            if (snap) {
+                std::string why;
+                if (!snap->verify(&why)) {
+                    warn("sweep run %zu: %s; refusing replay, degrading "
+                         "to live execution",
+                         index, why.c_str());
+                    snap = nullptr;
+                }
+            }
+
+            ScopedThrowOnError boundary;
+            if (guard.runTimeoutSeconds > 0.0 || expireNow) {
+                // Generous runaway tripwire: well past anything a
+                // budget-respecting run can retire.
+                uint64_t ceiling = (spec.config.warmupInstructions +
+                                    spec.config.instructionBudget) *
+                        2 +
+                    1'000'000;
+                Watchdog watchdog(guard.runTimeoutSeconds, ceiling,
+                                  expireNow);
+                out.results = snap
+                    ? runSimulation(workload, spec.config, *snap)
+                    : runSimulation(workload, spec.config);
+            } else {
+                out.results = snap
+                    ? runSimulation(workload, spec.config, *snap)
+                    : runSimulation(workload, spec.config);
+            }
+            out.ok = true;
+            return out;
+        } catch (const std::exception &e) {
+            out.cause = e.what();
+            warn("sweep run %zu attempt %u/%u failed: %s", index, attempt,
+                 attempts, e.what());
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<SimResults>
+runSweep(const std::vector<RunSpec> &specs, unsigned parallelism,
+         SweepTiming *timing)
+{
+    SweepClock::time_point sweepStart = SweepClock::now();
+    if (timing) {
+        *timing = SweepTiming{};
+        timing->perRunSeconds.assign(specs.size(), 0.0);
+    }
+
+    unsigned workers = resolveWorkers(parallelism);
+    SweepShared shared = prepareShared(specs, workers, timing, sweepStart);
 
     std::vector<SimResults> results(specs.size());
 
     SweepClock::time_point runStart = SweepClock::now();
     parallelFor(specs.size(), workers, [&](size_t index) {
         const RunSpec &spec = specs[index];
-        const Workload &workload = *workloads.at(spec.benchmark);
+        const Workload &workload = *shared.workloads.at(spec.benchmark);
         SweepClock::time_point start = SweepClock::now();
-        auto snap =
-            snapshots.find(StreamKey{spec.benchmark, spec.config.runSeed});
-        results[index] = snap != snapshots.end()
+        auto snap = shared.snapshots.find(
+            StreamKey{spec.benchmark, spec.config.runSeed});
+        results[index] = snap != shared.snapshots.end()
             ? runSimulation(workload, spec.config, *snap->second)
             : runSimulation(workload, spec.config);
         // Each index is claimed by exactly one worker, so the
@@ -150,30 +303,75 @@ runSweep(const std::vector<RunSpec> &specs, unsigned parallelism,
         timing->totalSeconds = secondsSince(sweepStart);
     }
 
-    // Paranoid sweeps cross-validate the whole fast path: every run is
-    // repeated serially *through the live executor* (never a replay)
-    // and must be bit-identical. Any divergence is either cross-thread
-    // state leakage or a snapshot record/replay defect.
-    bool paranoid =
-        std::any_of(specs.begin(), specs.end(), [](const RunSpec &s) {
-            return s.config.checkLevel == CheckLevel::Paranoid;
-        });
-    if (paranoid) {
-        std::vector<SimResults> serial(specs.size());
-        for (size_t i = 0; i < specs.size(); ++i) {
-            serial[i] = runSimulation(*workloads.at(specs[i].benchmark),
-                                      specs[i].config);
-        }
-        InvariantAuditor auditor(CheckLevel::Paranoid);
-        auditSweepDeterminism(results, serial, auditor);
-        if (!auditor.clean()) {
-            auditor.emitReport(specs.front().config);
-            panic("parallel sweep diverged from its serial re-run "
-                  "(%zu of %zu runs differ)",
-                  auditor.violations().size(), specs.size());
-        }
-    }
+    paranoidCrossValidate(specs, results, shared, nullptr);
     return results;
+}
+
+SweepOutcome
+runSweepGuarded(const std::vector<RunSpec> &specs, const SweepGuard &guard,
+                unsigned parallelism, SweepTiming *timing)
+{
+    SweepClock::time_point sweepStart = SweepClock::now();
+    if (timing) {
+        *timing = SweepTiming{};
+        timing->perRunSeconds.assign(specs.size(), 0.0);
+    }
+
+    unsigned workers = resolveWorkers(parallelism);
+    SweepShared shared = prepareShared(specs, workers, timing, sweepStart);
+
+    SweepOutcome outcome;
+    outcome.results.resize(specs.size());
+    outcome.completed.assign(specs.size(), 0);
+    std::mutex failuresMutex;
+
+    SweepClock::time_point runStart = SweepClock::now();
+    parallelFor(specs.size(), workers, [&](size_t index) {
+        const RunSpec &spec = specs[index];
+        const Workload &workload = *shared.workloads.at(spec.benchmark);
+        SweepClock::time_point start = SweepClock::now();
+        auto snap = shared.snapshots.find(
+            StreamKey{spec.benchmark, spec.config.runSeed});
+        const TraceSnapshot *snapshot =
+            snap != shared.snapshots.end() ? snap->second.get() : nullptr;
+
+        GuardedRun run =
+            runOneGuarded(workload, spec, snapshot, guard, index);
+        if (timing)
+            timing->perRunSeconds[index] = secondsSince(start);
+
+        if (run.ok) {
+            outcome.results[index] = std::move(run.results);
+            outcome.completed[index] = 1;
+            if (guard.onRunComplete)
+                guard.onRunComplete(index, outcome.results[index]);
+            return;
+        }
+
+        SweepFailure failure;
+        failure.index = index;
+        failure.benchmark = spec.benchmark;
+        failure.config = spec.config.describe();
+        failure.cause = run.cause;
+        failure.attempts = std::max(1u, guard.maxAttempts);
+        std::lock_guard<std::mutex> lock(failuresMutex);
+        outcome.failures.push_back(std::move(failure));
+    });
+
+    if (timing) {
+        timing->runSeconds = secondsSince(runStart);
+        timing->totalSeconds = secondsSince(sweepStart);
+    }
+
+    // Deterministic failure order regardless of worker interleaving.
+    std::sort(outcome.failures.begin(), outcome.failures.end(),
+              [](const SweepFailure &a, const SweepFailure &b) {
+                  return a.index < b.index;
+              });
+
+    paranoidCrossValidate(specs, outcome.results, shared,
+                          &outcome.completed);
+    return outcome;
 }
 
 std::vector<SimResults>

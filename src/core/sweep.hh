@@ -8,6 +8,7 @@
 #ifndef SPECFETCH_CORE_SWEEP_HH_
 #define SPECFETCH_CORE_SWEEP_HH_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "core/results.hh"
 
 namespace specfetch {
+
+class FaultInjector;
 
 /** One run request. */
 struct RunSpec
@@ -68,6 +71,84 @@ constexpr uint64_t kSweepSnapshotMaxInstructions = 64'000'000;
 std::vector<SimResults> runSweep(const std::vector<RunSpec> &specs,
                                  unsigned parallelism = 0,
                                  SweepTiming *timing = nullptr);
+
+/**
+ * One quarantined run: the sweep completed without it after
+ * exhausting its retry budget. Enough context to reproduce the
+ * failure standalone is carried along (the bench layer fills in
+ * rerunCommand with an exact command line).
+ */
+struct SweepFailure
+{
+    /** Submission index within the sweep that quarantined it. */
+    size_t index = 0;
+    std::string benchmark;
+    /** SimConfig::describe() of the failing configuration. */
+    std::string config;
+    /** What the last attempt died of (exception message). */
+    std::string cause;
+    /** Attempts consumed (== the guard's maxAttempts). */
+    unsigned attempts = 0;
+    /** Exact command to reproduce the run standalone. */
+    std::string rerunCommand;
+};
+
+/**
+ * Per-run fault-tolerance policy for runSweepGuarded. The zero-cost
+ * default (maxAttempts 1, no timeout, no injector) degenerates to
+ * plain runSweep behaviour except that a failing run is quarantined
+ * instead of killing the process.
+ */
+struct SweepGuard
+{
+    /** Attempts per run before quarantine (>= 1). */
+    unsigned maxAttempts = 3;
+    /** Base of the exponential retry backoff (seconds). */
+    double backoffBaseSeconds = 0.05;
+    /** Per-run wall-clock watchdog budget; 0 disables. */
+    double runTimeoutSeconds = 0.0;
+    /** Borrowed; may be null. Forces faults at chosen run indices. */
+    const FaultInjector *injector = nullptr;
+    /**
+     * Invoked — possibly from a sweep worker thread, never twice for
+     * one index — the moment a run completes. The fault-tolerant
+     * bench layer journals the run's record to the write-ahead ledger
+     * here, so a crash an instant later loses nothing.
+     */
+    std::function<void(size_t index, const SimResults &results)>
+        onRunComplete;
+};
+
+/** What a guarded sweep produced: results plus the failure ledger. */
+struct SweepOutcome
+{
+    /** Indexed like specs; quarantined slots hold default results. */
+    std::vector<SimResults> results;
+    /** Quarantined runs, in submission order. */
+    std::vector<SweepFailure> failures;
+    /** completed[i] != 0 iff specs[i] produced results[i]. */
+    std::vector<uint8_t> completed;
+
+    bool allCompleted() const { return failures.empty(); }
+};
+
+/**
+ * Fault-tolerant variant of runSweep: each run executes behind an
+ * exception boundary (panic/fatal throw instead of killing the
+ * process), an optional cooperative watchdog, and a retry loop with
+ * exponential backoff. The first attempt may replay the shared
+ * correct-path snapshot (after verifying its content digest); every
+ * retry degrades to the live executor. A run that exhausts
+ * guard.maxAttempts is quarantined into the outcome's failures array
+ * and the sweep carries on.
+ *
+ * Completed runs are bit-identical to an unguarded sweep's — the
+ * guard only adds recovery, never perturbs simulation state.
+ */
+SweepOutcome runSweepGuarded(const std::vector<RunSpec> &specs,
+                             const SweepGuard &guard,
+                             unsigned parallelism = 0,
+                             SweepTiming *timing = nullptr);
 
 /**
  * Convenience grid: every listed benchmark under every policy with

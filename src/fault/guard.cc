@@ -1,0 +1,96 @@
+#include "fault/guard.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace specfetch {
+
+namespace {
+
+using GuardClock = std::chrono::steady_clock;
+
+struct WatchdogState
+{
+    bool armed = false;
+    bool hasDeadline = false;
+    GuardClock::time_point deadline{};
+    double wallSeconds = 0.0;
+    uint64_t instructionCeiling = 0;
+};
+
+thread_local WatchdogState watchdogState;
+
+} // namespace
+
+Watchdog::Watchdog(double wallSeconds, uint64_t instructionCeiling,
+                   bool expireImmediately)
+{
+    panic_if(watchdogState.armed,
+             "nested run watchdogs on one thread (guard bug)");
+    watchdogState.armed = true;
+    watchdogState.wallSeconds = wallSeconds;
+    watchdogState.instructionCeiling = instructionCeiling;
+    watchdogState.hasDeadline = wallSeconds > 0.0 || expireImmediately;
+    if (expireImmediately) {
+        watchdogState.deadline = GuardClock::now() - std::chrono::seconds(1);
+    } else if (wallSeconds > 0.0) {
+        watchdogState.deadline =
+            GuardClock::now() +
+            std::chrono::duration_cast<GuardClock::duration>(
+                std::chrono::duration<double>(wallSeconds));
+    }
+}
+
+Watchdog::~Watchdog()
+{
+    watchdogState = WatchdogState{};
+}
+
+bool
+Watchdog::armed()
+{
+    return watchdogState.armed;
+}
+
+void
+Watchdog::poll(uint64_t instructionsRetired)
+{
+    const WatchdogState &state = watchdogState;
+    if (!state.armed)
+        return;
+    if (state.instructionCeiling != 0 &&
+        instructionsRetired > state.instructionCeiling) {
+        throw RunTimeout(
+            "watchdog: run exceeded its instruction ceiling (" +
+            formatWithCommas(instructionsRetired) + " retired, ceiling " +
+            formatWithCommas(state.instructionCeiling) + ")");
+    }
+    if (state.hasDeadline && GuardClock::now() > state.deadline) {
+        throw RunTimeout("watchdog: run exceeded its wall-clock budget (" +
+                         formatFixed(state.wallSeconds, 3) + "s)");
+    }
+}
+
+double
+backoffSeconds(unsigned attempt, double baseSeconds)
+{
+    if (attempt < 2 || baseSeconds <= 0.0)
+        return 0.0;
+    double delay = baseSeconds;
+    for (unsigned i = 2; i < attempt; ++i)
+        delay *= 2.0;
+    return delay < 30.0 ? delay : 30.0;
+}
+
+void
+sleepSeconds(double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+} // namespace specfetch

@@ -1,0 +1,160 @@
+#include "fault/ledger.hh"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/checksum.hh"
+#include "util/logging.hh"
+
+namespace specfetch {
+
+namespace {
+
+std::string
+ledgerLine(const std::string &key, const JsonValue &record)
+{
+    JsonValue entry = JsonValue::object();
+    entry.set("key", JsonValue::string(key));
+    entry.set("record", record);
+    std::string text = entry.dump();
+    return crcHex(crc32(text)) + " " + text;
+}
+
+/**
+ * Validate one line (sans newline) into @p out. Returns false with a
+ * reason when the line fails its CRC, does not parse, or lacks the
+ * {key, record} shape.
+ */
+bool
+parseLedgerLine(const std::string &line, LedgerEntry &out,
+                std::string &reason)
+{
+    // "<8 hex chars><space><json>"
+    if (line.size() < 10 || line[8] != ' ') {
+        reason = "malformed framing";
+        return false;
+    }
+    uint32_t stored = 0;
+    if (!parseCrcHex(line.substr(0, 8), stored)) {
+        reason = "unparsable checksum";
+        return false;
+    }
+    std::string text = line.substr(9);
+    if (crc32(text) != stored) {
+        reason = "checksum mismatch";
+        return false;
+    }
+    JsonValue entry;
+    std::string parseError;
+    if (!JsonValue::parse(text, entry, &parseError)) {
+        reason = "checksummed payload is not JSON: " + parseError;
+        return false;
+    }
+    const JsonValue *key = entry.find("key");
+    const JsonValue *record = entry.find("record");
+    if (!key || !key->isString() || !record || !record->isObject()) {
+        reason = "entry lacks the {key, record} shape";
+        return false;
+    }
+    out.key = key->asString();
+    out.record = *record;
+    return true;
+}
+
+} // namespace
+
+SweepLedger::SweepLedger(const std::string &path) : filePath(path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        warn("cannot open sweep ledger %s for writing", path.c_str());
+}
+
+SweepLedger::~SweepLedger()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+SweepLedger::writeAndSync(const std::string &text)
+{
+    if (!file)
+        return false;
+    size_t wrote = std::fwrite(text.data(), 1, text.size(), file);
+    bool ok = wrote == text.size() && std::fflush(file) == 0;
+    // The fsync is the whole point of a write-ahead ledger: once
+    // append() returns, the entry survives the process.
+    if (ok)
+        ok = fsync(fileno(file)) == 0;
+    if (!ok)
+        warn("sweep ledger %s: append failed; the run will simply be "
+             "re-executed on resume",
+             filePath.c_str());
+    return ok;
+}
+
+bool
+SweepLedger::append(const std::string &key, const JsonValue &record)
+{
+    if (!writeAndSync(ledgerLine(key, record) + "\n"))
+        return false;
+    ++entries;
+    return true;
+}
+
+bool
+SweepLedger::appendTorn(const std::string &key, const JsonValue &record)
+{
+    std::string line = ledgerLine(key, record);
+    // Cut mid-JSON: past the checksum so the framing looks plausible,
+    // well short of the payload so the CRC cannot hold.
+    return writeAndSync(line.substr(0, 10 + line.size() / 2));
+}
+
+bool
+loadLedger(const std::string &path, LedgerLoad &out, std::string *error)
+{
+    out = LedgerLoad{};
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string content = buffer.str();
+
+    size_t start = 0;
+    while (start < content.size()) {
+        size_t end = content.find('\n', start);
+        bool torn = end == std::string::npos;
+        std::string line =
+            content.substr(start, torn ? std::string::npos : end - start);
+        start = torn ? content.size() : end + 1;
+
+        if (line.empty())
+            continue;
+        LedgerEntry entry;
+        std::string reason;
+        if (parseLedgerLine(line, entry, reason)) {
+            out.entries.push_back(std::move(entry));
+        } else if (torn) {
+            // The expected signature of a crash mid-append: drop the
+            // tail, the run re-executes.
+            out.tornTail = true;
+            warn("sweep ledger %s: dropping torn final line (%s)",
+                 path.c_str(), reason.c_str());
+        } else {
+            ++out.corruptLines;
+            warn("sweep ledger %s: skipping corrupt line (%s)",
+                 path.c_str(), reason.c_str());
+        }
+    }
+    return true;
+}
+
+} // namespace specfetch

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Write-ahead run ledger for fault-tolerant sweeps (DESIGN.md §10).
+ *
+ * Each completed run is journaled as one self-checking line *before*
+ * the sweep moves on, so a crash at any instant loses at most the
+ * runs that were still in flight:
+ *
+ *   <crc32 hex, 8 chars> <compact JSON: {"key":"...","record":{...}}>\n
+ *
+ * The CRC covers the JSON text; the key identifies the run
+ * (benchmark + configuration digest, see sweepRunKey). Appends are
+ * fsync'd, so an entry that made it to the ledger survives the
+ * process. The loader is tolerant by design: a torn final line (the
+ * classic kill-during-append) is dropped with a warning, and a
+ * corrupt interior line is skipped — the resumed sweep simply
+ * re-executes those runs.
+ */
+
+#ifndef SPECFETCH_FAULT_LEDGER_HH_
+#define SPECFETCH_FAULT_LEDGER_HH_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "report/json.hh"
+
+namespace specfetch {
+
+/** One valid ledger line, parsed. */
+struct LedgerEntry
+{
+    /** Run key (sweepRunKey) the record belongs to. */
+    std::string key;
+    /** The journaled run record, exactly as written. */
+    JsonValue record;
+};
+
+/** What loadLedger recovered from a ledger file. */
+struct LedgerLoad
+{
+    /** Valid entries, in file order. */
+    std::vector<LedgerEntry> entries;
+    /** Interior lines dropped for CRC/parse/shape failures. */
+    size_t corruptLines = 0;
+    /** The file ended mid-line (torn append); the tail was dropped. */
+    bool tornTail = false;
+};
+
+/**
+ * Append-only ledger writer. Not thread-safe — guard appends with a
+ * mutex when journaling from sweep workers.
+ */
+class SweepLedger
+{
+  public:
+    /**
+     * Open @p path truncated: the caller re-journals any entries it
+     * accepted from a previous ledger first (this heals torn tails
+     * and corrupt lines in place of appending after them).
+     */
+    explicit SweepLedger(const std::string &path);
+    ~SweepLedger();
+
+    SweepLedger(const SweepLedger &) = delete;
+    SweepLedger &operator=(const SweepLedger &) = delete;
+
+    bool ok() const { return file != nullptr; }
+    const std::string &path() const { return filePath; }
+    size_t entriesWritten() const { return entries; }
+
+    /**
+     * Journal one run: write the self-checking line and fsync before
+     * returning. An I/O failure warns and returns false — losing the
+     * journal must never kill the sweep it protects.
+     */
+    bool append(const std::string &key, const JsonValue &record);
+
+    /**
+     * Fault-injection hook: write a deliberately torn prefix of the
+     * entry (no newline, cut mid-JSON) and fsync, simulating a crash
+     * mid-append. The loader must drop it on resume.
+     */
+    bool appendTorn(const std::string &key, const JsonValue &record);
+
+  private:
+    bool writeAndSync(const std::string &text);
+
+    std::string filePath;
+    std::FILE *file = nullptr;
+    size_t entries = 0;
+};
+
+/**
+ * Parse a ledger back. Returns false only when @p path cannot be
+ * read (@p error names why); corruption is tolerated and reported
+ * through the LedgerLoad counters instead.
+ */
+bool loadLedger(const std::string &path, LedgerLoad &out,
+                std::string *error = nullptr);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_FAULT_LEDGER_HH_

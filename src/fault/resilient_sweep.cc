@@ -1,0 +1,134 @@
+#include "fault/resilient_sweep.hh"
+
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "fault/injector.hh"
+#include "fault/ledger.hh"
+#include "report/record.hh"
+#include "util/checksum.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace specfetch {
+
+std::string
+sweepRunKey(const RunSpec &spec)
+{
+    // The manifest serialization is byte-deterministic (report/json),
+    // so the digest is stable across processes and machines.
+    return spec.benchmark + ":" + hexString(hash64(toJson(spec.config).dump()));
+}
+
+ResilientSweepResult
+runResilientSweep(const std::vector<RunSpec> &specs,
+                  const ResilientSweepOptions &options)
+{
+    panic_if(!options.makeRecord,
+             "resilient sweep needs a makeRecord callback");
+    panic_if(options.ledgerPath.empty(),
+             "resilient sweep needs a ledger path");
+
+    const size_t n = specs.size();
+    ResilientSweepResult result;
+    result.records.resize(n);
+    result.completed.assign(n, 0);
+
+    std::vector<std::string> keys(n);
+    // Duplicate specs are legal; a key satisfies its occurrences in
+    // submission order, one journaled record each.
+    std::map<std::string, std::deque<size_t>> pendingByKey;
+    for (size_t i = 0; i < n; ++i) {
+        keys[i] = sweepRunKey(specs[i]);
+        pendingByKey[keys[i]].push_back(i);
+    }
+
+    if (options.resume) {
+        LedgerLoad load;
+        std::string error;
+        if (!loadLedger(options.ledgerPath, load, &error)) {
+            warn("cannot resume: %s; executing the full grid",
+                 error.c_str());
+        } else {
+            for (LedgerEntry &entry : load.entries) {
+                auto it = pendingByKey.find(entry.key);
+                if (it == pendingByKey.end() || it->second.empty()) {
+                    warn("sweep ledger %s: entry %s matches no pending "
+                         "run; ignoring",
+                         options.ledgerPath.c_str(), entry.key.c_str());
+                    continue;
+                }
+                size_t index = it->second.front();
+                it->second.pop_front();
+                result.records[index] = std::move(entry.record);
+                result.completed[index] = 1;
+                ++result.resumedRuns;
+            }
+        }
+    }
+
+    // Rewrite the ledger with only the entries we accepted: this
+    // heals torn tails and corrupt lines, so every later append lands
+    // on a clean line start.
+    SweepLedger ledger(options.ledgerPath);
+    if (!ledger.ok())
+        fatal("cannot write sweep ledger %s", options.ledgerPath.c_str());
+    for (size_t i = 0; i < n; ++i) {
+        if (result.completed[i])
+            ledger.append(keys[i], result.records[i]);
+    }
+
+    std::vector<size_t> remaining;
+    std::vector<RunSpec> subSpecs;
+    for (size_t i = 0; i < n; ++i) {
+        if (!result.completed[i]) {
+            remaining.push_back(i);
+            subSpecs.push_back(specs[i]);
+        }
+    }
+
+    std::mutex journalMutex;
+    SweepGuard guard;
+    guard.maxAttempts = options.maxAttempts;
+    guard.backoffBaseSeconds = options.backoffBaseSeconds;
+    guard.runTimeoutSeconds = options.runTimeoutSeconds;
+    guard.injector = options.injector;
+    guard.onRunComplete = [&](size_t subIndex, const SimResults &results) {
+        size_t index = remaining[subIndex];
+        JsonValue record = options.makeRecord(index, results);
+        std::lock_guard<std::mutex> lock(journalMutex);
+        result.records[index] = std::move(record);
+        result.completed[index] = 1;
+        ++result.executedRuns;
+        const FaultInjector *injector = options.injector;
+        if (injector && injector->fires(FaultKind::Crash, subIndex)) {
+            // Die between completing the run and journaling it — the
+            // worst-ordered crash a real sweep can suffer.
+            warn("injected fault: crashing before journaling run %zu",
+                 index);
+            std::_Exit(kCrashExitCode);
+        }
+        if (injector && injector->fires(FaultKind::TearLedger, subIndex)) {
+            warn("injected fault: tearing the ledger at run %zu", index);
+            ledger.appendTorn(keys[index], result.records[index]);
+            std::_Exit(kCrashExitCode);
+        }
+        ledger.append(keys[index], result.records[index]);
+    };
+
+    SweepOutcome outcome = runSweepGuarded(subSpecs, guard,
+                                           options.parallelism,
+                                           &result.timing);
+
+    for (SweepFailure failure : outcome.failures) {
+        failure.index = remaining[failure.index];
+        if (options.rerunCommand)
+            failure.rerunCommand = options.rerunCommand(failure.index);
+        result.failures.push_back(std::move(failure));
+    }
+    return result;
+}
+
+} // namespace specfetch

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The fault-tolerant sweep driver (DESIGN.md §10): runSweepGuarded
+ * plus the write-ahead ledger, glued into checkpointed resume.
+ *
+ * Clean run:   every completed run's record is journaled to the
+ *              ledger (fsync'd) the moment it finishes.
+ * Resumed run: the ledger is loaded first; runs whose key already
+ *              has a valid journaled record are satisfied from it,
+ *              everything else re-executes. Records come back in
+ *              grid order either way, and — because simulation is
+ *              deterministic and the journaled records carry no
+ *              timing — a resumed sweep's output is byte-identical
+ *              to an uninterrupted one.
+ *
+ * The run key is content-addressed (benchmark name + a 64-bit digest
+ * of the full configuration manifest), so a resume against a ledger
+ * from a *different* grid silently degrades to re-running: mismatched
+ * keys just never match.
+ */
+
+#ifndef SPECFETCH_FAULT_RESILIENT_SWEEP_HH_
+#define SPECFETCH_FAULT_RESILIENT_SWEEP_HH_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "report/json.hh"
+
+namespace specfetch {
+
+class FaultInjector;
+
+/** Exit code of an injected crash/tear (mirrors SIGKILL's 128+9). */
+constexpr int kCrashExitCode = 137;
+
+/**
+ * Content-addressed identity of one run: benchmark name plus a hash
+ * of the serialized configuration manifest. Stable across processes
+ * and machines; two specs collide only if they would produce the
+ * same results anyway.
+ */
+std::string sweepRunKey(const RunSpec &spec);
+
+/** Policy + plumbing for one fault-tolerant sweep. */
+struct ResilientSweepOptions
+{
+    /** Ledger path (required). Rewritten, then appended per run. */
+    std::string ledgerPath;
+    /** Load the ledger first and skip runs it already completed. */
+    bool resume = false;
+    /** Attempts per run before quarantine. */
+    unsigned maxAttempts = 3;
+    /** Base of the exponential retry backoff (seconds). */
+    double backoffBaseSeconds = 0.05;
+    /** Per-run wall-clock watchdog budget; 0 disables. */
+    double runTimeoutSeconds = 0.0;
+    /** Borrowed; may be null. */
+    const FaultInjector *injector = nullptr;
+    /** Sweep worker threads; 0 = hardware concurrency. */
+    unsigned parallelism = 0;
+    /**
+     * Build the journaled (and returned) record for a completed run.
+     * Must be deterministic — no timing — or resume cannot reproduce
+     * the clean run's bytes. Called from sweep worker threads.
+     */
+    std::function<JsonValue(size_t index, const SimResults &results)>
+        makeRecord;
+    /** Optional: exact command line reproducing run @p index. */
+    std::function<std::string(size_t index)> rerunCommand;
+};
+
+/** What a fault-tolerant sweep produced. */
+struct ResilientSweepResult
+{
+    /** Indexed like specs; quarantined slots hold JSON null. */
+    std::vector<JsonValue> records;
+    /** completed[i] != 0 iff records[i] is a real record. */
+    std::vector<uint8_t> completed;
+    /** Quarantined runs (original indices, rerunCommand filled). */
+    std::vector<SweepFailure> failures;
+    /** Runs satisfied from the ledger without executing. */
+    size_t resumedRuns = 0;
+    /** Runs actually executed this process. */
+    size_t executedRuns = 0;
+    /** Timing of the executed portion. */
+    SweepTiming timing;
+
+    bool allCompleted() const { return failures.empty(); }
+};
+
+/**
+ * Run @p specs fault-tolerantly per @p options. Never aborts on a
+ * failing run — it quarantines. Dies only on unusable inputs (no
+ * makeRecord, no ledger path) or an unwritable ledger.
+ */
+ResilientSweepResult
+runResilientSweep(const std::vector<RunSpec> &specs,
+                  const ResilientSweepOptions &options);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_FAULT_RESILIENT_SWEEP_HH_

@@ -45,4 +45,13 @@ classFromWire(uint8_t wire)
     return static_cast<InstClass>(wire);
 }
 
+bool
+classFromWireChecked(uint8_t wire, InstClass &out)
+{
+    if (wire > static_cast<uint8_t>(InstClass::IndirectCall))
+        return false;
+    out = static_cast<InstClass>(wire);
+    return true;
+}
+
 } // namespace specfetch

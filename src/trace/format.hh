@@ -29,11 +29,29 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "isa/types.hh"
 
 namespace specfetch {
+
+/**
+ * A malformed or truncated trace file. Trace bytes are untrusted
+ * input, so the reader reports damage as this typed error — callers
+ * choose between catching it (harnesses, tests) and letting it
+ * terminate (simple tools) — instead of treating it as a simulator
+ * bug (panic/abort) or undefined behaviour.
+ */
+class TraceError : public std::runtime_error
+{
+  public:
+    explicit TraceError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
 
 /** 'SFTR' in little-endian. */
 constexpr uint32_t kTraceMagic = 0x52544653;
@@ -56,6 +74,12 @@ bool getVarint(const uint8_t *data, size_t size, size_t &offset,
 /** Map an InstClass to its 3-bit wire encoding and back. */
 uint8_t wireClass(InstClass cls);
 InstClass classFromWire(uint8_t wire);
+
+/**
+ * Untrusted-input variant of classFromWire: false on an invalid
+ * encoding instead of treating it as a simulator bug.
+ */
+bool classFromWireChecked(uint8_t wire, InstClass &out);
 
 } // namespace specfetch
 

@@ -1,20 +1,57 @@
 #include "trace/reader.hh"
 
+#include <limits>
+
 #include "trace/format.hh"
 #include "util/logging.hh"
 
 namespace specfetch {
 
+namespace {
+
+[[noreturn]] void
+corrupt(const std::string &what)
+{
+    throw TraceError(what);
+}
+
+} // namespace
+
 TraceReader::TraceReader(const std::string &path)
 {
     file = std::fopen(path.c_str(), "rb");
-    fatal_if(!file, "cannot open trace file '%s'", path.c_str());
+    if (!file)
+        corrupt("cannot open trace file '" + path + "'");
+    // The constructor throws on malformed input, which skips the
+    // destructor of this half-built object — release the handle on
+    // the way out ourselves.
+    try {
+        parse(path);
+    } catch (...) {
+        std::fclose(file);
+        file = nullptr;
+        throw;
+    }
+}
+
+void
+TraceReader::parse(const std::string &path)
+{
     buffer.resize(1 << 20);
+
+    // Every header/image byte count is untrusted: check each read and
+    // sanity-check declared sizes against the file itself before
+    // allocating anything proportional to them.
+    std::fseek(file, 0, SEEK_END);
+    long file_size = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    if (file_size < 0)
+        corrupt("cannot size trace file '" + path + "'");
 
     auto read_u32 = [&](uint32_t &v) {
         uint8_t raw[4];
         if (std::fread(raw, 1, 4, file) != 4)
-            fatal("truncated trace header in '%s'", path.c_str());
+            corrupt("truncated trace header in '" + path + "'");
         v = 0;
         for (int i = 3; i >= 0; --i)
             v = (v << 8) | raw[i];
@@ -22,7 +59,7 @@ TraceReader::TraceReader(const std::string &path)
     auto read_u64 = [&](uint64_t &v) {
         uint8_t raw[8];
         if (std::fread(raw, 1, 8, file) != 8)
-            fatal("truncated trace header in '%s'", path.c_str());
+            corrupt("truncated trace header in '" + path + "'");
         v = 0;
         for (int i = 7; i >= 0; --i)
             v = (v << 8) | raw[i];
@@ -31,11 +68,13 @@ TraceReader::TraceReader(const std::string &path)
     uint32_t magic, version;
     read_u32(magic);
     read_u32(version);
-    fatal_if(magic != kTraceMagic, "'%s' is not a specfetch trace",
-             path.c_str());
-    fatal_if(version != kTraceVersion,
-             "trace version %u unsupported (want %u)", version,
-             kTraceVersion);
+    if (magic != kTraceMagic)
+        corrupt("'" + path + "' is not a specfetch trace");
+    if (version != kTraceVersion) {
+        corrupt("trace version " + std::to_string(version) +
+                " unsupported (want " + std::to_string(kTraceVersion) +
+                ")");
+    }
 
     uint64_t base, count;
     read_u64(base);
@@ -43,15 +82,32 @@ TraceReader::TraceReader(const std::string &path)
     read_u64(start);
     nextPc = start;
 
+    // Each image record is at least one byte, so a count beyond the
+    // file's own size is a lie — refuse it before the allocation, or
+    // a 24-byte garbage file could demand terabytes.
+    constexpr uint64_t header_bytes = 4 + 4 + 8 + 8 + 8;
+    if (count > static_cast<uint64_t>(file_size) - header_bytes) {
+        corrupt("trace image count " + std::to_string(count) +
+                " exceeds what '" + path + "' (" +
+                std::to_string(file_size) + " bytes) can hold");
+    }
+    if (base > std::numeric_limits<uint64_t>::max() - count * kInstBytes)
+        corrupt("trace image range overflows the address space");
+
     img = std::make_unique<ProgramImage>(base, count);
     for (uint64_t i = 0; i < count; ++i) {
         uint8_t wire;
-        fatal_if(!readByte(wire), "truncated trace image");
+        if (!readByte(wire))
+            corrupt("truncated trace image");
         StaticInst inst;
-        inst.cls = classFromWire(wire);
+        if (!classFromWireChecked(wire, inst.cls)) {
+            corrupt("invalid instruction class " + std::to_string(wire) +
+                    " in trace image record " + std::to_string(i));
+        }
         if (hasStaticTarget(inst.cls)) {
             uint64_t word;
-            fatal_if(!readVarint(word), "truncated trace image target");
+            if (!readVarint(word))
+                corrupt("truncated trace image target");
             inst.target = word * kInstBytes;
         }
         (*img)[i] = inst;
@@ -118,7 +174,9 @@ TraceReader::next(DynInst &out)
 
     if (tag == kTagPlainRun) {
         uint64_t run;
-        fatal_if(!readVarint(run) || run == 0, "corrupt plain run");
+        if (!readVarint(run) || run == 0)
+            corrupt("corrupt plain run at record " +
+                    std::to_string(records));
         pendingPlain = run - 1;
         out = DynInst{nextPc, InstClass::Plain, false, 0};
         nextPc += kInstBytes;
@@ -126,11 +184,17 @@ TraceReader::next(DynInst &out)
         return true;
     }
 
-    fatal_if(!(tag & kTagControl), "corrupt trace tag %u", tag);
-    InstClass cls = classFromWire((tag >> 1) & 0x7);
+    if (!(tag & kTagControl))
+        corrupt("corrupt trace tag " + std::to_string(tag) +
+                " at record " + std::to_string(records));
+    InstClass cls;
+    if (!classFromWireChecked((tag >> 1) & 0x7, cls))
+        corrupt("invalid instruction class in control record " +
+                std::to_string(records));
     bool taken = (tag >> 4) & 1;
     uint64_t word;
-    fatal_if(!readVarint(word), "truncated control record");
+    if (!readVarint(word))
+        corrupt("truncated control record " + std::to_string(records));
 
     out = DynInst{nextPc, cls, taken, word * kInstBytes};
     nextPc = out.nextPc();

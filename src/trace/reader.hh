@@ -19,10 +19,16 @@ namespace specfetch {
 /**
  * Loads a trace file's program image eagerly and decodes the dynamic
  * stream incrementally.
+ *
+ * Trace bytes are untrusted: every read is bounds-checked, declared
+ * sizes are validated against the file itself before any allocation,
+ * and malformed input raises TraceError (trace/format.hh) — from the
+ * constructor for header/image damage, from next() for stream damage.
  */
 class TraceReader
 {
   public:
+    /** @throws TraceError on an unreadable or malformed file. */
     explicit TraceReader(const std::string &path);
     ~TraceReader();
 
@@ -35,12 +41,16 @@ class TraceReader
     /** First dynamic PC. */
     Addr startPc() const { return start; }
 
-    /** Decode the next record; false at end of trace. */
+    /**
+     * Decode the next record; false at end of trace.
+     * @throws TraceError on a corrupt or truncated record.
+     */
     bool next(DynInst &out);
 
     uint64_t recordsRead() const { return records; }
 
   private:
+    void parse(const std::string &path);
     bool refill();
     bool readByte(uint8_t &byte);
     bool readVarint(uint64_t &value);

@@ -1,8 +1,36 @@
 #include "trace/snapshot.hh"
 
+#include <cstring>
+
+#include "util/checksum.hh"
 #include "util/logging.hh"
+#include "util/string_utils.hh"
 
 namespace specfetch {
+
+namespace {
+
+/** Serialized header, little-endian, 40 bytes. */
+struct SnapshotHeader
+{
+    uint32_t magic = 0;
+    uint32_t version = 0;
+    uint64_t startPc = 0;
+    uint64_t instructionCount = 0;
+    uint64_t recordCount = 0;
+    uint64_t contentHash = 0;
+};
+static_assert(sizeof(SnapshotHeader) == 40, "header layout is the format");
+
+bool
+refuse(std::string *error, const std::string &reason)
+{
+    if (error)
+        *error = reason;
+    return false;
+}
+
+} // namespace
 
 TraceSnapshot
 TraceSnapshot::record(InstructionSource &source, uint64_t length,
@@ -35,23 +63,150 @@ TraceSnapshot::record(InstructionSource &source, uint64_t length,
         if (inst.cls == InstClass::Plain) {
             if (++plain_run == max_plain_run) {
                 snap.recs.push_back(
-                    ControlRecord{0, max_plain_run, kRunOnly, 0});
+                    ControlRecord{0, max_plain_run, kRunOnly, 0, 0});
                 plain_run = 0;
             }
         } else {
             snap.recs.push_back(ControlRecord{
                 inst.target, static_cast<uint32_t>(plain_run),
                 wireClass(inst.cls),
-                static_cast<uint8_t>(inst.taken ? 1 : 0)});
+                static_cast<uint8_t>(inst.taken ? 1 : 0), 0});
             plain_run = 0;
         }
     }
     if (plain_run > 0) {
         snap.recs.push_back(ControlRecord{
-            0, static_cast<uint32_t>(plain_run), kRunOnly, 0});
+            0, static_cast<uint32_t>(plain_run), kRunOnly, 0, 0});
     }
     snap.recs.shrink_to_fit();
+    snap.hash = snap.computeHash();
     return snap;
+}
+
+uint64_t
+TraceSnapshot::computeHash() const
+{
+    // Seed the record-bytes digest with the scalar header fields so a
+    // flipped start PC or count is as detectable as a flipped record.
+    uint64_t seed = hash64(&start, sizeof(start), count);
+    return hash64(recs.data(), recs.size() * sizeof(ControlRecord), seed);
+}
+
+bool
+TraceSnapshot::verify(std::string *error) const
+{
+    if (count == 0 && recs.empty())
+        return true;    // nothing recorded, nothing to corrupt
+    uint64_t actual = computeHash();
+    if (actual == hash)
+        return true;
+    return refuse(error,
+                  "snapshot content digest mismatch (stored " +
+                      hexString(hash) + ", recomputed " +
+                      hexString(actual) + ")");
+}
+
+bool
+TraceSnapshot::validate(std::string *error) const
+{
+    uint64_t population = 0;
+    for (size_t i = 0; i < recs.size(); ++i) {
+        const ControlRecord &rec = recs[i];
+        bool run_only = rec.cls == kRunOnly;
+        if (!run_only &&
+            rec.cls > static_cast<uint8_t>(InstClass::IndirectCall)) {
+            return refuse(error, "record " + std::to_string(i) +
+                                     " carries invalid class " +
+                                     std::to_string(rec.cls));
+        }
+        if (rec.pad != 0) {
+            return refuse(error, "record " + std::to_string(i) +
+                                     " has nonzero padding");
+        }
+        population += rec.plainBefore + (run_only ? 0 : 1);
+    }
+    if (population != count) {
+        return refuse(error,
+                      "record population " + std::to_string(population) +
+                          " != instruction count " + std::to_string(count));
+    }
+    return true;
+}
+
+void
+TraceSnapshot::serialize(std::vector<uint8_t> &out) const
+{
+    SnapshotHeader header;
+    header.magic = kMagic;
+    header.version = kVersion;
+    header.startPc = start;
+    header.instructionCount = count;
+    header.recordCount = recs.size();
+    header.contentHash = hash;
+
+    size_t payload = recs.size() * sizeof(ControlRecord);
+    size_t base = out.size();
+    out.resize(base + sizeof(header) + payload);
+    std::memcpy(out.data() + base, &header, sizeof(header));
+    if (payload > 0)
+        std::memcpy(out.data() + base + sizeof(header), recs.data(),
+                    payload);
+}
+
+bool
+TraceSnapshot::deserialize(const uint8_t *data, size_t size,
+                           TraceSnapshot &out, std::string *error)
+{
+    out = TraceSnapshot{};
+    if (size < sizeof(SnapshotHeader))
+        return refuse(error, "truncated snapshot: no room for the header");
+
+    SnapshotHeader header;
+    std::memcpy(&header, data, sizeof(header));
+    if (header.magic != kMagic)
+        return refuse(error, "not a specfetch snapshot (bad magic)");
+    if (header.version != kVersion) {
+        return refuse(error, "unsupported snapshot version " +
+                                 std::to_string(header.version) +
+                                 " (want " + std::to_string(kVersion) +
+                                 ")");
+    }
+    size_t payload = size - sizeof(header);
+    if (payload % sizeof(ControlRecord) != 0 ||
+        payload / sizeof(ControlRecord) != header.recordCount) {
+        return refuse(error,
+                      "truncated snapshot payload: header promises " +
+                          std::to_string(header.recordCount) +
+                          " records, payload holds " +
+                          std::to_string(payload / sizeof(ControlRecord)));
+    }
+
+    out.start = header.startPc;
+    out.count = header.instructionCount;
+    out.hash = header.contentHash;
+    out.recs.resize(header.recordCount);
+    if (payload > 0)
+        std::memcpy(out.recs.data(), data + sizeof(header), payload);
+
+    std::string why;
+    if (!out.verify(&why)) {
+        out = TraceSnapshot{};
+        return refuse(error, "corrupt snapshot payload: " + why);
+    }
+    if (!out.validate(&why)) {
+        out = TraceSnapshot{};
+        return refuse(error, "structurally invalid snapshot: " + why);
+    }
+    return true;
+}
+
+void
+TraceSnapshot::corruptBitForTesting(size_t bitIndex)
+{
+    panic_if(recs.empty(), "cannot corrupt an empty snapshot");
+    size_t byte = (bitIndex / 8) % (recs.size() * sizeof(ControlRecord));
+    uint8_t *bytes = reinterpret_cast<uint8_t *>(recs.data());
+    bytes[byte] = static_cast<uint8_t>(bytes[byte] ^ (1u << (bitIndex % 8)));
 }
 
 } // namespace specfetch

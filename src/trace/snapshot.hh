@@ -62,6 +62,10 @@ class TraceSnapshot
         uint8_t cls = 0;
         /** Dynamic direction (always 1 for unconditional control). */
         uint8_t taken = 0;
+        /** Explicit (always-zero) padding so the packed bytes are
+         *  fully defined and content hashing/serialization can treat
+         *  records as raw memory. */
+        uint16_t pad = 0;
     };
     static_assert(sizeof(ControlRecord) == 16,
                   "records are packed for cache-friendly replay");
@@ -72,6 +76,11 @@ class TraceSnapshot
     /** Longest plain run one record may carry before chunking. */
     static constexpr uint32_t kMaxPlainRun =
         std::numeric_limits<uint32_t>::max();
+
+    /** Serialized-form magic: 'SFSN' little-endian. */
+    static constexpr uint32_t kMagic = 0x4E534653;
+    /** Bump when the serialized layout changes incompatibly. */
+    static constexpr uint32_t kVersion = 1;
 
     TraceSnapshot() = default;
 
@@ -101,10 +110,63 @@ class TraceSnapshot
 
     const std::vector<ControlRecord> &records() const { return recs; }
 
+    /**
+     * xxhash-style digest of the packed stream (plus start PC and
+     * instruction count), computed once by record(). A replayer that
+     * re-derives the digest and compares against this detects any
+     * in-memory bit flip of the shared snapshot.
+     */
+    uint64_t contentHash() const { return hash; }
+
+    /**
+     * Recompute the content digest and compare with the one record()
+     * stored. Returns false — never panics — on mismatch, naming the
+     * expected/actual digests in @p error; the guarded sweep then
+     * falls back to live execution instead of replaying garbage.
+     */
+    bool verify(std::string *error = nullptr) const;
+
+    /**
+     * Structural sanity independent of the digest: every record's
+     * class is a valid wire class or kRunOnly, and the per-record
+     * populations add up to instructionCount(). Catches logic bugs
+     * that a correctly-rehashed mutation would not.
+     */
+    bool validate(std::string *error = nullptr) const;
+
+    /**
+     * Append the versioned serialized form to @p out: a header
+     * (magic, version, start PC, instruction count, record count,
+     * content digest) followed by the packed records. The digest
+     * covers the payload, so deserialize() refuses bit flips.
+     */
+    void serialize(std::vector<uint8_t> &out) const;
+
+    /**
+     * Parse a serialized snapshot. Refuses — returns false with a
+     * reason in @p error, never crashes — truncated input, wrong
+     * magic, unsupported versions, and payloads whose digest does not
+     * match the header.
+     */
+    static bool deserialize(const uint8_t *data, size_t size,
+                            TraceSnapshot &out,
+                            std::string *error = nullptr);
+
+    /**
+     * Fault-injection hook: flip one bit of the packed stream so
+     * integrity checking can be exercised deterministically. Panics
+     * on an empty snapshot. Testing only — a production snapshot is
+     * immutable after record().
+     */
+    void corruptBitForTesting(size_t bitIndex);
+
   private:
+    uint64_t computeHash() const;
+
     std::vector<ControlRecord> recs;
     Addr start = 0;
     uint64_t count = 0;
+    uint64_t hash = 0;
 };
 
 /**

@@ -1,0 +1,122 @@
+#include "util/checksum.hh"
+
+#include <array>
+#include <cstring>
+
+namespace specfetch {
+
+namespace {
+
+/** Reflected CRC-32 table for polynomial 0xEDB88320, built once. */
+std::array<uint32_t, 256>
+buildCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+uint64_t
+rotl64(uint64_t value, unsigned bits)
+{
+    return (value << bits) | (value >> (64 - bits));
+}
+
+/** Final avalanche (xxhash64's finalizer constants). */
+uint64_t
+avalanche(uint64_t h)
+{
+    h ^= h >> 33;
+    h *= 0xC2B2AE3D27D4EB4Full;
+    h ^= h >> 29;
+    h *= 0x165667B19E3779F9ull;
+    h ^= h >> 32;
+    return h;
+}
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ull;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ull;
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t size)
+{
+    static const std::array<uint32_t, 256> table = buildCrcTable();
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    uint32_t crc = 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t
+crc32(const std::string &text)
+{
+    return crc32(text.data(), text.size());
+}
+
+uint64_t
+hash64(const void *data, size_t size, uint64_t seed)
+{
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    uint64_t h = seed ^ (kPrime1 + static_cast<uint64_t>(size));
+
+    size_t i = 0;
+    for (; i + 8 <= size; i += 8) {
+        uint64_t lane;
+        std::memcpy(&lane, bytes + i, 8);
+        h = rotl64(h ^ (rotl64(lane * kPrime2, 31) * kPrime1), 27);
+        h = h * kPrime1 + kPrime3;
+    }
+    for (; i < size; ++i) {
+        h = rotl64(h ^ (bytes[i] * kPrime1), 11) * kPrime2;
+    }
+    return avalanche(h);
+}
+
+uint64_t
+hash64(const std::string &text, uint64_t seed)
+{
+    return hash64(text.data(), text.size(), seed);
+}
+
+std::string
+crcHex(uint32_t crc)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(8, '0');
+    for (int i = 7; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = digits[crc & 0xFu];
+        crc >>= 4;
+    }
+    return out;
+}
+
+bool
+parseCrcHex(const std::string &text, uint32_t &out)
+{
+    if (text.size() != 8)
+        return false;
+    uint32_t value = 0;
+    for (char c : text) {
+        uint32_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<uint32_t>(c - 'a') + 10;
+        else
+            return false;
+        value = (value << 4) | digit;
+    }
+    out = value;
+    return true;
+}
+
+} // namespace specfetch

@@ -24,6 +24,9 @@ levelTag(Logger::Level level)
 Logger defaultLogger;
 Logger *currentLogger = &defaultLogger;
 
+/** Nesting depth of ScopedThrowOnError on this thread. */
+thread_local unsigned throwOnErrorDepth = 0;
+
 } // namespace
 
 void
@@ -44,6 +47,22 @@ Logger::exchange(Logger *logger)
     Logger *previous = currentLogger;
     currentLogger = logger ? logger : &defaultLogger;
     return previous;
+}
+
+ScopedThrowOnError::ScopedThrowOnError()
+{
+    ++throwOnErrorDepth;
+}
+
+ScopedThrowOnError::~ScopedThrowOnError()
+{
+    --throwOnErrorDepth;
+}
+
+bool
+ScopedThrowOnError::active()
+{
+    return throwOnErrorDepth > 0;
 }
 
 namespace detail {
@@ -80,8 +99,10 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    Logger::global().emit(Logger::Level::Panic,
-                          format("%s:%d: %s", file, line, msg.c_str()));
+    std::string where = format("%s:%d: %s", file, line, msg.c_str());
+    Logger::global().emit(Logger::Level::Panic, where);
+    if (ScopedThrowOnError::active())
+        throw SimulationError(Logger::Level::Panic, where);
     std::abort();
 }
 
@@ -92,8 +113,10 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    Logger::global().emit(Logger::Level::Fatal,
-                          format("%s:%d: %s", file, line, msg.c_str()));
+    std::string where = format("%s:%d: %s", file, line, msg.c_str());
+    Logger::global().emit(Logger::Level::Fatal, where);
+    if (ScopedThrowOnError::active())
+        throw SimulationError(Logger::Level::Fatal, where);
     std::exit(1);
 }
 

@@ -18,6 +18,7 @@
 #define SPECFETCH_UTIL_LOGGING_HH_
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace specfetch {
@@ -41,6 +42,47 @@ class Logger
      * output). Returns the previous logger so callers can restore it.
      */
     static Logger *exchange(Logger *logger);
+};
+
+/**
+ * What panic()/fatal() raise inside a ScopedThrowOnError region
+ * instead of terminating the process. Carries the severity so a guard
+ * can distinguish simulator bugs (Panic) from user errors (Fatal)
+ * when deciding whether a retry is worthwhile.
+ */
+class SimulationError : public std::runtime_error
+{
+  public:
+    SimulationError(Logger::Level level, const std::string &message)
+        : std::runtime_error(message), errorLevel(level)
+    {
+    }
+
+    Logger::Level level() const { return errorLevel; }
+
+  private:
+    Logger::Level errorLevel;
+};
+
+/**
+ * While alive on a thread, panic() and fatal() on that thread throw
+ * SimulationError (after emitting their message) instead of calling
+ * abort()/exit(). The fault-tolerant sweep wraps each run in one so a
+ * failing run unwinds to the per-run guard rather than killing the
+ * whole grid. Nests safely; the default process-killing behaviour is
+ * restored when the outermost scope ends.
+ */
+class ScopedThrowOnError
+{
+  public:
+    ScopedThrowOnError();
+    ~ScopedThrowOnError();
+
+    ScopedThrowOnError(const ScopedThrowOnError &) = delete;
+    ScopedThrowOnError &operator=(const ScopedThrowOnError &) = delete;
+
+    /** True when the calling thread is inside any such scope. */
+    static bool active();
 };
 
 namespace detail {

@@ -68,6 +68,21 @@ formatWithCommas(uint64_t value)
     return std::string(out.rbegin(), out.rend());
 }
 
+std::string
+hexString(uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    if (value == 0)
+        return "0x0";
+    std::string out;
+    while (value != 0) {
+        out.push_back(digits[value & 0xFu]);
+        value >>= 4;
+    }
+    out += "x0";
+    return std::string(out.rbegin(), out.rend());
+}
+
 namespace {
 
 bool

@@ -28,6 +28,9 @@ std::string formatFixed(double value, int decimals);
 /** Thousands-separated integer rendering, e.g. 1,234,567. */
 std::string formatWithCommas(uint64_t value);
 
+/** Lowercase hex rendering with 0x prefix, e.g. 0x1a2b. */
+std::string hexString(uint64_t value);
+
 /** Parse a non-negative integer with optional K/M/G suffix (powers of two
  *  for K meaning 1024? No: K/M/G here are decimal multipliers ×1e3/1e6/1e9
  *  for instruction counts, and the dedicated parseSize uses binary units).

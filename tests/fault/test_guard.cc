@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Guard-layer tests: watchdog arming/expiry semantics, the backoff
+ * curve, and the ScopedThrowOnError boundary that turns panic/fatal
+ * into catchable SimulationError inside guarded runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/guard.hh"
+#include "util/logging.hh"
+
+using namespace specfetch;
+
+TEST(Watchdog, UnarmedPollIsANoOp)
+{
+    EXPECT_FALSE(Watchdog::armed());
+    EXPECT_NO_THROW(Watchdog::poll(1'000'000'000));
+}
+
+TEST(Watchdog, ArmsForScopeOnly)
+{
+    {
+        Watchdog watchdog(/*wallSeconds=*/60.0, /*ceiling=*/0);
+        EXPECT_TRUE(Watchdog::armed());
+    }
+    EXPECT_FALSE(Watchdog::armed());
+}
+
+TEST(Watchdog, InstructionCeilingTrips)
+{
+    Watchdog watchdog(/*wallSeconds=*/0.0, /*ceiling=*/1000);
+    EXPECT_NO_THROW(Watchdog::poll(1000));
+    EXPECT_THROW(Watchdog::poll(1001), RunTimeout);
+}
+
+TEST(Watchdog, GenerousDeadlineDoesNotTrip)
+{
+    Watchdog watchdog(/*wallSeconds=*/3600.0, /*ceiling=*/0);
+    EXPECT_NO_THROW(Watchdog::poll(0));
+}
+
+TEST(Watchdog, ExpireImmediatelyTripsTheFirstPoll)
+{
+    Watchdog watchdog(/*wallSeconds=*/0.0, /*ceiling=*/0,
+                      /*expireImmediately=*/true);
+    EXPECT_THROW(Watchdog::poll(0), RunTimeout);
+}
+
+TEST(Watchdog, NoLimitsNeverTrips)
+{
+    Watchdog watchdog(/*wallSeconds=*/0.0, /*ceiling=*/0);
+    EXPECT_NO_THROW(Watchdog::poll(UINT64_MAX));
+}
+
+TEST(Watchdog, DisarmsAfterAnExpiryUnwind)
+{
+    // The RAII unwind after a RunTimeout must leave the thread clean
+    // for the retry attempt.
+    try {
+        Watchdog watchdog(0.0, 0, /*expireImmediately=*/true);
+        Watchdog::poll(0);
+        FAIL() << "poll should have thrown";
+    } catch (const RunTimeout &) {
+    }
+    EXPECT_FALSE(Watchdog::armed());
+    Watchdog again(0.0, 100);
+    EXPECT_NO_THROW(Watchdog::poll(50));
+}
+
+TEST(Backoff, FirstAttemptHasNoDelay)
+{
+    EXPECT_EQ(backoffSeconds(1, 0.05), 0.0);
+}
+
+TEST(Backoff, DoublesPerAttempt)
+{
+    EXPECT_DOUBLE_EQ(backoffSeconds(2, 0.05), 0.05);
+    EXPECT_DOUBLE_EQ(backoffSeconds(3, 0.05), 0.10);
+    EXPECT_DOUBLE_EQ(backoffSeconds(4, 0.05), 0.20);
+}
+
+TEST(Backoff, CappedAtThirtySeconds)
+{
+    EXPECT_DOUBLE_EQ(backoffSeconds(64, 1.0), 30.0);
+}
+
+TEST(Backoff, NonPositiveBaseMeansNoDelay)
+{
+    EXPECT_EQ(backoffSeconds(5, 0.0), 0.0);
+    EXPECT_EQ(backoffSeconds(5, -1.0), 0.0);
+}
+
+TEST(ThrowOnError, PanicThrowsInsideTheBoundary)
+{
+    ScopedThrowOnError boundary;
+    EXPECT_TRUE(ScopedThrowOnError::active());
+    EXPECT_THROW(panic("guarded panic %d", 7), SimulationError);
+    try {
+        panic("guarded panic with detail");
+    } catch (const SimulationError &e) {
+        EXPECT_NE(std::string(e.what()).find("guarded panic with detail"),
+                  std::string::npos);
+    }
+}
+
+TEST(ThrowOnError, FatalThrowsInsideTheBoundary)
+{
+    ScopedThrowOnError boundary;
+    EXPECT_THROW(fatal("guarded fatal"), SimulationError);
+}
+
+TEST(ThrowOnError, BoundaryNestsAndExpires)
+{
+    EXPECT_FALSE(ScopedThrowOnError::active());
+    {
+        ScopedThrowOnError outer;
+        {
+            ScopedThrowOnError inner;
+            EXPECT_TRUE(ScopedThrowOnError::active());
+        }
+        // Still active: the outer boundary owns the thread.
+        EXPECT_TRUE(ScopedThrowOnError::active());
+        EXPECT_THROW(panic("still guarded"), SimulationError);
+    }
+    EXPECT_FALSE(ScopedThrowOnError::active());
+}
+
+TEST(ThrowOnError, PanicStillAbortsOutsideTheBoundary)
+{
+    EXPECT_DEATH(panic("unguarded panic"), "unguarded panic");
+}

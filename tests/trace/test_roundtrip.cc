@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/fetch_engine.hh"
+#include "trace/format.hh"
 #include "trace/reader.hh"
 #include "trace/replay_source.hh"
 #include "trace/writer.hh"
@@ -166,14 +167,13 @@ TEST_F(TraceRoundTrip, ReaderRejectsGarbage)
     std::FILE *f = std::fopen(path.c_str(), "wb");
     std::fputs("not a trace file at all, sorry", f);
     std::fclose(f);
-    EXPECT_EXIT({ TraceReader reader(path); },
-                ::testing::ExitedWithCode(1), "not a specfetch trace");
+    EXPECT_THROW({ TraceReader reader(path); }, TraceError);
 }
 
-TEST(TraceDeath, MissingFileIsFatal)
+TEST(TraceDeath, MissingFileThrows)
 {
-    EXPECT_EXIT({ TraceReader reader("/nonexistent/nope.trace"); },
-                ::testing::ExitedWithCode(1), "cannot open");
+    EXPECT_THROW({ TraceReader reader("/nonexistent/nope.trace"); },
+                 TraceError);
 }
 
 TEST(TraceDeath, NonContiguousAppendPanics)

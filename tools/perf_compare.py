@@ -8,23 +8,32 @@ second). The comparison prints a per-stage table of the rate ratio
 current/baseline and flags stages whose throughput dropped by more
 than --tolerance (default 25%).
 
+Damaged inputs degrade instead of crashing: a perf record without a
+usable "stage" or "rate" member is skipped with a warning naming the
+file and line, and a stage present on only one side is reported as a
+warning naming the stage (MISSING / new in the table) — never a
+KeyError. Mismatched measurement settings (different benchmark or
+budget in the two meta records) remain a hard error in both modes:
+the ratio would be meaningless.
+
 By default the exit code is 0 even when stages regressed: CI machines
 are shared and noisy, so the perf-smoke job is warn-only — the table
 and the uploaded BENCH_perf.json artifact are the signal, and a human
 decides whether a flagged drop is real. --strict turns flagged
 regressions into exit code 1 for local A/B runs on quiet machines.
 
-Mismatched measurement settings (different benchmark or budget in the
-two meta records) are a hard error in both modes: the ratio would be
-meaningless.
-
 Usage:
     tools/perf_compare.py BASELINE CURRENT [--tolerance 0.25] [--strict]
+    tools/perf_compare.py --self-test
 """
 
 import argparse
 import json
 import sys
+
+
+def warn(message):
+    print(f"warning: {message}", file=sys.stderr)
 
 
 def load_perf(path):
@@ -44,36 +53,33 @@ def load_perf(path):
             if kind == "perf_meta":
                 meta = record
             elif kind == "perf":
-                stages[record["stage"]] = record
+                stage = record.get("stage")
+                rate = record.get("rate")
+                if not isinstance(stage, str) or stage == "":
+                    warn(f"{path}:{lineno}: perf record without a "
+                         f"usable 'stage'; skipping it")
+                    continue
+                if not isinstance(rate, (int, float)) \
+                        or isinstance(rate, bool):
+                    warn(f"{path}:{lineno}: stage '{stage}' has no "
+                         f"numeric 'rate'; skipping it")
+                    continue
+                stages[stage] = record
     if meta is None:
         raise SystemExit(f"{path}: no perf_meta record found")
     if not stages:
-        raise SystemExit(f"{path}: no perf records found")
+        raise SystemExit(f"{path}: no usable perf records found")
     return meta, stages
 
 
-def main(argv=None):
-    parser = argparse.ArgumentParser(
-        description="Compare perf_microbench output against a baseline")
-    parser.add_argument("baseline", help="baseline perf JSONL")
-    parser.add_argument("current", help="current perf JSONL")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="flag throughput drops beyond this fraction "
-                             "(default 0.25)")
-    parser.add_argument("--strict", action="store_true",
-                        help="exit 1 when any stage is flagged "
-                             "(default: warn only)")
-    args = parser.parse_args(argv)
-
-    base_meta, base = load_perf(args.baseline)
-    cur_meta, cur = load_perf(args.current)
-
+def compare(base_meta, base, cur_meta, cur, baseline_name, current_name,
+            tolerance, strict):
     for key in ("benchmark", "budget"):
         if base_meta.get(key) != cur_meta.get(key):
             raise SystemExit(
                 f"error: measurement settings differ: {key} is "
-                f"{base_meta.get(key)!r} in {args.baseline} but "
-                f"{cur_meta.get(key)!r} in {args.current}")
+                f"{base_meta.get(key)!r} in {baseline_name} but "
+                f"{cur_meta.get(key)!r} in {current_name}")
 
     flagged = []
     print(f"{'stage':<16} {'baseline/s':>14} {'current/s':>14} "
@@ -81,6 +87,8 @@ def main(argv=None):
     for stage in base:
         if stage not in cur:
             flagged.append(stage)
+            warn(f"stage '{stage}' is in {baseline_name} but missing "
+                 f"from {current_name}")
             print(f"{stage:<16} {base[stage]['rate']:>14.0f} "
                   f"{'MISSING':>14} {'-':>7}")
             continue
@@ -88,23 +96,156 @@ def main(argv=None):
         cur_rate = cur[stage]["rate"]
         ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
         mark = ""
-        if ratio < 1.0 - args.tolerance:
+        if ratio < 1.0 - tolerance:
             flagged.append(stage)
             mark = "  << regressed"
         print(f"{stage:<16} {base_rate:>14.0f} {cur_rate:>14.0f} "
               f"{ratio:>7.2f}{mark}")
     for stage in cur:
         if stage not in base:
+            warn(f"stage '{stage}' is new in {current_name} (not in "
+                 f"{baseline_name})")
             print(f"{stage:<16} {'(new)':>14} {cur[stage]['rate']:>14.0f} "
                   f"{'-':>7}")
 
     if flagged:
         drops = ", ".join(flagged)
-        print(f"warning: throughput dropped >"
-              f"{args.tolerance:.0%} on: {drops}", file=sys.stderr)
-        if args.strict:
+        warn(f"throughput dropped >{tolerance:.0%} or stage missing "
+             f"on: {drops}")
+        if strict:
             return 1
     return 0
+
+
+def self_test():
+    """Exercise the degradation paths without external fixtures."""
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    def write_jsonl(directory, name, records):
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        return path
+
+    meta = {"record": "perf_meta", "benchmark": "gcc", "budget": 1000}
+    failures = []
+
+    def check(label, condition):
+        status = "ok" if condition else "FAIL"
+        print(f"  [{status}] {label}")
+        if not condition:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. Records without stage/rate are skipped with a warning,
+        #    not a KeyError.
+        path = write_jsonl(tmp, "damaged.json", [
+            meta,
+            {"record": "perf", "rate": 5.0},
+            {"record": "perf", "stage": "no_rate"},
+            {"record": "perf", "stage": "bool_rate", "rate": True},
+            {"record": "perf", "stage": "good", "rate": 100.0},
+        ])
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            _, stages = load_perf(path)
+        check("damaged records skipped", set(stages) == {"good"})
+        check("skip warnings name the problem",
+              "usable 'stage'" in err.getvalue()
+              and "no_rate" in err.getvalue()
+              and "bool_rate" in err.getvalue())
+
+        # 2. A stage missing from one side warns by name and flags.
+        base = {"a": {"stage": "a", "rate": 100.0},
+                "gone": {"stage": "gone", "rate": 50.0}}
+        cur = {"a": {"stage": "a", "rate": 100.0},
+               "fresh": {"stage": "fresh", "rate": 10.0}}
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = compare(meta, base, meta, cur, "base", "cur",
+                           0.25, False)
+        check("missing stage is warn-only by default", code == 0)
+        check("missing stage named in warning",
+              "'gone'" in err.getvalue() and "missing" in err.getvalue())
+        check("new stage named in warning", "'fresh'" in err.getvalue())
+        check("missing stage rendered in table",
+              "MISSING" in out.getvalue())
+
+        # 3. --strict turns the same situation into exit 1.
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = compare(meta, base, meta, cur, "base", "cur",
+                           0.25, True)
+        check("missing stage fails under --strict", code == 1)
+
+        # 4. Regression math: a 50% drop is flagged, a 10% drop is not
+        #    at the default tolerance.
+        base = {"x": {"stage": "x", "rate": 100.0},
+                "y": {"stage": "y", "rate": 100.0}}
+        cur = {"x": {"stage": "x", "rate": 50.0},
+               "y": {"stage": "y", "rate": 90.0}}
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = compare(meta, base, meta, cur, "base", "cur",
+                           0.25, True)
+        check("50% drop flagged strictly", code == 1)
+        check("regression marked in table",
+              "<< regressed" in out.getvalue())
+        check("10% drop not flagged", "y" not in err.getvalue())
+
+        # 5. Mismatched measurement settings stay a hard error.
+        other_meta = dict(meta, budget=2000)
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                compare(meta, base, other_meta, cur, "base", "cur",
+                        0.25, False)
+            check("meta mismatch raises", False)
+        except SystemExit as err:
+            check("meta mismatch raises",
+                  "budget" in str(err))
+
+    if failures:
+        print(f"self-test: {len(failures)} check(s) failed",
+              file=sys.stderr)
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compare perf_microbench output against a baseline")
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline perf JSONL")
+    parser.add_argument("current", nargs="?",
+                        help="current perf JSONL")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="flag throughput drops beyond this fraction "
+                             "(default 0.25)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any stage is flagged "
+                             "(default: warn only)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit tests and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("BASELINE and CURRENT are required "
+                     "(or use --self-test)")
+
+    base_meta, base = load_perf(args.baseline)
+    cur_meta, cur = load_perf(args.current)
+    return compare(base_meta, base, cur_meta, cur, args.baseline,
+                   args.current, args.tolerance, args.strict)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@
 #define SPECFETCH_BENCH_BENCH_MAIN_HH_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,8 +33,12 @@
 #include "core/simulator.hh"
 #include "core/sweep.hh"
 #include "fault/injector.hh"
+#include "obs/obs_record.hh"
+#include "obs/progress.hh"
+#include "obs/trace_event.hh"
 #include "report/record.hh"
 #include "report/report.hh"
+#include "util/logging.hh"
 #include "util/options.hh"
 
 namespace specfetch {
@@ -84,6 +89,26 @@ class BenchMain
         opts.addString("fault-inject", "",
                        "fault-injection spec, e.g. throw@5x2,crash@9 "
                        "(default honours SPECFETCH_FAULT_INJECT)");
+        opts.addCount("sample-interval", 0,
+                      "emit one timeseries epoch every N retired "
+                      "instructions (0 = off; needs --json)");
+        opts.addFlag("heatmap",
+                     "emit the per-set icache occupancy/conflict "
+                     "heatmap record per run (needs --json)");
+        opts.addString("trace-out", "",
+                       "write Chrome trace-event spans (Perfetto/"
+                       "about:tracing) to this JSON path");
+        opts.addFlag("progress",
+                     "heartbeat sweep progress (completed/retried/"
+                     "quarantined, ETA) on stderr");
+        opts.addString("progress-file", "",
+                       "append schema-v1 progress rows to this JSONL "
+                       "path");
+        opts.addDouble("progress-interval", 2.0,
+                       "progress heartbeat period in seconds");
+        opts.addFlag("list-stats",
+                     "list every exportable statistic (name + "
+                     "description) and exit");
         if (!opts.parse(argc, argv)) {
             parseFailed = !wantedHelp(argc, argv);
             return false;
@@ -179,6 +204,44 @@ class BenchMain
                 return false;
             }
         }
+        if (opts.getFlag("list-stats")) {
+            listStats();
+            return false;    // exit 0, like --help
+        }
+        sampleInterval = opts.getCount("sample-interval");
+        heatmap = opts.getFlag("heatmap");
+        if ((sampleInterval > 0 || heatmap) && !ledgerPath.empty()) {
+            // The ledger journals exactly one record per run key and
+            // resume replays it verbatim; side-channel timeseries/
+            // heatmap rows would not survive a resume byte-identically.
+            std::fprintf(stderr,
+                         "error: --sample-interval/--heatmap cannot be "
+                         "combined with --ledger (observation rows are "
+                         "not journaled; a resumed sweep would drop "
+                         "them)\n");
+            parseFailed = true;
+            return false;
+        }
+        progressInterval = opts.getDouble("progress-interval");
+        if (progressInterval <= 0.0) {
+            std::fprintf(stderr,
+                         "error: --progress-interval must be positive "
+                         "seconds (got %g)\n",
+                         progressInterval);
+            parseFailed = true;
+            return false;
+        }
+        progress = opts.getFlag("progress");
+        progressFile = opts.getString("progress-file");
+        benchName = name;
+        traceOut = opts.getString("trace-out");
+        if (!traceOut.empty()) {
+            TraceEventSink::global().open(traceOut);
+            // Flushed via atexit so spans from every sweep the harness
+            // runs land in one document (static-destructor order would
+            // be fragile here).
+            std::atexit([] { TraceEventSink::global().close(); });
+        }
         return true;
     }
 
@@ -237,6 +300,85 @@ class BenchMain
         }
     }
 
+    /** Print every exportable stat (the sampler/export surface). */
+    static void
+    listStats()
+    {
+        SimResults sample;
+        std::printf("%-28s %s\n", "stat", "description");
+        sample.visitStats([](const std::string &name,
+                             const std::string &description,
+                             bool isCounter) {
+            std::printf("%-28s %s%s\n", name.c_str(),
+                        description.c_str(),
+                        isCounter ? "" : " [derived]");
+        });
+    }
+
+    /** True when any per-run collector (src/obs) is armed. */
+    bool observing() const { return sampleInterval > 0 || heatmap; }
+
+    /** Arm the requested collectors on every spec of a sweep. */
+    void
+    applyObsConfig(std::vector<RunSpec> &specs) const
+    {
+        if (!observing())
+            return;
+        for (RunSpec &spec : specs) {
+            spec.config.sampleInterval = sampleInterval;
+            spec.config.setHeatmap = heatmap;
+        }
+    }
+
+    /** Start the heartbeat over a sweep of @p totalRuns (no-op unless
+     *  --progress/--progress-file was given). */
+    void
+    beginProgress(uint64_t totalRuns) const
+    {
+        if (!progress && progressFile.empty())
+            return;
+        ProgressReporter::Options options;
+        options.toStderr = progress;
+        options.filePath = progressFile;
+        options.intervalSeconds = progressInterval;
+        ProgressReporter::global().begin(options, totalRuns, benchName);
+    }
+
+    void
+    endProgress() const
+    {
+        ProgressReporter::global().end();
+    }
+
+    /**
+     * Export the observation rows of a sweep (timeseries + heatmap
+     * records, JSONL only — their arrays have no sensible CSV form).
+     */
+    void
+    emitObservations(const std::vector<RunSpec> &specs,
+                     const std::vector<SimResults> &results,
+                     const std::vector<RunObservations> &observations)
+    {
+        if (observations.empty())
+            return;
+        if (!json) {
+            warn("--sample-interval/--heatmap produce JSONL records; "
+                 "give --json to keep them");
+            return;
+        }
+        for (size_t i = 0; i < observations.size(); ++i) {
+            const RunObservations &obs = observations[i];
+            if (!obs.epochs.empty()) {
+                json->write(makeTimeseriesRecord(obs, results[i],
+                                                 specs[i].config));
+            }
+            if (obs.heatmap) {
+                json->write(makeHeatmapRecord(*obs.heatmap, results[i],
+                                              specs[i].config));
+            }
+        }
+    }
+
     uint64_t budget = kDefaultBudget;
     unsigned parallelism = 0;
     CheckLevel checkLevel = CheckLevel::Off;
@@ -250,6 +392,16 @@ class BenchMain
     double runTimeoutSeconds = 0.0;
     FaultInjector injector;
     /** @} */
+    /** @name Observability options (DESIGN.md §11) @{ */
+    uint64_t sampleInterval = 0;
+    bool heatmap = false;
+    std::string traceOut;
+    bool progress = false;
+    std::string progressFile;
+    double progressInterval = 2.0;
+    /** @} */
+    /** Harness name (progress label). */
+    std::string benchName;
 
   private:
     static bool
@@ -292,10 +444,16 @@ runSweepReported(const std::vector<RunSpec> &specs)
         for (RunSpec &spec : audited)
             spec.config.checkLevel = bm.checkLevel;
     }
+    bm.applyObsConfig(audited);
+    bm.beginProgress(audited.size());
     SweepTiming timing;
+    std::vector<RunObservations> observations;
     std::vector<SimResults> results =
-        runSweep(audited, bm.parallelism, &timing);
+        runSweep(audited, bm.parallelism, &timing,
+                 bm.observing() ? &observations : nullptr);
+    bm.endProgress();
     bm.emitSweep(audited, results, timing);
+    bm.emitObservations(audited, results, observations);
     return results;
 }
 

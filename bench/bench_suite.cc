@@ -59,7 +59,9 @@ runLedgered(const std::vector<RunSpec> &specs,
         " --resume --budget=" + std::to_string(benchMain().budget);
     options.rerunCommand = [rerun](size_t) { return rerun; };
 
+    benchMain().beginProgress(specs.size());
     ResilientSweepResult sweep = runResilientSweep(specs, options);
+    benchMain().endProgress();
 
     for (size_t i = 0; i < specs.size(); ++i) {
         if (sweep.completed[i])
@@ -161,9 +163,14 @@ main(int argc, char **argv)
              "directives are ignored in the unguarded path");
     }
 
+    benchMain().applyObsConfig(specs);
+    benchMain().beginProgress(specs.size());
     SweepTiming timing;
+    std::vector<RunObservations> observations;
     std::vector<SimResults> results =
-        runSweep(specs, benchMain().parallelism, &timing);
+        runSweep(specs, benchMain().parallelism, &timing,
+                 benchMain().observing() ? &observations : nullptr);
+    benchMain().endProgress();
 
     for (size_t i = 0; i < specs.size(); ++i) {
         RunTiming rt;
@@ -175,6 +182,7 @@ main(int argc, char **argv)
         benchMain().emit(makeRunRecord(results[i], specs[i].config, &rt,
                                        &classifications[profileIndex]));
     }
+    benchMain().emitObservations(specs, results, observations);
 
     // Human-readable digest: suite-average ISPI per (policy, prefetch).
     TextTable table;

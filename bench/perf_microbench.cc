@@ -115,6 +115,10 @@ main(int argc, char **argv)
     opts.addCount("repeats", 3, "timed repetitions per stage (min kept)");
     opts.addString("benchmark", "gcc", "workload profile to measure");
     opts.addString("json", "", "append schema-v1 perf records to this path");
+    opts.addCount("sample-interval", 0,
+                  "arm the interval sampler on the simulation stages "
+                  "(0 = off; measures its overhead, see "
+                  "tools/perf_compare.py --overhead)");
     if (!opts.parse(argc, argv))
         return 1;
 
@@ -122,6 +126,7 @@ main(int argc, char **argv)
     const unsigned repeats = static_cast<unsigned>(
         std::max<uint64_t>(1, opts.getCount("repeats")));
     const std::string benchmark = opts.getString("benchmark");
+    const uint64_t sampleInterval = opts.getCount("sample-interval");
 
     // Open the sink before spending minutes measuring.
     std::unique_ptr<JsonlWriter> writer;
@@ -137,6 +142,10 @@ main(int argc, char **argv)
     const Workload &workload = *sharedWorkload(benchmark);
     SimConfig base;
     base.instructionBudget = budget;
+    // Arms the sampler on sim_live/sim_replay/grid only; the epochs
+    // are collected and dropped — this harness measures cost, not
+    // content.
+    base.sampleInterval = sampleInterval;
 
     std::vector<StageResult> results;
 
@@ -257,6 +266,10 @@ main(int argc, char **argv)
         meta.set("benchmark", JsonValue::string(benchmark));
         meta.set("budget", JsonValue::integer(budget));
         meta.set("repeats", JsonValue::integer(repeats));
+        // Kept conditional so baselines measured without the sampler
+        // keep their historical shape.
+        if (sampleInterval > 0)
+            meta.set("sample_interval", JsonValue::integer(sampleInterval));
         writer->write(meta);
         for (const StageResult &r : results)
             writer->write(toRecord(r));

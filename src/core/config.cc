@@ -29,6 +29,10 @@ SimConfig::describe() const
         out += ", victim " + std::to_string(victimEntries);
     if (checkLevel != CheckLevel::Off)
         out += ", check " + specfetch::toString(checkLevel);
+    if (sampleInterval > 0)
+        out += ", sample " + std::to_string(sampleInterval);
+    if (setHeatmap)
+        out += ", heatmap";
     return out;
 }
 

@@ -111,6 +111,14 @@ struct SimConfig
     uint64_t checkpointInterval = 100'000;
     /** @} */
 
+    /** @name Observability (src/obs; never affects results) @{ */
+    /** Interval-sampler epoch length in retired correct-path
+     *  instructions (0 = sampling off). */
+    uint64_t sampleInterval = 0;
+    /** Collect the per-set occupancy/conflict heatmap. */
+    bool setHeatmap = false;
+    /** @} */
+
     /** @name Slot-unit conversions (4 slots = 1 cycle at width 4) @{ */
     Slot decodeSlots() const { return Slot(decodeCycles) * issueWidth; }
     Slot resolveSlots() const { return Slot(resolveCycles) * issueWidth; }

@@ -4,6 +4,8 @@
 
 #include "check/invariant.hh"
 #include "fault/guard.hh"
+#include "obs/interval_sampler.hh"
+#include "obs/trace_event.hh"
 #include "trace/snapshot.hh"
 #include "util/logging.hh"
 
@@ -33,7 +35,12 @@ FetchEngine::FetchEngine(const SimConfig &_config, const ProgramImage &_image)
         auditor = std::make_unique<InvariantAuditor>(
             InvariantAuditor::standard(config.checkLevel));
     }
+    if (config.sampleInterval > 0)
+        sampler = std::make_unique<IntervalSampler>(config.sampleInterval);
+    if (config.setHeatmap)
+        heatmap = std::make_unique<SetHeatmap>(config.icache);
     walker.setStats(&stats);
+    walker.setHeatmap(heatmap.get());
     walker.setVictim(config.victimEntries > 0 ? &victimCache : nullptr,
                      Slot(config.victimHitCycles) * config.issueWidth);
 }
@@ -66,7 +73,20 @@ FetchEngine::reset()
     prefetchBaseline = prefetcher.issuedCount();
     statsBaseSlot = now;
     busBaseline = bus.transactions.value();
+    if (heatmap)
+        heatmap->reset();
     walker.setStats(&stats);
+}
+
+void
+FetchEngine::takeObservations(RunObservations &out)
+{
+    if (sampler) {
+        out.epochs = sampler->takeEpochs();
+        out.sampleInterval = sampler->interval();
+    }
+    out.heatmap = std::move(heatmap);
+    walker.setHeatmap(nullptr);
 }
 
 void
@@ -82,6 +102,9 @@ FetchEngine::resetStats()
     prefetchBaseline = prefetcher.issuedCount();
     statsBaseSlot = now;
     busBaseline = bus.transactions.value();
+    // The heatmap mirrors the post-warmup counters in SimResults.
+    if (heatmap)
+        heatmap->reset();
     walker.setStats(&stats);
 }
 
@@ -90,6 +113,7 @@ FetchEngine::runAudit(bool end_of_run)
 {
     if (!auditor)
         return;
+    TraceSpan span("audit", "check");
 
     AuditContext ctx;
     ctx.config = &config;
@@ -146,6 +170,8 @@ void
 FetchEngine::handleLineAccess(Addr line_addr)
 {
     ++stats.demandAccesses;
+    if (heatmap)
+        heatmap->demandAccess(line_addr);
     bool hit = cache.access(line_addr);
     bool buffer_hit = false;
 
@@ -199,6 +225,8 @@ FetchEngine::handleLineAccess(Addr line_addr)
 
     // A genuine correct-path miss.
     ++stats.demandMisses;
+    if (heatmap)
+        heatmap->demandMiss(line_addr);
     if (observer)
         observer->onCorrectAccess(line_addr, false);
 
@@ -229,7 +257,9 @@ FetchEngine::handleLineAccess(Addr line_addr)
     Slot done = bus.acquire(now, hierarchy.fillSlots(line_addr));
     ++stats.demandFills;
     advanceTo(done, PenaltyKind::RtIcache);
-    cache.insert(line_addr);
+    Eviction evicted = cache.insert(line_addr);
+    if (heatmap)
+        heatmap->correctFill(line_addr, evicted);
 
     // The first fetch from the freshly loaded line can trigger the
     // next-line prefetch (its first-ref bit was just set); a stream
@@ -448,6 +478,15 @@ FetchEngine::runWith(Source &source)
             watchdog_armed ? kWatchdogPollInterval : UINT64_MAX;
     }
 
+    // Interval sampler (src/obs): baseline after the warmup reset so
+    // epochs cover exactly the measured region. Disabled runs take the
+    // same never-taken branch the watchdog does.
+    uint64_t next_sample = UINT64_MAX;
+    if (sampler) {
+        sampler->begin(stats, now, prefetcher.issuedCount());
+        next_sample = sampler->interval();
+    }
+
     // Paranoid mode audits every checkpointInterval retired
     // instructions; cheap mode audits only at end-of-run.
     uint64_t audit_step = 0;
@@ -465,11 +504,20 @@ FetchEngine::runWith(Source &source)
         // virtual-dispatch + decode round-trip per instruction.
         if constexpr (requires(Addr &a) { source.takePlainRun(a, 1u); }) {
             Addr run_pc;
-            uint32_t batch = static_cast<uint32_t>(
-                std::min<uint64_t>(room, UINT32_MAX));
+            // Cap the batch at the next epoch boundary so the sampler
+            // snapshots at exact retired-instruction counts; with
+            // sampling off the cap is UINT64_MAX and never binds.
+            uint64_t cap = std::min<uint64_t>(room, UINT32_MAX);
+            cap = std::min(cap, next_sample - stats.instructions);
+            uint32_t batch = static_cast<uint32_t>(cap);
             uint32_t got = source.takePlainRun(run_pc, batch);
             if (got > 0) {
                 fetchPlainRun(run_pc, got);
+                if (stats.instructions >= next_sample) {
+                    sampler->onBoundary(stats, now,
+                                        prefetcher.issuedCount());
+                    next_sample += sampler->interval();
+                }
                 if (stats.instructions >= next_audit) {
                     runAudit(false);
                     next_audit += audit_step;
@@ -485,6 +533,10 @@ FetchEngine::runWith(Source &source)
         if (!source.next(inst))
             break;
         fetchOne(inst);
+        if (stats.instructions >= next_sample) {
+            sampler->onBoundary(stats, now, prefetcher.issuedCount());
+            next_sample += sampler->interval();
+        }
         if (stats.instructions >= next_audit) {
             runAudit(false);
             next_audit += audit_step;
@@ -497,6 +549,8 @@ FetchEngine::runWith(Source &source)
 
     stats.finalSlot = now;
     stats.prefetchesIssued = prefetcher.issuedCount() - prefetchBaseline;
+    if (sampler)
+        sampler->finish(stats, now, prefetcher.issuedCount());
     runAudit(true);
     return stats;
 }

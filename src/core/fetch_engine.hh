@@ -32,9 +32,12 @@
 #include "isa/program_image.hh"
 #include "workload/executor.hh"
 
+#include "obs/observations.hh"
+
 namespace specfetch {
 
 class InvariantAuditor;
+class IntervalSampler;
 
 /**
  * One simulated front end. Construct per run (state is not reusable
@@ -72,6 +75,13 @@ class FetchEngine
 
     /** Reset all machine state (cache, predictor, clocks, stats). */
     void reset();
+
+    /**
+     * Move whatever the armed collectors gathered (epoch series,
+     * heatmap) out of the engine. Call after run(); a disarmed engine
+     * yields an empty object.
+     */
+    void takeObservations(RunObservations &out);
 
     /** @name Component access for tests @{ */
     const ICache &icache() const { return cache; }
@@ -150,6 +160,10 @@ class FetchEngine
     uint64_t busBaseline = 0;
     /** Non-null iff config.checkLevel != Off. */
     std::unique_ptr<InvariantAuditor> auditor;
+    /** Non-null iff config.sampleInterval > 0 (src/obs). */
+    std::unique_ptr<IntervalSampler> sampler;
+    /** Non-null iff config.setHeatmap (src/obs). */
+    std::unique_ptr<SetHeatmap> heatmap;
     AccessObserver *observer = nullptr;
 };
 

@@ -98,40 +98,47 @@ SimResults::summary() const
     return out;
 }
 
-std::string
-SimResults::statsDump() const
+namespace {
+
+/**
+ * Build the transient stat tree over @p r's raw values and hand it to
+ * @p fn; the counters live on the stack only for the duration of the
+ * call. Shared by statsDump() and visitStats() so the two can never
+ * disagree about what stats exist.
+ */
+template <typename Fn>
+void
+withStatTree(const SimResults &r, Fn &&fn)
 {
-    // Build a transient stat tree over this result's raw values; the
-    // counters live on the stack only for the duration of the dump.
     Counter insts, slots;
-    insts += instructions;
-    slots += static_cast<uint64_t>(finalSlot);
+    insts += r.instructions;
+    slots += static_cast<uint64_t>(r.finalSlot);
 
     Counter control, cond, misfetch, dir_misp, tgt_misp;
-    control += controlInsts;
-    cond += condBranches;
-    misfetch += misfetches;
-    dir_misp += dirMispredicts;
-    tgt_misp += targetMispredicts;
+    control += r.controlInsts;
+    cond += r.condBranches;
+    misfetch += r.misfetches;
+    dir_misp += r.dirMispredicts;
+    tgt_misp += r.targetMispredicts;
 
     Counter d_acc, d_miss, d_fill, b_hits, w_acc, w_miss, w_fill, pf;
-    d_acc += demandAccesses;
-    d_miss += demandMisses;
-    d_fill += demandFills;
-    b_hits += bufferHits;
-    w_acc += wrongAccesses;
-    w_miss += wrongMisses;
-    w_fill += wrongFills;
-    pf += prefetchesIssued;
+    d_acc += r.demandAccesses;
+    d_miss += r.demandMisses;
+    d_fill += r.demandFills;
+    b_hits += r.bufferHits;
+    w_acc += r.wrongAccesses;
+    w_miss += r.wrongMisses;
+    w_fill += r.wrongFills;
+    pf += r.prefetchesIssued;
 
     StatGroup front("frontend");
     front.addCounter("instructions", insts, "correct-path instructions");
     front.addCounter("slots", slots, "total issue slots elapsed");
-    front.addFormula("ispi", [this] { return ispi(); },
+    front.addFormula("ispi", [&r] { return r.ispi(); },
                      "issue slots lost per instruction");
     for (PenaltyKind kind : allPenaltyKinds()) {
         front.addFormula("ispi_" + toString(kind),
-                         [this, kind] { return ispiOf(kind); },
+                         [&r, kind] { return r.ispiOf(kind); },
                          "component ISPI");
     }
 
@@ -144,7 +151,7 @@ SimResults::statsDump() const
     branches.addCounter("target_mispredicts", tgt_misp,
                         "indirect-target mispredicts");
     branches.addFormula("cond_accuracy",
-                        [this] { return condAccuracy(); },
+                        [&r] { return r.condAccuracy(); },
                         "PHT direction accuracy");
 
     StatGroup icache("icache");
@@ -160,12 +167,12 @@ SimResults::statsDump() const
                       "wrong-path misses serviced");
     icache.addCounter("prefetches", pf, "prefetches issued");
     icache.addFormula("miss_rate",
-                      [this] { return missRatePercent() / 100.0; },
+                      [&r] { return r.missRatePercent() / 100.0; },
                       "misses per instruction");
     icache.addFormula("memory_transactions",
-                      [this] {
+                      [&r] {
                           return static_cast<double>(
-                              memoryTransactions());
+                              r.memoryTransactions());
                       },
                       "fills + wrong-path fills + prefetches");
 
@@ -173,7 +180,33 @@ SimResults::statsDump() const
     root.addChild(front);
     root.addChild(branches);
     root.addChild(icache);
-    return root.dump();
+    fn(root);
+}
+
+} // namespace
+
+std::string
+SimResults::statsDump() const
+{
+    std::string out;
+    withStatTree(*this, [&out](const StatGroup &root) {
+        out = root.dump();
+    });
+    return out;
+}
+
+void
+SimResults::visitStats(
+    const std::function<void(const std::string &, const std::string &,
+                             bool)> &fn) const
+{
+    withStatTree(*this, [&fn](const StatGroup &root) {
+        root.visitEntries([&fn](const std::string &qualified,
+                                const Counter *counter, double,
+                                const std::string &description) {
+            fn(qualified, description, counter != nullptr);
+        });
+    });
 }
 
 } // namespace specfetch

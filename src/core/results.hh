@@ -6,6 +6,7 @@
 #ifndef SPECFETCH_CORE_RESULTS_HH_
 #define SPECFETCH_CORE_RESULTS_HH_
 
+#include <functional>
 #include <string>
 
 #include "core/penalty.hh"
@@ -100,6 +101,16 @@ struct SimResults
     /** Full gem5-style stats dump: every counter and derived metric,
      *  one per line, with descriptions. */
     std::string statsDump() const;
+
+    /**
+     * Visit every statistic statsDump() renders, as (dot-qualified
+     * name, description, is_counter) — the discovery surface behind
+     * the bench harnesses' --list-stats.
+     */
+    void visitStats(
+        const std::function<void(const std::string &name,
+                                 const std::string &description,
+                                 bool isCounter)> &fn) const;
 };
 
 /** Exact equality over every raw field (identity, counters, penalty

@@ -28,6 +28,30 @@ runSimulation(const Workload &workload, const SimConfig &config,
 }
 
 SimResults
+runSimulation(const Workload &workload, const SimConfig &config,
+              RunObservations &observations)
+{
+    Executor executor(workload.cfg, config.runSeed);
+    FetchEngine engine(config, workload.image);
+    SimResults results = engine.runWith(executor);
+    engine.takeObservations(observations);
+    results.workload = workload.profile.name;
+    return results;
+}
+
+SimResults
+runSimulation(const Workload &workload, const SimConfig &config,
+              const TraceSnapshot &snapshot, RunObservations &observations)
+{
+    SnapshotReplaySource source(snapshot);
+    FetchEngine engine(config, workload.image);
+    SimResults results = engine.runWith(source);
+    engine.takeObservations(observations);
+    results.workload = workload.profile.name;
+    return results;
+}
+
+SimResults
 runBenchmark(const std::string &benchmark, const SimConfig &config)
 {
     return runSimulation(*sharedWorkload(benchmark), config);

@@ -11,6 +11,7 @@
 
 #include "core/config.hh"
 #include "core/results.hh"
+#include "obs/observations.hh"
 #include "trace/snapshot.hh"
 #include "workload/workload.hh"
 
@@ -35,6 +36,21 @@ SimResults runSimulation(const Workload &workload, const SimConfig &config);
  */
 SimResults runSimulation(const Workload &workload, const SimConfig &config,
                          const TraceSnapshot &snapshot);
+
+/**
+ * @name Observing variants
+ * Identical results to the overloads above; additionally fill
+ * @p observations with whatever collectors the config armed
+ * (sampleInterval > 0 and/or setHeatmap). With no collector armed
+ * @p observations comes back empty. @{
+ */
+SimResults runSimulation(const Workload &workload, const SimConfig &config,
+                         RunObservations &observations);
+
+SimResults runSimulation(const Workload &workload, const SimConfig &config,
+                         const TraceSnapshot &snapshot,
+                         RunObservations &observations);
+/** @} */
 
 /**
  * Convenience: run the named benchmark. The built workload comes from

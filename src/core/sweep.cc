@@ -15,6 +15,8 @@
 #include "core/simulator.hh"
 #include "fault/guard.hh"
 #include "fault/injector.hh"
+#include "obs/progress.hh"
+#include "obs/trace_event.hh"
 #include "trace/snapshot.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
@@ -86,10 +88,13 @@ prepareShared(const std::vector<RunSpec> &specs, unsigned workers,
 
     // Fetch each distinct workload once (process-wide memoized store);
     // runs only read them.
-    for (const RunSpec &spec : specs) {
-        if (!shared.workloads.count(spec.benchmark))
-            shared.workloads[spec.benchmark] =
-                sharedWorkload(spec.benchmark);
+    {
+        TraceSpan span("workload_build", "sweep");
+        for (const RunSpec &spec : specs) {
+            if (!shared.workloads.count(spec.benchmark))
+                shared.workloads[spec.benchmark] =
+                    sharedWorkload(spec.benchmark);
+        }
     }
     if (timing)
         timing->workloadBuildSeconds = secondsSince(sweepStart);
@@ -120,6 +125,7 @@ prepareShared(const std::vector<RunSpec> &specs, unsigned workers,
         toRecord.size());
     parallelFor(toRecord.size(), workers, [&](size_t i) {
         const auto &[key, length] = toRecord[i];
+        TraceSpan span("snapshot_record", "sweep", key.first);
         Executor executor(shared.workloads.at(key.first)->cfg, key.second);
         // lint: allow(loop-alloc) one allocation per distinct stream
         recorded[i] = std::make_shared<const TraceSnapshot>(
@@ -173,6 +179,15 @@ paranoidCrossValidate(const std::vector<RunSpec> &specs,
     }
 }
 
+/** Span argument for one run; empty (no alloc) when tracing is off. */
+std::string
+runSpanDetail(const RunSpec &spec)
+{
+    if (!TraceEventSink::global().enabled())
+        return {};
+    return spec.benchmark + " " + toString(spec.config.policy);
+}
+
 unsigned
 resolveWorkers(unsigned parallelism)
 {
@@ -202,9 +217,14 @@ runOneGuarded(const Workload &workload, const RunSpec &spec,
     GuardedRun out;
     unsigned attempts = std::max(1u, guard.maxAttempts);
     for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
-        if (attempt > 1)
+        if (attempt > 1) {
+            ProgressReporter::global().runRetried();
+            TraceSpan backoff("backoff", "fault", runSpanDetail(spec));
             sleepSeconds(
                 backoffSeconds(attempt, guard.backoffBaseSeconds));
+        }
+        TraceSpan span(attempt == 1 ? "attempt" : "retry", "fault",
+                       runSpanDetail(spec));
         try {
             const FaultInjector *injector = guard.injector;
             if (injector &&
@@ -269,12 +289,16 @@ runOneGuarded(const Workload &workload, const RunSpec &spec,
 
 std::vector<SimResults>
 runSweep(const std::vector<RunSpec> &specs, unsigned parallelism,
-         SweepTiming *timing)
+         SweepTiming *timing, std::vector<RunObservations> *observations)
 {
     SweepClock::time_point sweepStart = SweepClock::now();
     if (timing) {
         *timing = SweepTiming{};
         timing->perRunSeconds.assign(specs.size(), 0.0);
+    }
+    if (observations) {
+        observations->clear();
+        observations->resize(specs.size());
     }
 
     unsigned workers = resolveWorkers(parallelism);
@@ -286,16 +310,26 @@ runSweep(const std::vector<RunSpec> &specs, unsigned parallelism,
     parallelFor(specs.size(), workers, [&](size_t index) {
         const RunSpec &spec = specs[index];
         const Workload &workload = *shared.workloads.at(spec.benchmark);
+        TraceSpan span("simulate", "run", runSpanDetail(spec));
         SweepClock::time_point start = SweepClock::now();
         auto snap = shared.snapshots.find(
             StreamKey{spec.benchmark, spec.config.runSeed});
-        results[index] = snap != shared.snapshots.end()
-            ? runSimulation(workload, spec.config, *snap->second)
-            : runSimulation(workload, spec.config);
-        // Each index is claimed by exactly one worker, so the
-        // per-run slot needs no synchronization.
+        // Each index is claimed by exactly one worker, so the per-run
+        // slots (results, timing, observations) need no
+        // synchronization.
+        if (observations) {
+            RunObservations &obs = (*observations)[index];
+            results[index] = snap != shared.snapshots.end()
+                ? runSimulation(workload, spec.config, *snap->second, obs)
+                : runSimulation(workload, spec.config, obs);
+        } else {
+            results[index] = snap != shared.snapshots.end()
+                ? runSimulation(workload, spec.config, *snap->second)
+                : runSimulation(workload, spec.config);
+        }
         if (timing)
             timing->perRunSeconds[index] = secondsSince(start);
+        ProgressReporter::global().runCompleted();
     });
 
     if (timing) {
@@ -345,8 +379,10 @@ runSweepGuarded(const std::vector<RunSpec> &specs, const SweepGuard &guard,
             outcome.completed[index] = 1;
             if (guard.onRunComplete)
                 guard.onRunComplete(index, outcome.results[index]);
+            ProgressReporter::global().runCompleted();
             return;
         }
+        ProgressReporter::global().runQuarantined();
 
         SweepFailure failure;
         failure.index = index;

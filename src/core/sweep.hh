@@ -14,6 +14,7 @@
 
 #include "core/config.hh"
 #include "core/results.hh"
+#include "obs/observations.hh"
 
 namespace specfetch {
 
@@ -67,10 +68,15 @@ constexpr uint64_t kSweepSnapshotMaxInstructions = 64'000'000;
  * @param parallelism  Worker threads; 0 = hardware concurrency.
  * @param timing       When non-null, filled with per-stage and
  *                     per-spec wall-clock times.
+ * @param observations When non-null, resized to specs.size() and
+ *                     filled with each run's armed-collector output
+ *                     (src/obs), in submission order — identical at
+ *                     any parallelism.
  */
-std::vector<SimResults> runSweep(const std::vector<RunSpec> &specs,
-                                 unsigned parallelism = 0,
-                                 SweepTiming *timing = nullptr);
+std::vector<SimResults>
+runSweep(const std::vector<RunSpec> &specs, unsigned parallelism = 0,
+         SweepTiming *timing = nullptr,
+         std::vector<RunObservations> *observations = nullptr);
 
 /**
  * One quarantined run: the sweep completed without it after

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/set_heatmap.hh"
+
 namespace specfetch {
 
 namespace {
@@ -35,6 +37,8 @@ WrongPathWalker::walk(Addr start_pc, Slot from, Slot window_end,
         if (line != cur_line) {
             if (stats)
                 ++stats->wrongAccesses;
+            if (heatmap)
+                heatmap->wrongAccess(line);
             bool hit = cache.access(line);
 
             if (!hit && resumeBuffer.matches(line)) {
@@ -73,6 +77,8 @@ WrongPathWalker::walk(Addr start_pc, Slot from, Slot window_end,
             if (!hit) {
                 if (stats)
                     ++stats->wrongMisses;
+                if (heatmap)
+                    heatmap->wrongMiss(line);
 
                 // When can this policy start the fill?
                 Slot serviceable = slot;
@@ -119,6 +125,10 @@ WrongPathWalker::walk(Addr start_pc, Slot from, Slot window_end,
                     // never delayed.
                     resumeBuffer.drainIfReady(cache, start);
                     resumeBuffer.set(line, done);
+                    // Buffered fill: the array write (and so the
+                    // eviction) is deferred to a later miss.
+                    if (heatmap)
+                        heatmap->wrongFill(line, nullptr);
                     if (done >= window_end)
                         return window_end;
                     slot = done;
@@ -126,7 +136,9 @@ WrongPathWalker::walk(Addr start_pc, Slot from, Slot window_end,
                     // Blocking fill (Optimistic/Decode): the line is
                     // installed, and if it outlasts the window the
                     // front end is stuck until it arrives.
-                    cache.insert(line);
+                    Eviction evicted = cache.insert(line);
+                    if (heatmap)
+                        heatmap->wrongFill(line, &evicted);
                     if (aggressive_prefetch)
                         prefetcher->onAccess(line, done, fill_slots);
                     if (done >= window_end)

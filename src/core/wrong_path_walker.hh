@@ -38,6 +38,8 @@
 
 namespace specfetch {
 
+class SetHeatmap;
+
 /** Notifications for lockstep analyses (the miss classifier). */
 class AccessObserver
 {
@@ -86,6 +88,8 @@ class WrongPathWalker
 
     void setObserver(AccessObserver *obs) { observer = obs; }
     void setStats(SimResults *s) { stats = s; }
+    /** Attach the per-set heatmap collector (null = off). */
+    void setHeatmap(SetHeatmap *map) { heatmap = map; }
 
     /** Attach a victim cache (null = none). Only policies that may
      *  service wrong-path misses perform the swap. */
@@ -126,6 +130,7 @@ class WrongPathWalker
     Slot victimHitSlots = 0;
     AccessObserver *observer = nullptr;
     SimResults *stats = nullptr;
+    SetHeatmap *heatmap = nullptr;
 };
 
 } // namespace specfetch

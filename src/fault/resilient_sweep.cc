@@ -7,6 +7,8 @@
 
 #include "fault/injector.hh"
 #include "fault/ledger.hh"
+#include "obs/progress.hh"
+#include "obs/trace_event.hh"
 #include "report/record.hh"
 #include "util/checksum.hh"
 #include "util/logging.hh"
@@ -46,6 +48,7 @@ runResilientSweep(const std::vector<RunSpec> &specs,
     }
 
     if (options.resume) {
+        TraceSpan span("ledger_resume", "fault");
         LedgerLoad load;
         std::string error;
         if (!loadLedger(options.ledgerPath, load, &error)) {
@@ -65,6 +68,7 @@ runResilientSweep(const std::vector<RunSpec> &specs,
                 result.records[index] = std::move(entry.record);
                 result.completed[index] = 1;
                 ++result.resumedRuns;
+                ProgressReporter::global().runResumed();
             }
         }
     }

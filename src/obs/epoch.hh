@@ -1,0 +1,119 @@
+/**
+ * @file
+ * One epoch of the interval time series (DESIGN.md §11).
+ *
+ * An epoch is the delta of the run's statistics over a fixed window of
+ * retired correct-path instructions. Every field is a *delta* over the
+ * epoch, never a running total, so a consumer can plot transient
+ * behaviour (phase-resolved ISPI, pollution bursts, prefetch traffic)
+ * without differencing, and concatenated epochs sum exactly to the
+ * run's end-of-run counters — an identity the obs tests pin.
+ */
+
+#ifndef SPECFETCH_OBS_EPOCH_HH_
+#define SPECFETCH_OBS_EPOCH_HH_
+
+#include <cstdint>
+
+#include "core/penalty.hh"
+#include "isa/types.hh"
+#include "stats/stats.hh"
+
+namespace specfetch {
+
+/** Statistics delta over one sampling window. */
+struct EpochRecord
+{
+    /** Zero-based epoch index within the run. */
+    uint64_t epoch = 0;
+    /** Retired-instruction window [first, last) this epoch covers
+     *  (post-warmup counts, matching SimResults::instructions). */
+    uint64_t firstInstruction = 0;
+    uint64_t lastInstruction = 0;
+    /** Issue slots elapsed during the epoch. */
+    uint64_t slots = 0;
+    /** Lost slots charged to each penalty component this epoch. */
+    uint64_t penaltySlots[kNumPenaltyKinds] = {};
+
+    /** @name Correct-path branch outcomes this epoch @{ */
+    uint64_t controlInsts = 0;
+    uint64_t condBranches = 0;
+    uint64_t misfetches = 0;
+    uint64_t dirMispredicts = 0;
+    uint64_t targetMispredicts = 0;
+    /** @} */
+
+    /** @name Cache/bus behaviour this epoch @{ */
+    uint64_t demandAccesses = 0;
+    uint64_t demandMisses = 0;
+    uint64_t demandFills = 0;
+    uint64_t bufferHits = 0;
+    uint64_t wrongAccesses = 0;
+    uint64_t wrongMisses = 0;
+    uint64_t wrongFills = 0;
+    uint64_t prefetchesIssued = 0;
+    /** @} */
+
+    /** True only for a final epoch cut short by the end of the run. */
+    bool partial = false;
+
+    /** Instructions retired this epoch. */
+    uint64_t
+    instructions() const
+    {
+        return lastInstruction - firstInstruction;
+    }
+
+    /** Memory transactions initiated this epoch. */
+    uint64_t
+    memoryTransactions() const
+    {
+        return demandFills + wrongFills + prefetchesIssued;
+    }
+
+    /** Lost slots per instruction over this epoch alone. */
+    double
+    ispi() const
+    {
+        uint64_t lost = 0;
+        for (uint64_t component : penaltySlots)
+            lost += component;
+        return ratioOf(lost, instructions());
+    }
+
+    /** One component's ISPI over this epoch. */
+    double
+    ispiOf(PenaltyKind kind) const
+    {
+        return ratioOf(penaltySlots[static_cast<size_t>(kind)],
+                       instructions());
+    }
+
+    /** Conditional-branch direction accuracy within the epoch. */
+    double
+    condAccuracy() const
+    {
+        return condBranches == 0
+            ? 1.0
+            : 1.0 - ratioOf(dirMispredicts, condBranches);
+    }
+
+    /** Correct-path misses per instruction this epoch, in percent. */
+    double
+    missRatePercent() const
+    {
+        return 100.0 * ratioOf(demandMisses, instructions());
+    }
+
+    /** Fraction of the epoch's slots the bus spent blocking fetch. */
+    double
+    busWaitFraction() const
+    {
+        return ratioOf(penaltySlots[static_cast<size_t>(PenaltyKind::Bus)],
+                       slots);
+    }
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_OBS_EPOCH_HH_

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Interval time-series sampling of a live run (DESIGN.md §11).
+ *
+ * The fetch engine calls onBoundary() every `interval` retired
+ * correct-path instructions (the engine aligns its batched fast path
+ * so boundaries land exactly); the sampler differences the cumulative
+ * SimResults against the previous boundary and appends one
+ * EpochRecord. finish() closes the series with a partial epoch when
+ * the run ends off-boundary.
+ *
+ * The sampler never mutates simulation state and reads only the stats
+ * structure the run already maintains, so sampled and unsampled runs
+ * produce bit-identical SimResults (tests/obs pins this). Epoch
+ * content carries no wall-clock anything — the series is deterministic
+ * and identical between serial and parallel sweeps.
+ */
+
+#ifndef SPECFETCH_OBS_INTERVAL_SAMPLER_HH_
+#define SPECFETCH_OBS_INTERVAL_SAMPLER_HH_
+
+#include <vector>
+
+#include "core/results.hh"
+#include "obs/epoch.hh"
+
+namespace specfetch {
+
+/** Accumulates the epoch series of one run. */
+class IntervalSampler
+{
+  public:
+    /** @param interval Epoch length in retired instructions (> 0). */
+    explicit IntervalSampler(uint64_t interval);
+
+    uint64_t interval() const { return epochInterval; }
+
+    /**
+     * (Re)start the series: @p stats and @p now become the baseline the
+     * first epoch is differenced against. The engine calls this after
+     * its warmup stats reset so epochs cover only the measured region.
+     */
+    void begin(const SimResults &stats, Slot now,
+               uint64_t prefetchesIssued);
+
+    /**
+     * Record the epoch ending at the current boundary. @p stats holds
+     * cumulative values; @p prefetchesIssued is the run's prefetch
+     * count so far (the engine computes it from the prefetch unit,
+     * since SimResults only carries it at end of run).
+     */
+    void onBoundary(const SimResults &stats, Slot now,
+                    uint64_t prefetchesIssued);
+
+    /**
+     * Close the series at end of run: appends a final epoch marked
+     * partial when instructions were retired past the last boundary.
+     */
+    void finish(const SimResults &stats, Slot now,
+                uint64_t prefetchesIssued);
+
+    const std::vector<EpochRecord> &epochs() const { return series; }
+
+    /** Move the series out (the engine is about to be destroyed). */
+    std::vector<EpochRecord> takeEpochs() { return std::move(series); }
+
+  private:
+    void append(const SimResults &stats, Slot now,
+                uint64_t prefetchesIssued, bool partial);
+
+    uint64_t epochInterval;
+    std::vector<EpochRecord> series;
+    /** Cumulative values at the previous boundary. */
+    SimResults prev;
+    Slot prevSlot = 0;
+    uint64_t prevPrefetches = 0;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_OBS_INTERVAL_SAMPLER_HH_

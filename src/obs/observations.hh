@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Per-run observability output (DESIGN.md §11).
+ *
+ * RunObservations is the out-parameter a caller hands to
+ * runSimulation() to receive whatever collectors the SimConfig armed:
+ * the interval sampler's epoch series and/or the per-set cache
+ * heatmap. It is deliberately separate from SimResults — observation
+ * payloads are bulky, optional, and excluded from result equality, so
+ * audit comparisons and golden run records never see them.
+ */
+
+#ifndef SPECFETCH_OBS_OBSERVATIONS_HH_
+#define SPECFETCH_OBS_OBSERVATIONS_HH_
+
+#include <memory>
+#include <vector>
+
+#include "obs/epoch.hh"
+#include "obs/set_heatmap.hh"
+
+namespace specfetch {
+
+/** Everything the armed collectors gathered over one run. */
+struct RunObservations
+{
+    /** Epoch series (empty when sampling was off). */
+    std::vector<EpochRecord> epochs;
+    /** Sampling interval the series was collected at (0 = off). */
+    uint64_t sampleInterval = 0;
+    /** Per-set heatmap (null when the heatmap was off). */
+    std::unique_ptr<SetHeatmap> heatmap;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_OBS_OBSERVATIONS_HH_

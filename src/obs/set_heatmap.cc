@@ -1,0 +1,44 @@
+#include "obs/set_heatmap.hh"
+
+#include "util/logging.hh"
+
+namespace specfetch {
+
+namespace {
+
+unsigned
+log2Exact(uint64_t value)
+{
+    unsigned shift = 0;
+    while ((uint64_t{1} << shift) < value)
+        ++shift;
+    return shift;
+}
+
+} // namespace
+
+SetHeatmap::SetHeatmap(const ICacheConfig &config)
+    : cfg(config),
+      numSets(config.numSets()),
+      lineShift(log2Exact(config.lineBytes))
+{
+    panic_if(numSets == 0, "heatmap needs a cache with at least one set");
+    panic_if((uint64_t{1} << lineShift) != config.lineBytes,
+             "heatmap needs a power-of-two line size");
+    reset();
+}
+
+void
+SetHeatmap::reset()
+{
+    demandAccesses_.assign(numSets, 0);
+    demandMisses_.assign(numSets, 0);
+    correctFills_.assign(numSets, 0);
+    wrongAccesses_.assign(numSets, 0);
+    wrongMisses_.assign(numSets, 0);
+    wrongFills_.assign(numSets, 0);
+    evictionsByCorrect_.assign(numSets, 0);
+    evictionsByWrong_.assign(numSets, 0);
+}
+
+} // namespace specfetch

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Per-set I-cache occupancy/conflict heatmap (DESIGN.md §11).
+ *
+ * The paper's Table-4 taxonomy (Spec Pollute vs. Spec Prefetch) is an
+ * aggregate over the whole cache; this collector resolves it
+ * *spatially*: for every cache set it counts correct-path accesses,
+ * misses and fills, wrong-path accesses, misses and fills, and the
+ * evictions each kind of fill caused. A set with many wrong-path
+ * fills and many evictions-by-wrong is where speculative pollution
+ * concentrates; one with wrong-path fills but few subsequent
+ * correct-path misses is where accidental prefetching pays.
+ *
+ * The collector only observes — it never touches cache or timing
+ * state, so runs with the heatmap enabled are bit-identical to runs
+ * without it. Attribution notes:
+ *  - Resume-policy wrong-path fills land in the resume buffer and are
+ *    written to the array at a later miss; they are counted per set at
+ *    fill time, and the (rare) eviction of that deferred write is not
+ *    attributed.
+ *  - Victim-cache swaps move lines without a memory fill and are not
+ *    counted as fills.
+ */
+
+#ifndef SPECFETCH_OBS_SET_HEATMAP_HH_
+#define SPECFETCH_OBS_SET_HEATMAP_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/icache.hh"
+#include "isa/types.hh"
+
+namespace specfetch {
+
+/** Per-set event counters for one run. */
+class SetHeatmap
+{
+  public:
+    explicit SetHeatmap(const ICacheConfig &config);
+
+    /** @name Correct-path (demand) events @{ */
+    void demandAccess(Addr line) { ++demandAccesses_[setOf(line)]; }
+    void demandMiss(Addr line) { ++demandMisses_[setOf(line)]; }
+    void
+    correctFill(Addr line, const Eviction &evicted)
+    {
+        uint64_t set = setOf(line);
+        ++correctFills_[set];
+        if (evicted.valid)
+            ++evictionsByCorrect_[set];
+    }
+    /** @} */
+
+    /** @name Wrong-path events @{ */
+    void wrongAccess(Addr line) { ++wrongAccesses_[setOf(line)]; }
+    void wrongMiss(Addr line) { ++wrongMisses_[setOf(line)]; }
+    /** @p evicted is null for buffered (Resume) fills, whose array
+     *  write — and therefore eviction — happens later. */
+    void
+    wrongFill(Addr line, const Eviction *evicted)
+    {
+        uint64_t set = setOf(line);
+        ++wrongFills_[set];
+        if (evicted && evicted->valid)
+            ++evictionsByWrong_[set];
+    }
+    /** @} */
+
+    uint64_t sets() const { return numSets; }
+    const ICacheConfig &geometry() const { return cfg; }
+
+    /** @name Per-set series, indexed by set number @{ */
+    const std::vector<uint64_t> &demandAccesses() const
+    {
+        return demandAccesses_;
+    }
+    const std::vector<uint64_t> &demandMisses() const
+    {
+        return demandMisses_;
+    }
+    const std::vector<uint64_t> &correctFills() const
+    {
+        return correctFills_;
+    }
+    const std::vector<uint64_t> &wrongAccesses() const
+    {
+        return wrongAccesses_;
+    }
+    const std::vector<uint64_t> &wrongMisses() const
+    {
+        return wrongMisses_;
+    }
+    const std::vector<uint64_t> &wrongFills() const
+    {
+        return wrongFills_;
+    }
+    const std::vector<uint64_t> &evictionsByCorrect() const
+    {
+        return evictionsByCorrect_;
+    }
+    const std::vector<uint64_t> &evictionsByWrong() const
+    {
+        return evictionsByWrong_;
+    }
+    /** @} */
+
+    void reset();
+
+  private:
+    uint64_t
+    setOf(Addr line) const
+    {
+        return (line >> lineShift) % numSets;
+    }
+
+    ICacheConfig cfg;
+    uint64_t numSets;
+    unsigned lineShift;
+    std::vector<uint64_t> demandAccesses_;
+    std::vector<uint64_t> demandMisses_;
+    std::vector<uint64_t> correctFills_;
+    std::vector<uint64_t> wrongAccesses_;
+    std::vector<uint64_t> wrongMisses_;
+    std::vector<uint64_t> wrongFills_;
+    std::vector<uint64_t> evictionsByCorrect_;
+    std::vector<uint64_t> evictionsByWrong_;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_OBS_SET_HEATMAP_HH_

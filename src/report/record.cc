@@ -136,6 +136,14 @@ toJson(const SimConfig &config)
             .set("checkpoint_interval",
                  JsonValue::integer(config.checkpointInterval));
     }
+    // Observability likewise never changes results and its members
+    // likewise appear only when armed.
+    if (config.sampleInterval > 0) {
+        manifest.set("sample_interval",
+                     JsonValue::integer(config.sampleInterval));
+    }
+    if (config.setHeatmap)
+        manifest.set("set_heatmap", JsonValue::boolean(true));
     manifest.set("description", JsonValue::string(config.describe()));
     return manifest;
 }

@@ -27,9 +27,29 @@ class Counter
   public:
     Counter() = default;
 
-    void operator++() { ++count; }
-    void operator++(int) { ++count; }
-    void operator+=(uint64_t n) { count += n; }
+    Counter &
+    operator++()
+    {
+        ++count;
+        return *this;
+    }
+
+    /** Post-increment: returns the value *before* the bump, like any
+     *  built-in integer. */
+    Counter
+    operator++(int)
+    {
+        Counter old = *this;
+        ++count;
+        return old;
+    }
+
+    Counter &
+    operator+=(uint64_t n)
+    {
+        count += n;
+        return *this;
+    }
 
     uint64_t value() const { return count; }
     void reset() { count = 0; }

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the per-set icache heatmap (src/obs): set mapping and
+ * eviction attribution at the unit level, and — through a full
+ * simulation — that the per-set series sum exactly to the run's
+ * aggregate counters while never perturbing the run itself.
+ */
+
+#include "obs/set_heatmap.hh"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/simulator.hh"
+#include "util/logging.hh"
+#include "workload/registry.hh"
+
+using namespace specfetch;
+
+namespace {
+
+ICacheConfig
+smallCache()
+{
+    ICacheConfig config;
+    config.sizeBytes = 1024;
+    config.lineBytes = 32;
+    config.ways = 1;
+    return config;
+}
+
+uint64_t
+sum(const std::vector<uint64_t> &series)
+{
+    return std::accumulate(series.begin(), series.end(), uint64_t{0});
+}
+
+TEST(SetHeatmap, MapsLinesToSetsModulo)
+{
+    SetHeatmap heatmap(smallCache());
+    ASSERT_EQ(heatmap.sets(), 32u);
+
+    heatmap.demandAccess(0);
+    heatmap.demandAccess(32);            // next line -> next set
+    heatmap.demandAccess(32 * 32);       // wraps back to set 0
+    heatmap.demandAccess(32 + 7);        // offset within a line ignored
+    EXPECT_EQ(heatmap.demandAccesses()[0], 2u);
+    EXPECT_EQ(heatmap.demandAccesses()[1], 2u);
+    EXPECT_EQ(sum(heatmap.demandAccesses()), 4u);
+}
+
+TEST(SetHeatmap, AttributesEvictionsToTheFillingPath)
+{
+    SetHeatmap heatmap(smallCache());
+
+    Eviction none;
+    Eviction victim;
+    victim.valid = true;
+    victim.lineAddr = 64;
+
+    heatmap.correctFill(0, none);
+    heatmap.correctFill(0, victim);
+    heatmap.wrongFill(32, &victim);
+    heatmap.wrongFill(32, nullptr);      // buffered (Resume) fill
+
+    EXPECT_EQ(heatmap.correctFills()[0], 2u);
+    EXPECT_EQ(heatmap.evictionsByCorrect()[0], 1u);
+    EXPECT_EQ(heatmap.wrongFills()[1], 2u);
+    EXPECT_EQ(heatmap.evictionsByWrong()[1], 1u);
+}
+
+TEST(SetHeatmap, ResetZeroesEverySeries)
+{
+    SetHeatmap heatmap(smallCache());
+    heatmap.demandAccess(0);
+    heatmap.demandMiss(0);
+    heatmap.wrongAccess(32);
+    heatmap.wrongMiss(32);
+    heatmap.reset();
+    EXPECT_EQ(sum(heatmap.demandAccesses()), 0u);
+    EXPECT_EQ(sum(heatmap.demandMisses()), 0u);
+    EXPECT_EQ(sum(heatmap.wrongAccesses()), 0u);
+    EXPECT_EQ(sum(heatmap.wrongMisses()), 0u);
+}
+
+TEST(SetHeatmap, RejectsDegenerateGeometry)
+{
+    ScopedThrowOnError guard;
+    ICacheConfig zero_sets = smallCache();
+    zero_sets.sizeBytes = 16;            // smaller than one line
+    EXPECT_THROW(SetHeatmap{zero_sets}, SimulationError);
+
+    ICacheConfig odd_line = smallCache();
+    odd_line.lineBytes = 48;             // not a power of two
+    odd_line.sizeBytes = 48 * 8;
+    EXPECT_THROW(SetHeatmap{odd_line}, SimulationError);
+}
+
+/** Full-run integration: the spatial series must tile the aggregate
+ *  counters exactly, for a policy with real wrong-path traffic. */
+TEST(SetHeatmap, PerSetSeriesSumToRunAggregates)
+{
+    SimConfig config;
+    config.instructionBudget = 50'000;
+    config.policy = FetchPolicy::Optimistic;
+    config.setHeatmap = true;
+
+    RunObservations obs;
+    SimResults r = runSimulation(*sharedWorkload("li"), config, obs);
+    ASSERT_NE(obs.heatmap, nullptr);
+    const SetHeatmap &heatmap = *obs.heatmap;
+
+    EXPECT_EQ(heatmap.sets(), config.icache.numSets());
+    EXPECT_EQ(sum(heatmap.demandAccesses()), r.demandAccesses);
+    EXPECT_EQ(sum(heatmap.demandMisses()), r.demandMisses);
+    EXPECT_EQ(sum(heatmap.wrongAccesses()), r.wrongAccesses);
+    EXPECT_EQ(sum(heatmap.wrongMisses()), r.wrongMisses);
+    EXPECT_EQ(sum(heatmap.wrongFills()), r.wrongFills);
+    ASSERT_GT(r.wrongAccesses, 0u)
+        << "Optimistic should walk the wrong path";
+    // Fills can come from buffers as well as the array; the per-set
+    // fill count is bounded by the misses that caused them.
+    EXPECT_LE(sum(heatmap.correctFills()), r.demandMisses);
+    EXPECT_GT(sum(heatmap.correctFills()), 0u);
+}
+
+TEST(SetHeatmap, ResumePolicyCountsBufferedFills)
+{
+    SimConfig config;
+    config.instructionBudget = 50'000;
+    config.policy = FetchPolicy::Resume;
+    config.setHeatmap = true;
+
+    RunObservations obs;
+    SimResults r = runSimulation(*sharedWorkload("li"), config, obs);
+    ASSERT_NE(obs.heatmap, nullptr);
+    EXPECT_EQ(sum(obs.heatmap->wrongFills()), r.wrongFills);
+}
+
+TEST(SetHeatmap, CollectionNeverPerturbsResults)
+{
+    for (FetchPolicy policy : allPolicies()) {
+        SimConfig plain;
+        plain.instructionBudget = 50'000;
+        plain.policy = policy;
+        SimResults off = runSimulation(*sharedWorkload("li"), plain);
+
+        SimConfig hot = plain;
+        hot.setHeatmap = true;
+        RunObservations obs;
+        SimResults on = runSimulation(*sharedWorkload("li"), hot, obs);
+        EXPECT_EQ(on, off)
+            << toString(policy) << " diverged with the heatmap armed";
+        EXPECT_NE(obs.heatmap, nullptr);
+    }
+}
+
+TEST(SetHeatmap, DisabledRunCarriesNoHeatmap)
+{
+    SimConfig config;
+    config.instructionBudget = 20'000;
+    RunObservations obs;
+    runSimulation(*sharedWorkload("li"), config, obs);
+    EXPECT_EQ(obs.heatmap, nullptr);
+    EXPECT_TRUE(obs.epochs.empty());
+}
+
+} // namespace

@@ -22,6 +22,30 @@ TEST(Counter, IncrementForms)
     EXPECT_EQ(counter.value(), 7u);
 }
 
+TEST(Counter, PreIncrementReturnsSelf)
+{
+    Counter counter;
+    Counter &returned = ++counter;
+    EXPECT_EQ(&returned, &counter);
+    EXPECT_EQ((++counter).value(), 2u);
+}
+
+TEST(Counter, PostIncrementReturnsValueBeforeBump)
+{
+    Counter counter;
+    counter += 41;
+    Counter old = counter++;
+    EXPECT_EQ(old.value(), 41u);
+    EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Counter, CompoundAssignReturnsSelf)
+{
+    Counter counter;
+    (counter += 2) += 3;
+    EXPECT_EQ(counter.value(), 5u);
+}
+
 TEST(Counter, Reset)
 {
     Counter counter;

@@ -22,8 +22,18 @@ and the uploaded BENCH_perf.json artifact are the signal, and a human
 decides whether a flagged drop is real. --strict turns flagged
 regressions into exit code 1 for local A/B runs on quiet machines.
 
+--overhead switches to the observability cost check (DESIGN.md §11):
+BASELINE is a perf_microbench run with the sampler off and CURRENT
+the same binary with --sample-interval armed. Only the simulation
+stages that actually execute the sampler (sim_live, sim_replay, grid)
+are held to the bound — default 5% instead of 25% — while the
+untouched stages are printed as a machine-noise floor. The CURRENT
+meta must carry "sample_interval" (proof the flag was really on);
+benchmark and budget must still match.
+
 Usage:
     tools/perf_compare.py BASELINE CURRENT [--tolerance 0.25] [--strict]
+    tools/perf_compare.py --overhead OFF.json ON.json [--strict]
     tools/perf_compare.py --self-test
 """
 
@@ -112,6 +122,61 @@ def compare(base_meta, base, cur_meta, cur, baseline_name, current_name,
         drops = ", ".join(flagged)
         warn(f"throughput dropped >{tolerance:.0%} or stage missing "
              f"on: {drops}")
+        if strict:
+            return 1
+    return 0
+
+
+#: Stages whose inner loop runs the interval sampler; only these are
+#: held to the --overhead bound.
+SAMPLED_STAGES = ("sim_live", "sim_replay", "grid")
+
+
+def compare_overhead(base_meta, base, cur_meta, cur, baseline_name,
+                     current_name, tolerance, strict):
+    """Bound the slowdown the armed sampler causes on the sim stages."""
+    for key in ("benchmark", "budget"):
+        if base_meta.get(key) != cur_meta.get(key):
+            raise SystemExit(
+                f"error: measurement settings differ: {key} is "
+                f"{base_meta.get(key)!r} in {baseline_name} but "
+                f"{cur_meta.get(key)!r} in {current_name}")
+    if not cur_meta.get("sample_interval"):
+        raise SystemExit(
+            f"error: {current_name} was not measured with "
+            f"--sample-interval; its meta record has no "
+            f"'sample_interval'")
+    if base_meta.get("sample_interval"):
+        raise SystemExit(
+            f"error: {baseline_name} was measured with the sampler "
+            f"armed (sample_interval "
+            f"{base_meta['sample_interval']!r}); the overhead "
+            f"baseline must have it off")
+
+    flagged = []
+    print(f"sampler overhead at interval "
+          f"{cur_meta['sample_interval']} (bound {tolerance:.0%} on "
+          f"sampled stages)")
+    print(f"{'stage':<16} {'off/s':>14} {'on/s':>14} {'overhead':>9}")
+    for stage in base:
+        if stage not in cur:
+            warn(f"stage '{stage}' is in {baseline_name} but missing "
+                 f"from {current_name}")
+            continue
+        base_rate = base[stage]["rate"]
+        cur_rate = cur[stage]["rate"]
+        overhead = 1.0 - cur_rate / base_rate if base_rate > 0 else 0.0
+        sampled = stage in SAMPLED_STAGES
+        mark = "" if sampled else "  (noise floor)"
+        if sampled and overhead > tolerance:
+            flagged.append(stage)
+            mark = "  << over budget"
+        print(f"{stage:<16} {base_rate:>14.0f} {cur_rate:>14.0f} "
+              f"{overhead:>8.1%}{mark}")
+
+    if flagged:
+        drops = ", ".join(flagged)
+        warn(f"sampler overhead exceeds {tolerance:.0%} on: {drops}")
         if strict:
             return 1
     return 0
@@ -211,6 +276,60 @@ def self_test():
             check("meta mismatch raises",
                   "budget" in str(err))
 
+        # 6. Overhead mode: only sampled stages are held to the bound.
+        on_meta = dict(meta, sample_interval=10000)
+        base = {"sim_live": {"stage": "sim_live", "rate": 100.0},
+                "sim_replay": {"stage": "sim_replay", "rate": 100.0},
+                "executor_step": {"stage": "executor_step",
+                                  "rate": 100.0}}
+        cur = {"sim_live": {"stage": "sim_live", "rate": 90.0},
+               "sim_replay": {"stage": "sim_replay", "rate": 97.0},
+               "executor_step": {"stage": "executor_step",
+                                 "rate": 80.0}}
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = compare_overhead(meta, base, on_meta, cur,
+                                    "off", "on", 0.05, True)
+        check("10% sampler slowdown flagged strictly", code == 1)
+        check("over-budget stage named",
+              "'sim_live'" in err.getvalue()
+              or "sim_live" in err.getvalue())
+        check("3% slowdown within the bound",
+              "sim_replay" not in err.getvalue())
+        check("unsampled stage is noise floor, never flagged",
+              "executor_step" not in err.getvalue()
+              and "noise floor" in out.getvalue())
+
+        cur = {"sim_live": {"stage": "sim_live", "rate": 97.0},
+               "sim_replay": {"stage": "sim_replay", "rate": 98.0},
+               "executor_step": {"stage": "executor_step",
+                                 "rate": 99.0}}
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = compare_overhead(meta, base, on_meta, cur,
+                                    "off", "on", 0.05, True)
+        check("in-budget overhead passes strictly", code == 0)
+
+        # 7. Overhead mode refuses runs measured the wrong way round.
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                compare_overhead(meta, base, meta, cur, "off", "on",
+                                 0.05, False)
+            check("sampler-off CURRENT raises", False)
+        except SystemExit as err:
+            check("sampler-off CURRENT raises",
+                  "sample_interval" in str(err))
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                compare_overhead(on_meta, base, on_meta, cur,
+                                 "off", "on", 0.05, False)
+            check("sampler-on BASELINE raises", False)
+        except SystemExit as err:
+            check("sampler-on BASELINE raises",
+                  "baseline" in str(err) or "off" in str(err))
+
     if failures:
         print(f"self-test: {len(failures)} check(s) failed",
               file=sys.stderr)
@@ -226,9 +345,13 @@ def main(argv=None):
                         help="baseline perf JSONL")
     parser.add_argument("current", nargs="?",
                         help="current perf JSONL")
-    parser.add_argument("--tolerance", type=float, default=0.25,
+    parser.add_argument("--tolerance", type=float, default=None,
                         help="flag throughput drops beyond this fraction "
-                             "(default 0.25)")
+                             "(default 0.25, or 0.05 with --overhead)")
+    parser.add_argument("--overhead", action="store_true",
+                        help="check sampler overhead: BASELINE measured "
+                             "with the sampler off, CURRENT with "
+                             "--sample-interval armed")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any stage is flagged "
                              "(default: warn only)")
@@ -241,9 +364,15 @@ def main(argv=None):
     if args.baseline is None or args.current is None:
         parser.error("BASELINE and CURRENT are required "
                      "(or use --self-test)")
+    if args.tolerance is None:
+        args.tolerance = 0.05 if args.overhead else 0.25
 
     base_meta, base = load_perf(args.baseline)
     cur_meta, cur = load_perf(args.current)
+    if args.overhead:
+        return compare_overhead(base_meta, base, cur_meta, cur,
+                                args.baseline, args.current,
+                                args.tolerance, args.strict)
     return compare(base_meta, base, cur_meta, cur, args.baseline,
                    args.current, args.tolerance, args.strict)
 

@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""Render the `timeseries` records of a --sample-interval run.
+
+Input is a schema-v1 JSONL file written by a bench harness with
+`--sample-interval N --json PATH`: each timeseries record carries one
+run's identity (workload, policy, prefetch) and its epoch series —
+per-epoch deltas of every counter plus derived metrics (src/obs,
+DESIGN.md §11). This tool turns those rows into something a human can
+look at without a notebook:
+
+  - the default mode draws an ASCII chart of one metric over retired
+    instructions, one labelled series per selected run, on stdout
+    (no third-party plotting dependency required);
+  - --tsv PATH instead dumps the selected series as tab-separated
+    columns (instruction x-axis plus one column per run) ready for
+    gnuplot / pandas / a spreadsheet.
+
+Metrics name either a derived value ("ispi", "miss_rate_percent",
+"cond_accuracy", "bus_wait_fraction", "ispi.rt_icache", ...) or any
+raw per-epoch counter ("demand_misses", "wrong_fills", ...).
+
+Usage:
+    tools/plot_timeseries.py RESULTS.jsonl [--metric ispi]
+        [--workload gcc] [--policy Fetch] [--prefetch none]
+        [--width 72] [--height 16] [--list] [--tsv OUT.tsv]
+    tools/plot_timeseries.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+
+def warn(message):
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def load_timeseries(path):
+    """Return the list of timeseries records of a JSONL file."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: malformed JSON: {err}")
+            if record.get("record") == "timeseries":
+                records.append(record)
+    return records
+
+
+def run_label(record):
+    label = f"{record.get('workload')}/{record.get('policy')}"
+    if record.get("prefetch") not in (None, "none"):
+        label += f"+{record.get('prefetch')}"
+    return label
+
+
+def metric_value(epoch, metric):
+    """Extract @p metric from one epoch; None when absent."""
+    derived = epoch.get("derived", {})
+    if metric.startswith("ispi."):
+        return derived.get("ispi_components", {}).get(metric[5:])
+    if metric in derived:
+        return derived.get(metric)
+    if metric in epoch.get("penalty_slots", {}):
+        return epoch["penalty_slots"][metric]
+    value = epoch.get(metric)
+    return value if isinstance(value, (int, float)) \
+        and not isinstance(value, bool) else None
+
+
+def extract_series(record, metric):
+    """Return ([x instruction], [y metric]) for one run's epochs."""
+    xs, ys = [], []
+    for epoch in record.get("epochs", []):
+        value = metric_value(epoch, metric)
+        if value is None:
+            return None
+        xs.append(epoch.get("last_instruction", 0))
+        ys.append(float(value))
+    return (xs, ys) if xs else None
+
+
+def select(records, workload, policy, prefetch):
+    out = []
+    for record in records:
+        if workload and record.get("workload") != workload:
+            continue
+        if policy and record.get("policy") != policy:
+            continue
+        if prefetch and record.get("prefetch") != prefetch:
+            continue
+        out.append(record)
+    return out
+
+
+def ascii_chart(series, metric, width, height):
+    """Render labelled series as text; returns the chart as a string.
+
+    @p series is a list of (label, xs, ys) with a shared x domain.
+    """
+    marks = "*+ox#%@&"
+    xmax = max(max(xs) for _, xs, _ in series)
+    ymax = max(max(ys) for _, _, ys in series)
+    ymin = min(min(ys) for _, _, ys in series)
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, xs, ys) in enumerate(series):
+        mark = marks[index % len(marks)]
+        for x, y in zip(xs, ys):
+            col = min(width - 1, int(x / xmax * (width - 1)))
+            row = min(height - 1,
+                      int((ymax - y) / (ymax - ymin) * (height - 1)))
+            grid[row][col] = mark
+    lines = [f"{metric} (min {ymin:g}, max {ymax:g})"]
+    for rownum, row in enumerate(grid):
+        tick = ymax - (ymax - ymin) * rownum / (height - 1)
+        lines.append(f"{tick:>10.4g} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 11 + f"0 .. {xmax:,} instructions")
+    for index, (label, _, _) in enumerate(series):
+        lines.append(f"  {marks[index % len(marks)]} {label}")
+    return "\n".join(lines)
+
+
+def write_tsv(series, metric, path):
+    """Dump the series as instruction-indexed TSV columns."""
+    xs = series[0][1]
+    for label, other_xs, _ in series[1:]:
+        if other_xs != xs:
+            warn(f"series '{label}' has a different epoch grid; TSV "
+                 f"rows align by index, not instruction")
+            break
+    with open(path, "w", encoding="utf-8") as handle:
+        header = ["instruction"] + [label for label, _, _ in series]
+        handle.write("\t".join(header) + "\n")
+        rows = max(len(s[1]) for s in series)
+        for i in range(rows):
+            cells = [str(xs[i]) if i < len(xs) else ""]
+            for _, sxs, sys_ in series:
+                cells.append(repr(sys_[i]) if i < len(sys_) else "")
+            handle.write("\t".join(cells) + "\n")
+    print(f"{len(series)} series ({metric}) -> {path}")
+
+
+def self_test():
+    """Exercise selection, extraction and rendering on synthetic rows."""
+    failures = []
+
+    def check(label, condition):
+        status = "ok" if condition else "FAIL"
+        print(f"  [{status}] {label}")
+        if not condition:
+            failures.append(label)
+
+    def epoch(n, ispi, misses):
+        return {"epoch": n, "first_instruction": n * 100,
+                "last_instruction": (n + 1) * 100, "slots": 150,
+                "penalty_slots": {"rt_icache": 25, "bus": 5},
+                "demand_misses": misses, "partial": False,
+                "derived": {"ispi": ispi,
+                            "ispi_components": {"rt_icache": 0.25},
+                            "miss_rate_percent": misses / 1.0}}
+
+    rec = {"record": "timeseries", "workload": "gcc", "policy": "Fetch",
+           "prefetch": "none",
+           "epochs": [epoch(0, 0.5, 10), epoch(1, 0.75, 20)]}
+    other = dict(rec, policy="Stall")
+
+    check("derived metric extracted",
+          extract_series(rec, "ispi") == ([100, 200], [0.5, 0.75]))
+    check("raw counter extracted",
+          extract_series(rec, "demand_misses") == ([100, 200],
+                                                   [10.0, 20.0]))
+    check("component metric extracted",
+          extract_series(rec, "ispi.rt_icache") == ([100, 200],
+                                                    [0.25, 0.25]))
+    check("penalty-slot counter extracted",
+          extract_series(rec, "rt_icache") == ([100, 200],
+                                               [25.0, 25.0]))
+    check("unknown metric yields None",
+          extract_series(rec, "no_such") is None)
+    check("bool member not mistaken for a metric",
+          extract_series(rec, "partial") is None)
+
+    check("policy filter selects",
+          select([rec, other], None, "Stall", None) == [other])
+    check("workload filter selects",
+          select([rec, other], "gcc", None, None) == [rec, other])
+    check("prefetch filter selects",
+          select([rec, other], None, None, "next_line") == [])
+
+    series = [("gcc/Fetch",) + extract_series(rec, "ispi"),
+              ("gcc/Stall",) + extract_series(other, "demand_misses")]
+    chart = ascii_chart(series, "ispi", 40, 8)
+    check("chart renders every series marker",
+          "*" in chart and "+" in chart)
+    check("chart carries the labels",
+          "gcc/Fetch" in chart and "gcc/Stall" in chart)
+    check("chart names the metric and range",
+          "ispi (min 0.5, max 20)" in chart)
+
+    flat = [("flat",) + extract_series(rec, "ispi.rt_icache")]
+    check("constant series does not divide by zero",
+          "flat" in ascii_chart(flat, "ispi.rt_icache", 20, 4))
+
+    import os
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl = os.path.join(tmp, "rows.jsonl")
+        with open(jsonl, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(rec) + "\n")
+            handle.write(json.dumps({"record": "run"}) + "\n")
+            handle.write("\n")
+        loaded = load_timeseries(jsonl)
+        check("loader keeps only timeseries records",
+              loaded == [rec])
+
+        tsv = os.path.join(tmp, "out.tsv")
+        write_tsv(series, "ispi", tsv)
+        with open(tsv, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        check("tsv header names the series",
+              lines[0] == "instruction\tgcc/Fetch\tgcc/Stall")
+        check("tsv rows carry the values",
+              lines[1].startswith("100\t0.5\t10"))
+
+    if failures:
+        print(f"self-test: {len(failures)} check(s) failed",
+              file=sys.stderr)
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Chart the timeseries records of a "
+                    "--sample-interval run")
+    parser.add_argument("results", nargs="?", help="schema-v1 JSONL file")
+    parser.add_argument("--metric", default="ispi",
+                        help="derived metric, 'ispi.<component>' or raw "
+                             "counter to plot (default ispi)")
+    parser.add_argument("--workload", help="only this workload")
+    parser.add_argument("--policy", help="only this fetch policy")
+    parser.add_argument("--prefetch", help="only this prefetch mode "
+                                           "(e.g. none, next_line)")
+    parser.add_argument("--width", type=int, default=72,
+                        help="chart width in columns (default 72)")
+    parser.add_argument("--height", type=int, default=16,
+                        help="chart height in rows (default 16)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the selectable runs and exit")
+    parser.add_argument("--tsv", metavar="PATH",
+                        help="write the series as TSV instead of a chart")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit tests and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.results is None:
+        parser.error("RESULTS is required (or use --self-test)")
+
+    records = load_timeseries(args.results)
+    if not records:
+        raise SystemExit(f"{args.results}: no timeseries records (was "
+                         f"the run made with --sample-interval?)")
+    selected = select(records, args.workload, args.policy, args.prefetch)
+    if args.list:
+        for record in selected:
+            epochs = len(record.get("epochs", []))
+            print(f"{run_label(record):<28} {epochs} epochs, interval "
+                  f"{record.get('sample_interval')}")
+        return 0
+    if not selected:
+        raise SystemExit("no runs match the selection; try --list")
+
+    series = []
+    for record in selected:
+        extracted = extract_series(record, args.metric)
+        if extracted is None:
+            warn(f"run {run_label(record)} has no metric "
+                 f"'{args.metric}'; skipping it")
+            continue
+        series.append((run_label(record),) + extracted)
+    if not series:
+        raise SystemExit(f"metric '{args.metric}' matched nothing; "
+                         f"known: ispi, miss_rate_percent, "
+                         f"cond_accuracy, bus_wait_fraction, "
+                         f"ispi.<component>, or any epoch counter")
+
+    if args.tsv:
+        write_tsv(series, args.metric, args.tsv)
+        return 0
+    print(ascii_chart(series, args.metric, args.width, args.height))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `--list | head`
+        sys.exit(0)

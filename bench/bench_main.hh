@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "adaptive/adaptive_record.hh"
+#include "adaptive/selector_kind.hh"
 #include "check/check_level.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
@@ -95,6 +97,14 @@ class BenchMain
         opts.addFlag("heatmap",
                      "emit the per-set icache occupancy/conflict "
                      "heatmap record per run (needs --json)");
+        opts.addString("adaptive", "",
+                       "per-epoch policy selection: static, threshold "
+                       "or bandit (needs --json for choice logs)");
+        opts.addCount("adaptive-interval", 50'000,
+                      "adaptive decision epoch, retired instructions "
+                      "(needs --adaptive)");
+        opts.addCount("adaptive-seed", 1,
+                      "bandit exploration seed (needs --adaptive)");
         opts.addString("trace-out", "",
                        "write Chrome trace-event spans (Perfetto/"
                        "about:tracing) to this JSON path");
@@ -222,6 +232,46 @@ class BenchMain
             parseFailed = true;
             return false;
         }
+        if (opts.wasSet("adaptive")) {
+            if (!parseSelectorKind(opts.getString("adaptive"),
+                                   adaptiveSelector) ||
+                adaptiveSelector == SelectorKind::Off) {
+                std::fprintf(stderr,
+                             "error: --adaptive expects static, "
+                             "threshold or bandit (got '%s')\n",
+                             opts.getString("adaptive").c_str());
+                parseFailed = true;
+                return false;
+            }
+        }
+        if ((opts.wasSet("adaptive-interval") ||
+             opts.wasSet("adaptive-seed")) &&
+            adaptiveSelector == SelectorKind::Off) {
+            std::fprintf(stderr,
+                         "error: --adaptive-interval/--adaptive-seed "
+                         "need --adaptive to pick a selector\n");
+            parseFailed = true;
+            return false;
+        }
+        adaptiveInterval = opts.getCount("adaptive-interval");
+        if (adaptiveInterval == 0) {
+            std::fprintf(stderr,
+                         "error: --adaptive-interval must be a positive "
+                         "instruction count (got 0)\n");
+            parseFailed = true;
+            return false;
+        }
+        adaptiveSeed = opts.getCount("adaptive-seed");
+        if (adaptiveSelector != SelectorKind::Off && !ledgerPath.empty()) {
+            // Same reason as --sample-interval: adaptive choice-log
+            // rows are side-channel records the ledger cannot replay.
+            std::fprintf(stderr,
+                         "error: --adaptive cannot be combined with "
+                         "--ledger (choice-log rows are not journaled; "
+                         "a resumed sweep would drop them)\n");
+            parseFailed = true;
+            return false;
+        }
         progressInterval = opts.getDouble("progress-interval");
         if (progressInterval <= 0.0) {
             std::fprintf(stderr,
@@ -330,6 +380,25 @@ class BenchMain
         }
     }
 
+    /** True when --adaptive armed a per-epoch selector. */
+    bool adaptiveArmed() const
+    {
+        return adaptiveSelector != SelectorKind::Off;
+    }
+
+    /** Arm the adaptive selector on every spec of a sweep. */
+    void
+    applyAdaptiveConfig(std::vector<RunSpec> &specs) const
+    {
+        if (!adaptiveArmed())
+            return;
+        for (RunSpec &spec : specs) {
+            spec.config.adaptiveSelector = adaptiveSelector;
+            spec.config.adaptiveInterval = adaptiveInterval;
+            spec.config.adaptiveSeed = adaptiveSeed;
+        }
+    }
+
     /** Start the heartbeat over a sweep of @p totalRuns (no-op unless
      *  --progress/--progress-file was given). */
     void
@@ -362,8 +431,8 @@ class BenchMain
         if (observations.empty())
             return;
         if (!json) {
-            warn("--sample-interval/--heatmap produce JSONL records; "
-                 "give --json to keep them");
+            warn("--sample-interval/--heatmap/--adaptive produce JSONL "
+                 "records; give --json to keep them");
             return;
         }
         for (size_t i = 0; i < observations.size(); ++i) {
@@ -375,6 +444,10 @@ class BenchMain
             if (obs.heatmap) {
                 json->write(makeHeatmapRecord(*obs.heatmap, results[i],
                                               specs[i].config));
+            }
+            if (obs.adaptive.enabled() && !obs.adaptive.choices.empty()) {
+                json->write(makeAdaptiveRecord(obs.adaptive, results[i],
+                                               specs[i].config));
             }
         }
     }
@@ -391,6 +464,11 @@ class BenchMain
     unsigned retries = 3;
     double runTimeoutSeconds = 0.0;
     FaultInjector injector;
+    /** @} */
+    /** @name Adaptive-selection options (DESIGN.md §12) @{ */
+    SelectorKind adaptiveSelector = SelectorKind::Off;
+    uint64_t adaptiveInterval = 50'000;
+    uint64_t adaptiveSeed = 1;
     /** @} */
     /** @name Observability options (DESIGN.md §11) @{ */
     uint64_t sampleInterval = 0;
@@ -445,12 +523,14 @@ runSweepReported(const std::vector<RunSpec> &specs)
             spec.config.checkLevel = bm.checkLevel;
     }
     bm.applyObsConfig(audited);
+    bm.applyAdaptiveConfig(audited);
     bm.beginProgress(audited.size());
     SweepTiming timing;
     std::vector<RunObservations> observations;
+    bool collect = bm.observing() || bm.adaptiveArmed();
     std::vector<SimResults> results =
         runSweep(audited, bm.parallelism, &timing,
-                 bm.observing() ? &observations : nullptr);
+                 collect ? &observations : nullptr);
     bm.endProgress();
     bm.emitSweep(audited, results, timing);
     bm.emitObservations(audited, results, observations);

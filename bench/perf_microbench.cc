@@ -227,6 +227,23 @@ main(int argc, char **argv)
         results.push_back(r);
     }
 
+    // Stage: sim_live with the adaptive decision point armed via a
+    // StaticSelector — the selector always re-picks the base policy,
+    // so the wall-clock delta against sim_live is pure epoch-ticker
+    // and choice-log bookkeeping, not policy-behavior differences
+    // (tools/perf_compare.py --adaptive-overhead bounds it).
+    {
+        SimConfig adaptive = base;
+        adaptive.adaptiveSelector = SelectorKind::Static;
+        adaptive.adaptiveInterval = 50'000;
+        StageResult r{"sim_adaptive", "instructions", budget, 0.0};
+        r.seconds = bestOf(repeats, [&] {
+            SimResults res = runSimulation(workload, adaptive);
+            gSink = gSink + res.finalSlot;
+        });
+        results.push_back(r);
+    }
+
     // Stage: a serial 10-spec grid (5 policies x prefetch off/on) on
     // one benchmark — the record-once/replay-many sweep path end to
     // end, including the snapshot-record stage it amortizes.

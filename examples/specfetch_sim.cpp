@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "adaptive/adaptive_record.hh"
+#include "adaptive/selector_kind.hh"
 #include "core/miss_classifier.hh"
 #include "core/simulator.hh"
 #include "report/record.hh"
@@ -102,6 +104,12 @@ main(int argc, char **argv)
     opts.addCount("victim", 0, "victim-cache entries (0 = none)");
     opts.addFlag("l2", "enable the explicit 64K L2 (5/20-cycle split)");
 
+    opts.addString("adaptive", "",
+                   "per-epoch policy selection: static|threshold|bandit");
+    opts.addCount("adaptive-interval", 50'000,
+                  "adaptive decision epoch, retired instructions");
+    opts.addCount("adaptive-seed", 1, "bandit exploration seed");
+
     opts.addFlag("reorder", "apply profile-guided block reordering");
     opts.addFlag("stats", "dump the full statistics tree");
     opts.addFlag("classify", "also run the Table-4 miss classification");
@@ -128,6 +136,18 @@ main(int argc, char **argv)
                      opts.getString("pht-indexing").c_str());
         return 1;
     }
+
+    if (!opts.getString("adaptive").empty()) {
+        if (!parseSelectorKind(opts.getString("adaptive"),
+                               config.adaptiveSelector) ||
+            config.adaptiveSelector == SelectorKind::Off) {
+            std::fprintf(stderr, "unknown adaptive selector '%s'\n",
+                         opts.getString("adaptive").c_str());
+            return 1;
+        }
+    }
+    config.adaptiveInterval = opts.getCount("adaptive-interval");
+    config.adaptiveSeed = opts.getCount("adaptive-seed");
 
     config.instructionBudget = opts.getCount("budget");
     config.warmupInstructions = opts.getCount("warmup");
@@ -172,12 +192,32 @@ main(int argc, char **argv)
 
     std::printf("machine: %s\n\n", config.describe().c_str());
     auto runStart = std::chrono::steady_clock::now();
-    SimResults results = runSimulation(workload, config);
+    RunObservations observations;
+    SimResults results = runSimulation(workload, config, observations);
     double runSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       runStart)
             .count();
     std::fputs(results.summary().c_str(), stdout);
+
+    if (observations.adaptive.enabled()) {
+        const AdaptiveLog &log = observations.adaptive;
+        std::printf("\nadaptive selection (%s, epoch %llu): %llu epochs, "
+                    "%llu switches\n",
+                    toString(config.adaptiveSelector).c_str(),
+                    static_cast<unsigned long long>(log.interval),
+                    static_cast<unsigned long long>(log.choices.size()),
+                    static_cast<unsigned long long>(log.switches));
+        for (const AdaptiveChoice &choice : log.choices) {
+            std::printf("  epoch %4llu  [%llu, %llu)  %s\n",
+                        static_cast<unsigned long long>(choice.epoch),
+                        static_cast<unsigned long long>(
+                            choice.firstInstruction),
+                        static_cast<unsigned long long>(
+                            choice.lastInstruction),
+                        toString(choice.policy).c_str());
+        }
+    }
 
     if (opts.getFlag("stats")) {
         std::printf("\n%s", results.statsDump().c_str());
@@ -211,7 +251,15 @@ main(int argc, char **argv)
         writer.write(makeRunRecord(
             results, config, &timing,
             haveClassification ? &classification : nullptr));
-        std::printf("\nwrote run record to %s\n",
+        if (observations.adaptive.enabled() &&
+            !observations.adaptive.choices.empty()) {
+            writer.write(makeAdaptiveRecord(observations.adaptive,
+                                            results, config));
+        }
+        std::printf("\nwrote %llu record%s to %s\n",
+                    static_cast<unsigned long long>(
+                        writer.recordsWritten()),
+                    writer.recordsWritten() == 1 ? "" : "s",
                     writer.path().c_str());
     }
     return 0;

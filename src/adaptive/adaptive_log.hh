@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The per-interval choice log of an adaptive run (DESIGN.md §12).
+ *
+ * One AdaptiveChoice per epoch records which policy governed that
+ * epoch's retired-instruction window. The windows tile the measured
+ * region exactly — choice i ends where choice i+1 begins, the first
+ * begins at 0 and the last ends at SimResults::instructions — an
+ * identity the adaptive-epoch-tiling invariant (src/check) audits.
+ * Kept header-only and light so obs/observations.hh can carry a log
+ * without seeing the selector machinery.
+ */
+
+#ifndef SPECFETCH_ADAPTIVE_ADAPTIVE_LOG_HH_
+#define SPECFETCH_ADAPTIVE_ADAPTIVE_LOG_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hh"
+
+namespace specfetch {
+
+/** The policy that governed one epoch of an adaptive run. */
+struct AdaptiveChoice
+{
+    /** Zero-based epoch index within the run. */
+    uint64_t epoch = 0;
+    /** The policy in effect over this epoch's window. */
+    FetchPolicy policy = FetchPolicy::Resume;
+    /** Retired-instruction window [first, last) the policy governed
+     *  (post-warmup counts, matching SimResults::instructions). */
+    uint64_t firstInstruction = 0;
+    uint64_t lastInstruction = 0;
+};
+
+/** Everything the adaptive decision point recorded over one run. */
+struct AdaptiveLog
+{
+    /** Epoch length in retired instructions (0 = adaptive off). */
+    uint64_t interval = 0;
+    /** The configured base policy (epoch 0 always runs under it). */
+    FetchPolicy basePolicy = FetchPolicy::Resume;
+    /** One entry per epoch, in epoch order, tiling the run. */
+    std::vector<AdaptiveChoice> choices;
+    /** Applied policy changes (consecutive choices that differ). */
+    uint64_t switches = 0;
+
+    bool enabled() const { return interval > 0; }
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_ADAPTIVE_ADAPTIVE_LOG_HH_

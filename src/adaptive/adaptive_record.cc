@@ -1,0 +1,63 @@
+#include "adaptive/adaptive_record.hh"
+
+#include "core/config.hh"
+#include "core/results.hh"
+#include "report/record.hh"
+#include "util/logging.hh"
+
+namespace specfetch {
+
+JsonValue
+toJson(const AdaptiveRegret &regret)
+{
+    JsonValue out = JsonValue::object();
+    out.set("adaptive_ispi", JsonValue::number(regret.adaptiveIspi))
+        .set("best_static_ispi", JsonValue::number(regret.bestStaticIspi))
+        .set("best_static_policy",
+             JsonValue::string(toString(regret.bestStaticPolicy)))
+        .set("oracle_ispi", JsonValue::number(regret.oracleIspi))
+        .set("regret", JsonValue::number(regret.regret))
+        .set("gap_closed", JsonValue::number(regret.gapClosed));
+    return out;
+}
+
+JsonValue
+makeAdaptiveRecord(const AdaptiveLog &log, const SimResults &results,
+                   const SimConfig &config, const AdaptiveRegret *regret)
+{
+    panic_if(!log.enabled() || log.choices.empty(),
+             "adaptive record needs a non-empty choice log");
+
+    JsonValue choices = JsonValue::array();
+    for (const AdaptiveChoice &choice : log.choices) {
+        JsonValue entry = JsonValue::object();
+        entry.set("epoch", JsonValue::integer(choice.epoch))
+            .set("policy", JsonValue::string(toString(choice.policy)))
+            .set("first_instruction",
+                 JsonValue::integer(choice.firstInstruction))
+            .set("last_instruction",
+                 JsonValue::integer(choice.lastInstruction));
+        choices.push(std::move(entry));
+    }
+
+    JsonValue record = JsonValue::object();
+    record.set("schema_version", JsonValue::integer(kReportSchemaVersion))
+        .set("record", JsonValue::string("adaptive"))
+        .set("workload", JsonValue::string(results.workload))
+        .set("policy", JsonValue::string(toString(log.basePolicy)))
+        .set("prefetch",
+             JsonValue::string(toString(config.effectivePrefetchKind())))
+        .set("run_seed", JsonValue::integer(config.runSeed))
+        .set("selector",
+             JsonValue::string(toString(config.adaptiveSelector)))
+        .set("adaptive_interval", JsonValue::integer(log.interval))
+        .set("epochs", JsonValue::integer(log.choices.size()))
+        .set("switches", JsonValue::integer(log.switches))
+        .set("ispi", JsonValue::number(results.ispi()))
+        .set("choices", std::move(choices));
+    if (regret)
+        record.set("regret", toJson(*regret));
+    return record;
+}
+
+} // namespace specfetch

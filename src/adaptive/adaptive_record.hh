@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Schema-v1 record for adaptive runs (DESIGN.md §7, §12).
+ *
+ * One `adaptive` record per adaptive run carries the per-interval
+ * choice log (which policy governed each epoch window), the applied
+ * switch count, and — when the caller computed the per-interval
+ * Oracle bound — the regret block (adaptive vs. best static vs.
+ * bound). Emitted next to the run record by the bench harnesses, the
+ * same side-channel pattern as timeseries/heatmap rows.
+ */
+
+#ifndef SPECFETCH_ADAPTIVE_ADAPTIVE_RECORD_HH_
+#define SPECFETCH_ADAPTIVE_ADAPTIVE_RECORD_HH_
+
+#include "adaptive/adaptive_log.hh"
+#include "adaptive/oracle.hh"
+#include "report/json.hh"
+
+namespace specfetch {
+
+struct SimConfig;
+struct SimResults;
+
+/** The regret block alone (reused by bench_suite's summary rows). */
+JsonValue toJson(const AdaptiveRegret &regret);
+
+/**
+ * Build the `adaptive` record of one run.
+ *
+ * @param log     The run's choice log (must be enabled and non-empty).
+ * @param results The run's results (identity + adaptive ISPI).
+ * @param config  The run's config (selector kind, interval, seed).
+ * @param regret  Optional regret vs. the per-interval Oracle; omitted
+ *                from the record when null.
+ */
+JsonValue makeAdaptiveRecord(const AdaptiveLog &log,
+                             const SimResults &results,
+                             const SimConfig &config,
+                             const AdaptiveRegret *regret = nullptr);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_ADAPTIVE_ADAPTIVE_RECORD_HH_

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The per-interval Oracle: the adaptive upper bound (DESIGN.md §12).
+ *
+ * Re-simulates a workload under every static policy with the interval
+ * sampler armed at the adaptive epoch length, then takes the
+ * cheapest policy interval by interval. The resulting ISPI is what a
+ * clairvoyant selector — one that knows each epoch's outcome under
+ * every policy before choosing — would achieve, and is therefore a
+ * lower bound on any online selector's ISPI over the same epoch grid
+ * (the oracle-dominance property the adaptive test harness pins).
+ * An online selector's quality is its *regret*: adaptive ISPI minus
+ * this bound.
+ */
+
+#ifndef SPECFETCH_ADAPTIVE_ORACLE_HH_
+#define SPECFETCH_ADAPTIVE_ORACLE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.hh"
+#include "obs/epoch.hh"
+
+namespace specfetch {
+
+struct SimConfig;
+class Workload;
+
+/** The per-interval minimum over the static policies' epoch series. */
+struct PerIntervalOracle
+{
+    /** Epoch length the bound was computed at. */
+    uint64_t interval = 0;
+    /** Instructions the measured region retired (same every policy). */
+    uint64_t instructions = 0;
+    /** Candidate policies, in the paper's presentation order. */
+    std::vector<FetchPolicy> policies;
+    /** Full epoch series per candidate ([policy][epoch]). */
+    std::vector<std::vector<EpochRecord>> epochs;
+    /** Whole-run ISPI per candidate. */
+    std::vector<double> staticIspi;
+    /** The cheapest policy of each epoch (ties: presentation order). */
+    std::vector<FetchPolicy> bestPolicy;
+    /** That policy's lost slots in the epoch. */
+    std::vector<uint64_t> bestPenaltySlots;
+    /** The bound: per-epoch minimum penalties over total instructions. */
+    double oracleIspi = 0.0;
+
+    /** Index of the cheapest whole-run static policy. */
+    size_t bestStaticIndex() const;
+    double bestStaticIspi() const { return staticIspi[bestStaticIndex()]; }
+    FetchPolicy bestStaticPolicy() const
+    {
+        return policies[bestStaticIndex()];
+    }
+};
+
+/**
+ * Assemble the bound from already-collected epoch series (one per
+ * candidate policy, all sampled at @p interval over the same run
+ * budget). Used directly by bench_suite, which sweeps the sampled
+ * static runs in parallel; computePerIntervalOracle is the serial
+ * convenience wrapper around it.
+ *
+ * @param staticIspi Whole-run ISPI of each candidate, same order.
+ */
+PerIntervalOracle
+buildPerIntervalOracle(const std::vector<FetchPolicy> &policies,
+                       std::vector<std::vector<EpochRecord>> epochs,
+                       std::vector<double> staticIspi, uint64_t interval);
+
+/**
+ * Run @p workload under every policy of the paper with sampling at
+ * @p interval (base config otherwise unchanged; its policy and any
+ * adaptive/observability settings are overridden per candidate run)
+ * and fold the series into the bound.
+ */
+PerIntervalOracle
+computePerIntervalOracle(const Workload &workload, const SimConfig &base,
+                         uint64_t interval);
+
+/** How an adaptive run compares to the static field and the bound. */
+struct AdaptiveRegret
+{
+    double adaptiveIspi = 0.0;
+    double bestStaticIspi = 0.0;
+    FetchPolicy bestStaticPolicy = FetchPolicy::Resume;
+    double oracleIspi = 0.0;
+    /** adaptiveIspi - oracleIspi (>= 0 up to epoch-grid effects). */
+    double regret = 0.0;
+    /** Fraction of the (best static -> oracle) gap the adaptive run
+     *  closed; 1 = reached the bound, 0 = no better than the best
+     *  static policy, negative = worse than the best static. */
+    double gapClosed = 0.0;
+};
+
+/** Fold an adaptive run's ISPI against the bound. */
+AdaptiveRegret computeRegret(double adaptiveIspi,
+                             const PerIntervalOracle &oracle);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_ADAPTIVE_ORACLE_HH_

@@ -1,0 +1,225 @@
+#include "adaptive/selector.hh"
+
+#include "core/config.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace specfetch {
+
+std::string
+toString(SelectorKind kind)
+{
+    switch (kind) {
+      case SelectorKind::Off:       return "off";
+      case SelectorKind::Static:    return "static";
+      case SelectorKind::Threshold: return "threshold";
+      case SelectorKind::Bandit:    return "bandit";
+    }
+    return "unknown";
+}
+
+bool
+parseSelectorKind(const std::string &text, SelectorKind &out)
+{
+    std::string lower = toLower(text);
+    if (lower == "off" || lower == "none") {
+        out = SelectorKind::Off;
+        return true;
+    }
+    if (lower == "static") {
+        out = SelectorKind::Static;
+        return true;
+    }
+    if (lower == "threshold") {
+        out = SelectorKind::Threshold;
+        return true;
+    }
+    if (lower == "bandit") {
+        out = SelectorKind::Bandit;
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+/**
+ * Default threshold table, tuned at the bench suite's adaptive
+ * operating point (8-cycle miss penalty, 20K-instruction epochs).
+ * In the low and middle miss-rate bands the realizable policies are
+ * separated mostly by wrong-path pollution, and Resume — which stops
+ * speculating into the miss but never fetches down the wrong path
+ * past it — is the consistent static winner, so both bands keep it.
+ * Once misses are frequent the wrong-path window around each miss is
+ * where the remaining time goes, and only sparse-branch regions (few
+ * windows, long runs between them) reward stepping up to the Oracle
+ * reference bound; dense-branch regions stay on Resume until the
+ * catch-all top band. Rows are ascending miss-rate bands; the last
+ * row catches everything.
+ */
+const std::vector<ThresholdRule> &
+defaultRules()
+{
+    static const std::vector<ThresholdRule> rules{
+        {5.50, FetchPolicy::Resume, FetchPolicy::Resume},
+        {7.50, FetchPolicy::Oracle, FetchPolicy::Resume},
+        {0.00, FetchPolicy::Oracle, FetchPolicy::Oracle},
+    };
+    return rules;
+}
+
+/** Branch density (control insts / insts) separating "sparse" from
+ *  "dense" epochs in the default table. */
+constexpr double kDefaultDensitySplit = 0.10;
+
+} // namespace
+
+ThresholdSelector::ThresholdSelector()
+    : ThresholdSelector(defaultRules(), kDefaultDensitySplit)
+{
+}
+
+ThresholdSelector::ThresholdSelector(std::vector<ThresholdRule> table,
+                                     double branchDensitySplit)
+    : rules(std::move(table)), split(branchDensitySplit)
+{
+    panic_if(rules.empty(), "threshold selector needs at least one rule");
+}
+
+FetchPolicy
+ThresholdSelector::nextPolicy(const EpochRecord &closed, FetchPolicy)
+{
+    double miss_rate = closed.missRatePercent();
+    uint64_t insts = closed.instructions();
+    double density = insts == 0
+        ? 0.0
+        : static_cast<double>(closed.controlInsts) /
+              static_cast<double>(insts);
+
+    const ThresholdRule *chosen = &rules.back();
+    for (const ThresholdRule &rule : rules) {
+        if (miss_rate < rule.missRateBelowPercent) {
+            chosen = &rule;
+            break;
+        }
+    }
+    return density < split ? chosen->sparseBranches : chosen->denseBranches;
+}
+
+EpsilonGreedyBandit::EpsilonGreedyBandit(uint64_t _seed, double _epsilon,
+                                         std::vector<FetchPolicy> _arms,
+                                         double _alpha,
+                                         std::vector<double> _edges)
+    : arms(_arms.empty() ? allPolicies() : std::move(_arms)), seed(_seed),
+      epsilon(_epsilon), alpha(_alpha), edges(std::move(_edges)), rng(_seed)
+{
+    panic_if(epsilon < 0.0 || epsilon > 1.0,
+             "bandit epsilon must be in [0, 1]");
+    panic_if(alpha <= 0.0 || alpha > 1.0,
+             "bandit step size must be in (0, 1]");
+    for (size_t i = 1; i < edges.size(); ++i)
+        panic_if(edges[i] <= edges[i - 1],
+                 "bandit context edges must be ascending");
+    reset();
+}
+
+void
+EpsilonGreedyBandit::reset()
+{
+    rng.reseed(seed);
+    counts.assign(arms.size(), 0);
+    size_t contexts = edges.size() + 1;
+    value.assign(contexts, std::vector<double>(arms.size(), 0.0));
+    seen.assign(contexts, std::vector<bool>(arms.size(), false));
+    decisionContext = kNoContext;
+}
+
+size_t
+EpsilonGreedyBandit::contextOf(double miss_rate_percent) const
+{
+    size_t c = 0;
+    while (c < edges.size() && miss_rate_percent >= edges[c])
+        ++c;
+    return c;
+}
+
+size_t
+EpsilonGreedyBandit::armIndex(FetchPolicy policy) const
+{
+    for (size_t i = 0; i < arms.size(); ++i) {
+        if (arms[i] == policy)
+            return i;
+    }
+    return arms.size();
+}
+
+uint64_t
+EpsilonGreedyBandit::pulls(FetchPolicy policy) const
+{
+    size_t index = armIndex(policy);
+    return index < counts.size() ? counts[index] : 0;
+}
+
+FetchPolicy
+EpsilonGreedyBandit::nextPolicy(const EpochRecord &closed,
+                                FetchPolicy current)
+{
+    // Credit the closed epoch to the (context, arm) cell that chose
+    // it. Epoch 0 ran the base policy with no decision context; its
+    // reward trains every context so the first real decision has a
+    // baseline to compare exploration against. An arm outside a
+    // restricted set (the base policy can be) trains nothing.
+    size_t index = armIndex(current);
+    if (index < arms.size()) {
+        ++counts[index];
+        double reward = -closed.ispi();
+        size_t contexts = value.size();
+        size_t first = decisionContext == kNoContext ? 0 : decisionContext;
+        size_t last = decisionContext == kNoContext ? contexts : first + 1;
+        for (size_t c = first; c < last; ++c) {
+            value[c][index] = seen[c][index]
+                ? value[c][index] + alpha * (reward - value[c][index])
+                : reward;
+            seen[c][index] = true;
+        }
+    }
+
+    size_t context = contextOf(closed.missRatePercent());
+    decisionContext = context;
+
+    // Explore with probability epsilon: a uniform draw over the arms.
+    if (rng.nextBool(epsilon))
+        return arms[rng.nextBelow(arms.size())];
+
+    // Exploit: the best observed arm for this context. Unobserved
+    // arms are never picked greedily, and the incumbent wins ties —
+    // switching needs strict evidence (hysteresis).
+    size_t best = index < arms.size() ? index : arms.size();
+    for (size_t i = 0; i < arms.size(); ++i) {
+        if (!seen[context][i] || i == best)
+            continue;
+        if (best == arms.size() || value[context][i] > value[context][best])
+            best = i;
+    }
+    return best < arms.size() ? arms[best] : current;
+}
+
+std::unique_ptr<PolicySelector>
+makeSelector(const SimConfig &config)
+{
+    switch (config.adaptiveSelector) {
+      case SelectorKind::Static:
+        return std::make_unique<StaticSelector>(config.policy);
+      case SelectorKind::Threshold:
+        return std::make_unique<ThresholdSelector>();
+      case SelectorKind::Bandit:
+        return std::make_unique<EpsilonGreedyBandit>(config.adaptiveSeed,
+                                                     config.adaptiveEpsilon);
+      case SelectorKind::Off:
+        break;
+    }
+    panic("makeSelector called with adaptive selection off");
+    return nullptr;
+}
+
+} // namespace specfetch

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Per-epoch fetch-policy selectors (DESIGN.md §12).
+ *
+ * A PolicySelector turns the paper's five static policies into one
+ * adaptive front end: at every epoch boundary (a fixed count of
+ * retired correct-path instructions, the IntervalSampler cadence) the
+ * fetch engine hands the selector the epoch that just closed — a
+ * delta-encoded EpochRecord with the interval's miss rate, branch mix
+ * and ISPI — and the selector names the policy for the next epoch.
+ * Switching mutates only the engine's policy knob; architectural
+ * state (cache, predictor, clocks) carries across untouched, which is
+ * what makes StaticSelector bit-exact with a plain static run.
+ *
+ * Selectors choose among all five simulated policies, including the
+ * unrealizable Oracle reference: the study target is the per-interval
+ * Oracle bound (adaptive/oracle.hh), so the arm set matches the bound's
+ * candidate set. Restrict the arms at construction for a
+ * realizable-only experiment.
+ */
+
+#ifndef SPECFETCH_ADAPTIVE_SELECTOR_HH_
+#define SPECFETCH_ADAPTIVE_SELECTOR_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/selector_kind.hh"
+#include "core/policy.hh"
+#include "obs/epoch.hh"
+#include "util/random.hh"
+
+namespace specfetch {
+
+struct SimConfig;
+
+/**
+ * One online policy-selection strategy. Construct per run; the engine
+ * consults it at every epoch boundary and resets it on engine reset.
+ */
+class PolicySelector
+{
+  public:
+    virtual ~PolicySelector() = default;
+
+    /** Display name ("static", "threshold", "bandit"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Choose the policy for the next epoch.
+     *
+     * @param closed  The epoch that just ended (counter deltas).
+     * @param current The policy that governed @p closed.
+     */
+    virtual FetchPolicy nextPolicy(const EpochRecord &closed,
+                                   FetchPolicy current) = 0;
+
+    /** Return to the initial (start-of-run) state. */
+    virtual void reset() = 0;
+};
+
+/**
+ * Always re-selects the base policy: an adaptive run that behaves
+ * bit-exactly like today's static runs. Exists to pin the decision
+ * point's no-perturbation contract (the property harness diffs its
+ * SimResults against plain runs).
+ */
+class StaticSelector : public PolicySelector
+{
+  public:
+    explicit StaticSelector(FetchPolicy policy) : base(policy) {}
+
+    std::string name() const override { return "static"; }
+    FetchPolicy nextPolicy(const EpochRecord &,
+                           FetchPolicy) override
+    {
+        return base;
+    }
+    void reset() override {}
+
+  private:
+    FetchPolicy base;
+};
+
+/**
+ * One row of the threshold table: applies to epochs whose miss rate
+ * is below missRateBelowPercent (rows are tried in order, so the
+ * table is a sequence of miss-rate bands); within a band the branch
+ * density — control instructions per retired instruction — picks
+ * between two policies.
+ */
+struct ThresholdRule
+{
+    /** Upper miss-rate bound (percent, exclusive) of this band. */
+    double missRateBelowPercent = 0.0;
+    /** Policy when branch density < the selector's density split. */
+    FetchPolicy sparseBranches = FetchPolicy::Resume;
+    /** Policy when branch density >= the split. */
+    FetchPolicy denseBranches = FetchPolicy::Resume;
+};
+
+/**
+ * Table-driven selector keyed on the closed epoch's miss rate and
+ * branch density — the two axes the paper's Spec Pollute / Spec
+ * Prefetch taxonomy says flip the policy ranking. Stateless between
+ * epochs: the choice depends only on the last interval's signals.
+ */
+class ThresholdSelector : public PolicySelector
+{
+  public:
+    /** The tuned default table (see DESIGN.md §12 for the rationale). */
+    ThresholdSelector();
+
+    /** Custom table; rows are miss-rate bands in ascending order,
+     *  the last row's bound is ignored (it catches everything). */
+    ThresholdSelector(std::vector<ThresholdRule> table,
+                      double branchDensitySplit);
+
+    std::string name() const override { return "threshold"; }
+    FetchPolicy nextPolicy(const EpochRecord &closed,
+                           FetchPolicy current) override;
+    void reset() override {}
+
+    const std::vector<ThresholdRule> &table() const { return rules; }
+    double densitySplit() const { return split; }
+
+  private:
+    std::vector<ThresholdRule> rules;
+    double split;
+};
+
+/**
+ * Contextual epsilon-greedy bandit over the fetch policies. Reward
+ * is the closed epoch's negated ISPI, credited to the (context, arm)
+ * cell that decided the epoch, where the context is a miss-rate
+ * bucket of the preceding epoch — the same signal axis the threshold
+ * table uses, but with the arm values learned online per run instead
+ * of fixed up front.
+ *
+ * Two departures from the textbook stationary bandit, both motivated
+ * by how short these runs are (tens of epochs) and how brutally a
+ * mis-pulled arm prices in (one Decode epoch can cost more than the
+ * whole static-vs-oracle gap):
+ *
+ *  - No forced warm start. Arms the run has never observed are
+ *    reached only through epsilon exploration; greedy selection
+ *    sticks with the incumbent policy until an observed arm strictly
+ *    beats it (hysteresis on ties).
+ *  - Recency-weighted value estimates (constant step size) rather
+ *    than running means, so the estimates track non-stationary
+ *    reward — most visibly the cold-start transient, where every
+ *    arm's early rewards are misleadingly poor.
+ *
+ * Exploration draws come from the repo's own xoshiro generator seeded
+ * at construction, so two runs with the same seed make identical
+ * choices on any platform.
+ */
+class EpsilonGreedyBandit : public PolicySelector
+{
+  public:
+    /**
+     * @param seed    Exploration stream seed (SimConfig::adaptiveSeed).
+     * @param epsilon Exploration probability in [0, 1].
+     * @param arms    Candidate policies (default: all five).
+     * @param alpha   Recency step size in (0, 1]; 1 = last-reward-only.
+     * @param contextEdges Ascending miss-rate bucket edges (percent);
+     *                the default two edges give three contexts.
+     */
+    explicit EpsilonGreedyBandit(uint64_t seed, double epsilon = 0.1,
+                                 std::vector<FetchPolicy> arms = {},
+                                 double alpha = 0.5,
+                                 std::vector<double> contextEdges = {1.0,
+                                                                     4.0});
+
+    std::string name() const override { return "bandit"; }
+    FetchPolicy nextPolicy(const EpochRecord &closed,
+                           FetchPolicy current) override;
+    void reset() override;
+
+    /** Epochs the given arm has governed so far (for tests). */
+    uint64_t pulls(FetchPolicy policy) const;
+
+    /** Miss-rate bucket index for a percentage (for tests). */
+    size_t contextOf(double missRatePercent) const;
+
+  private:
+    size_t armIndex(FetchPolicy policy) const;
+
+    std::vector<FetchPolicy> arms;
+    uint64_t seed;
+    double epsilon;
+    double alpha;
+    std::vector<double> edges;
+    Rng rng;
+    std::vector<uint64_t> counts;            ///< per arm, all contexts
+    std::vector<std::vector<double>> value;  ///< [context][arm]
+    std::vector<std::vector<bool>> seen;     ///< [context][arm]
+    /** Context that decided the epoch now in flight (none for the
+     *  base-policy epoch 0). */
+    size_t decisionContext = kNoContext;
+    static constexpr size_t kNoContext = ~size_t{0};
+};
+
+/**
+ * Build the selector a config asks for (config.adaptiveSelector must
+ * not be Off). The base policy, seed and epsilon come from the config.
+ */
+std::unique_ptr<PolicySelector> makeSelector(const SimConfig &config);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_ADAPTIVE_SELECTOR_HH_

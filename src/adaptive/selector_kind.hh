@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Which adaptive policy selector a run uses.
+ *
+ * Kept free of other includes so core/config.hh can carry a
+ * SelectorKind without pulling the selector machinery into every
+ * translation unit (the same layering as check/check_level.hh).
+ */
+
+#ifndef SPECFETCH_ADAPTIVE_SELECTOR_KIND_HH_
+#define SPECFETCH_ADAPTIVE_SELECTOR_KIND_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace specfetch {
+
+/**
+ * The per-epoch policy selector of a run (src/adaptive).
+ *
+ *  - Off:       the configured FetchPolicy runs the whole budget
+ *               (every pre-adaptive run; the default);
+ *  - Static:    a selector that always re-selects the base policy —
+ *               bit-exact with Off, pinning the decision-point
+ *               plumbing itself;
+ *  - Threshold: table-driven choice keyed on the closed epoch's miss
+ *               rate and branch density;
+ *  - Bandit:    epsilon-greedy arm selection over the policies with
+ *               deterministic seeded exploration.
+ */
+enum class SelectorKind : uint8_t
+{
+    Off,
+    Static,
+    Threshold,
+    Bandit,
+};
+
+/** Display name ("off", "static", "threshold", "bandit"). */
+std::string toString(SelectorKind kind);
+
+/** Parse a selector name (case-insensitive). False on unknown names. */
+bool parseSelectorKind(const std::string &text, SelectorKind &out);
+
+} // namespace specfetch
+
+#endif // SPECFETCH_ADAPTIVE_SELECTOR_KIND_HH_

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "adaptive/adaptive_log.hh"
 #include "branch/predictor.hh"
 #include "cache/bus.hh"
 #include "cache/icache.hh"
@@ -232,6 +233,75 @@ checkBufferAliasing(const AuditContext &ctx, InvariantAuditor &auditor)
     }
 }
 
+/**
+ * Adaptive switching contract (DESIGN.md §12): policy switches happen
+ * only on epoch boundaries, so the choice log's epoch ids must run
+ * 0..n-1, every window must start where the previous ended on an
+ * exact interval multiple, every non-final window must span exactly
+ * one interval, the applied-switch counter must match the log, and at
+ * end-of-run the windows must tile the measured region — the interval
+ * instruction counts sum to the retired total.
+ */
+void
+checkAdaptiveEpochTiling(const AuditContext &ctx, InvariantAuditor &auditor)
+{
+    if (!ctx.adaptiveLog || !ctx.adaptiveLog->enabled() ||
+        ctx.adaptiveLog->choices.empty()) {
+        return;
+    }
+    const AdaptiveLog &log = *ctx.adaptiveLog;
+    auto bad = [&](const char *detail, const AdaptiveChoice &choice) {
+        auditor.violation(
+            "adaptive-epoch-tiling", detail,
+            counterObject({{"epoch", choice.epoch},
+                           {"first_instruction", choice.firstInstruction},
+                           {"last_instruction", choice.lastInstruction},
+                           {"interval", log.interval}}));
+    };
+
+    uint64_t expected_first = 0;
+    uint64_t switches = 0;
+    for (size_t i = 0; i < log.choices.size(); ++i) {
+        const AdaptiveChoice &choice = log.choices[i];
+        if (choice.epoch != i)
+            bad("choice epoch ids must run 0..n-1 in order", choice);
+        if (choice.firstInstruction != expected_first)
+            bad("choice window must start where the previous ended",
+                choice);
+        if (choice.firstInstruction % log.interval != 0)
+            bad("policy switch off the epoch-boundary grid", choice);
+        bool final_choice = i + 1 == log.choices.size();
+        if (!final_choice &&
+            choice.lastInstruction - choice.firstInstruction !=
+                log.interval) {
+            bad("non-final epoch must span exactly one interval", choice);
+        }
+        if (choice.lastInstruction < choice.firstInstruction)
+            bad("choice window runs backwards", choice);
+        if (i > 0 && choice.policy != log.choices[i - 1].policy)
+            ++switches;
+        expected_first = choice.lastInstruction;
+    }
+    if (switches != log.switches) {
+        auditor.violation(
+            "adaptive-epoch-tiling",
+            "applied-switch counter disagrees with the choice log",
+            counterObject({{"counted", switches},
+                           {"logged", log.switches}}));
+    }
+    // Mid-run (paranoid checkpoints) the current epoch is still open;
+    // only at end-of-run must the log cover every retired instruction.
+    if (ctx.endOfRun && ctx.stats &&
+        expected_first != ctx.stats->instructions) {
+        auditor.violation(
+            "adaptive-epoch-tiling",
+            "choice windows must tile the run exactly (sum of interval "
+            "instruction counts == retired total)",
+            counterObject({{"covered", expected_first},
+                           {"retired", ctx.stats->instructions}}));
+    }
+}
+
 } // namespace
 
 InvariantAuditor
@@ -246,6 +316,8 @@ InvariantAuditor::standard(CheckLevel level)
                           CheckLevel::Cheap, checkIcacheConsistency});
     auditor.add(Invariant{"ras-depth-bound", "RAS extension",
                           CheckLevel::Cheap, checkRasBound});
+    auditor.add(Invariant{"adaptive-epoch-tiling", "DESIGN.md §12",
+                          CheckLevel::Cheap, checkAdaptiveEpochTiling});
     auditor.add(Invariant{"buffer-no-alias", "§3 resume/prefetch buffers",
                           CheckLevel::Paranoid, checkBufferAliasing});
     return auditor;

@@ -31,6 +31,7 @@
 
 namespace specfetch {
 
+struct AdaptiveLog;
 struct SimConfig;
 struct SimResults;
 struct Classification;
@@ -67,6 +68,8 @@ struct AuditContext
     const PrefetchUnit *prefetcher = nullptr;
     const BranchPredictor *predictor = nullptr;
     const MemoryBus *bus = nullptr;
+    /** Adaptive choice log (null when selection is off). */
+    const AdaptiveLog *adaptiveLog = nullptr;
 
     /** True at end-of-run, false at a paranoid checkpoint. */
     bool endOfRun = false;

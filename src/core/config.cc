@@ -33,6 +33,10 @@ SimConfig::describe() const
         out += ", sample " + std::to_string(sampleInterval);
     if (setHeatmap)
         out += ", heatmap";
+    if (adaptiveSelector != SelectorKind::Off) {
+        out += ", adaptive " + specfetch::toString(adaptiveSelector) +
+               " @" + std::to_string(adaptiveInterval);
+    }
     return out;
 }
 
@@ -51,6 +55,10 @@ SimConfig::validate() const
     fatal_if(icache.lineBytes < kInstBytes,
              "cache lines must hold at least one instruction");
     fatal_if(instructionBudget == 0, "instruction budget must be positive");
+    fatal_if(adaptiveSelector != SelectorKind::Off && adaptiveInterval == 0,
+             "adaptive selection needs a positive epoch interval");
+    fatal_if(adaptiveEpsilon < 0.0 || adaptiveEpsilon > 1.0,
+             "bandit epsilon must be in [0, 1]");
 }
 
 } // namespace specfetch

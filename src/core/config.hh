@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "adaptive/selector_kind.hh"
 #include "branch/predictor.hh"
 #include "cache/icache.hh"
 #include "cache/memory_hierarchy.hh"
@@ -117,6 +118,20 @@ struct SimConfig
     uint64_t sampleInterval = 0;
     /** Collect the per-set occupancy/conflict heatmap. */
     bool setHeatmap = false;
+    /** @} */
+
+    /** @name Adaptive policy selection (src/adaptive) @{ */
+    /** Per-epoch selector; Off (the default) runs `policy` statically
+     *  for the whole budget. When on, `policy` is the base policy of
+     *  epoch 0 and the selector re-decides at every epoch boundary. */
+    SelectorKind adaptiveSelector = SelectorKind::Off;
+    /** Adaptive epoch length in retired correct-path instructions;
+     *  the policy may change only at multiples of this count. */
+    uint64_t adaptiveInterval = 50'000;
+    /** Seed of the bandit selector's exploration stream. */
+    uint64_t adaptiveSeed = 1;
+    /** Exploration probability of the bandit selector, in [0, 1]. */
+    double adaptiveEpsilon = 0.1;
     /** @} */
 
     /** @name Slot-unit conversions (4 slots = 1 cycle at width 4) @{ */

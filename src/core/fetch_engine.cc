@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "adaptive/selector.hh"
 #include "check/invariant.hh"
 #include "fault/guard.hh"
 #include "obs/interval_sampler.hh"
@@ -39,6 +40,12 @@ FetchEngine::FetchEngine(const SimConfig &_config, const ProgramImage &_image)
         sampler = std::make_unique<IntervalSampler>(config.sampleInterval);
     if (config.setHeatmap)
         heatmap = std::make_unique<SetHeatmap>(config.icache);
+    basePolicy = config.policy;
+    if (config.adaptiveSelector != SelectorKind::Off) {
+        selector = makeSelector(config);
+        adaptiveTicker =
+            std::make_unique<IntervalSampler>(config.adaptiveInterval);
+    }
     walker.setStats(&stats);
     walker.setHeatmap(heatmap.get());
     walker.setVictim(config.victimEntries > 0 ? &victimCache : nullptr,
@@ -75,6 +82,13 @@ FetchEngine::reset()
     busBaseline = bus.transactions.value();
     if (heatmap)
         heatmap->reset();
+    // A previous adaptive run may have left config.policy on whatever
+    // the selector last chose; a reset run starts over from the base.
+    config.policy = basePolicy;
+    if (selector) {
+        selector->reset();
+        adaptiveLog = AdaptiveLog{};
+    }
     walker.setStats(&stats);
 }
 
@@ -86,6 +100,10 @@ FetchEngine::takeObservations(RunObservations &out)
         out.sampleInterval = sampler->interval();
     }
     out.heatmap = std::move(heatmap);
+    if (selector) {
+        out.adaptive = std::move(adaptiveLog);
+        adaptiveLog = AdaptiveLog{};
+    }
     walker.setHeatmap(nullptr);
 }
 
@@ -128,6 +146,7 @@ FetchEngine::runAudit(bool end_of_run)
     ctx.prefetcher = &prefetcher;
     ctx.predictor = &predictor;
     ctx.bus = &bus;
+    ctx.adaptiveLog = selector ? &adaptiveLog : nullptr;
     ctx.endOfRun = end_of_run;
 
     if (auditor->runChecks(ctx) == 0)
@@ -138,6 +157,32 @@ FetchEngine::runAudit(bool end_of_run)
           first.invariant.c_str(),
           static_cast<unsigned long long>(stats.instructions),
           first.detail.c_str());
+}
+
+void
+FetchEngine::onAdaptiveBoundary()
+{
+    adaptiveTicker->onBoundary(stats, now, prefetcher.issuedCount());
+    const EpochRecord &closed = adaptiveTicker->epochs().back();
+    adaptiveLog.choices.push_back(
+        AdaptiveChoice{closed.epoch, config.policy,
+                       closed.firstInstruction, closed.lastInstruction});
+
+    // A boundary that coincides with the end of the budget closes the
+    // final epoch; there is no next epoch to choose a policy for.
+    if (stats.instructions >= config.instructionBudget)
+        return;
+
+    FetchPolicy next = selector->nextPolicy(closed, config.policy);
+    if (next != config.policy) {
+        ++adaptiveLog.switches;
+        // The only place the run ever changes policy: every component
+        // reads the policy through the engine's config (the walker by
+        // reference, handleLineAccess directly), so the switch takes
+        // effect from the next fetched instruction while cache,
+        // predictor and clock state carry across untouched.
+        config.policy = next;
+    }
 }
 
 void
@@ -487,6 +532,18 @@ FetchEngine::runWith(Source &source)
         next_sample = sampler->interval();
     }
 
+    // Adaptive decision point (src/adaptive): the selector may change
+    // config.policy only at exact multiples of the adaptive interval,
+    // counted — like the sampler — from the warmup reset. Epoch 0
+    // always runs under the configured base policy.
+    uint64_t next_adaptive = UINT64_MAX;
+    if (selector) {
+        adaptiveTicker->begin(stats, now, prefetcher.issuedCount());
+        adaptiveLog.interval = config.adaptiveInterval;
+        adaptiveLog.basePolicy = config.policy;
+        next_adaptive = config.adaptiveInterval;
+    }
+
     // Paranoid mode audits every checkpointInterval retired
     // instructions; cheap mode audits only at end-of-run.
     uint64_t audit_step = 0;
@@ -509,6 +566,7 @@ FetchEngine::runWith(Source &source)
             // sampling off the cap is UINT64_MAX and never binds.
             uint64_t cap = std::min<uint64_t>(room, UINT32_MAX);
             cap = std::min(cap, next_sample - stats.instructions);
+            cap = std::min(cap, next_adaptive - stats.instructions);
             uint32_t batch = static_cast<uint32_t>(cap);
             uint32_t got = source.takePlainRun(run_pc, batch);
             if (got > 0) {
@@ -517,6 +575,10 @@ FetchEngine::runWith(Source &source)
                     sampler->onBoundary(stats, now,
                                         prefetcher.issuedCount());
                     next_sample += sampler->interval();
+                }
+                if (stats.instructions >= next_adaptive) {
+                    onAdaptiveBoundary();
+                    next_adaptive += config.adaptiveInterval;
                 }
                 if (stats.instructions >= next_audit) {
                     runAudit(false);
@@ -537,6 +599,10 @@ FetchEngine::runWith(Source &source)
             sampler->onBoundary(stats, now, prefetcher.issuedCount());
             next_sample += sampler->interval();
         }
+        if (stats.instructions >= next_adaptive) {
+            onAdaptiveBoundary();
+            next_adaptive += config.adaptiveInterval;
+        }
         if (stats.instructions >= next_audit) {
             runAudit(false);
             next_audit += audit_step;
@@ -551,6 +617,19 @@ FetchEngine::runWith(Source &source)
     stats.prefetchesIssued = prefetcher.issuedCount() - prefetchBaseline;
     if (sampler)
         sampler->finish(stats, now, prefetcher.issuedCount());
+    if (selector) {
+        // Close a final partial epoch (runs whose budget is not a
+        // multiple of the interval, or that exhausted their source).
+        adaptiveTicker->finish(stats, now, prefetcher.issuedCount());
+        const std::vector<EpochRecord> &ticks = adaptiveTicker->epochs();
+        if (ticks.size() > adaptiveLog.choices.size()) {
+            const EpochRecord &last = ticks.back();
+            adaptiveLog.choices.push_back(
+                AdaptiveChoice{last.epoch, config.policy,
+                               last.firstInstruction,
+                               last.lastInstruction});
+        }
+    }
     runAudit(true);
     return stats;
 }

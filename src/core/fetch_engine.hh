@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 
+#include "adaptive/adaptive_log.hh"
 #include "branch/predictor.hh"
 #include "cache/bus.hh"
 #include "cache/icache.hh"
@@ -38,6 +39,7 @@ namespace specfetch {
 
 class InvariantAuditor;
 class IntervalSampler;
+class PolicySelector;
 
 /**
  * One simulated front end. Construct per run (state is not reusable
@@ -122,6 +124,15 @@ class FetchEngine
     void resetStats();
 
     /**
+     * Adaptive decision point (config.adaptiveSelector != Off): close
+     * the epoch that just ended, log the policy that governed it, and
+     * apply the selector's choice for the next epoch. Called only at
+     * exact multiples of config.adaptiveInterval, so the policy can
+     * change nowhere else (DESIGN.md §12 switching contract).
+     */
+    void onAdaptiveBoundary();
+
+    /**
      * Run the registered invariants (config.checkLevel != Off). On any
      * violation: emit the structured report and stop the run.
      */
@@ -164,6 +175,17 @@ class FetchEngine
     std::unique_ptr<IntervalSampler> sampler;
     /** Non-null iff config.setHeatmap (src/obs). */
     std::unique_ptr<SetHeatmap> heatmap;
+    /** @name Adaptive selection (src/adaptive) @{ */
+    /** The configured base policy; runWith mutates config.policy at
+     *  epoch boundaries and reset() restores it from here. */
+    FetchPolicy basePolicy;
+    /** Non-null iff config.adaptiveSelector != Off. */
+    std::unique_ptr<PolicySelector> selector;
+    /** Epoch ticker of the decision point: reuses the interval
+     *  sampler's delta machinery, independent of the obs sampler. */
+    std::unique_ptr<IntervalSampler> adaptiveTicker;
+    AdaptiveLog adaptiveLog;
+    /** @} */
     AccessObserver *observer = nullptr;
 };
 

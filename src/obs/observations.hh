@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "adaptive/adaptive_log.hh"
 #include "obs/epoch.hh"
 #include "obs/set_heatmap.hh"
 
@@ -30,6 +31,8 @@ struct RunObservations
     uint64_t sampleInterval = 0;
     /** Per-set heatmap (null when the heatmap was off). */
     std::unique_ptr<SetHeatmap> heatmap;
+    /** Adaptive choice log (disabled when selection was off). */
+    AdaptiveLog adaptive;
 };
 
 } // namespace specfetch

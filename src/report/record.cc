@@ -144,6 +144,23 @@ toJson(const SimConfig &config)
     }
     if (config.setHeatmap)
         manifest.set("set_heatmap", JsonValue::boolean(true));
+    // Adaptive selection *does* change results, but the members still
+    // appear only when armed: every pre-adaptive record (and every
+    // run with selection off) stays byte-identical to its golden.
+    if (config.adaptiveSelector != SelectorKind::Off) {
+        manifest
+            .set("adaptive_selector",
+                 JsonValue::string(toString(config.adaptiveSelector)))
+            .set("adaptive_interval",
+                 JsonValue::integer(config.adaptiveInterval));
+        if (config.adaptiveSelector == SelectorKind::Bandit) {
+            manifest
+                .set("adaptive_seed",
+                     JsonValue::integer(config.adaptiveSeed))
+                .set("adaptive_epsilon",
+                     JsonValue::number(config.adaptiveEpsilon));
+        }
+    }
     manifest.set("description", JsonValue::string(config.describe()));
     return manifest;
 }

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Property harness for the adaptive subsystem (DESIGN.md §12): a
+ * seeded config fuzzer drives the simulator through ~200 random
+ * machine/workload points and asserts the three contracts every
+ * selector must honour —
+ *
+ *   1. no-perturbation: an adaptive run with StaticSelector(P) is
+ *      bit-exact (full SimResults equality) with the plain static
+ *      run of P;
+ *   2. determinism: any selector produces identical results on
+ *      repeated invocations, and under runSweep identical results
+ *      serially and in parallel;
+ *   3. oracle dominance: the per-interval Oracle bound never exceeds
+ *      any static policy's ISPI on the same epoch grid.
+ *
+ * Budgets are kept small (10K-50K instructions) so the whole harness
+ * stays well under the ISSUE.md 60-second ceiling while still
+ * crossing many epoch boundaries per point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adaptive/oracle.hh"
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "util/random.hh"
+#include "workload/registry.hh"
+#include "workload/workload.hh"
+
+using namespace specfetch;
+
+namespace {
+
+/** The repo's deterministic generator, seeded once per test. */
+struct Fuzzer
+{
+    explicit Fuzzer(uint64_t seed) : rng(seed) {}
+
+    uint64_t
+    below(uint64_t bound)
+    {
+        return rng.nextBelow(bound);
+    }
+
+    /** Pick one element of a fixed candidate list. */
+    template <typename T, size_t N>
+    T
+    pick(const T (&candidates)[N])
+    {
+        return candidates[below(N)];
+    }
+
+    std::string
+    benchmark()
+    {
+        static const char *names[] = {"gcc", "li", "groff", "tex",
+                                      "porky"};
+        return names[below(5)];
+    }
+
+    /** A random machine point: cache, branch arch, pipeline, seed. */
+    SimConfig
+    config()
+    {
+        SimConfig c;
+        c.policy = pick(kPolicies);
+        c.instructionBudget = 10'000 + below(5) * 10'000;
+        c.runSeed = 1 + below(1000);
+        c.icache.sizeBytes = pick(kCacheBytes);
+        c.icache.ways = static_cast<unsigned>(pick(kWays));
+        c.icache.lineBytes = static_cast<unsigned>(pick(kLines));
+        c.missPenaltyCycles = static_cast<unsigned>(5 + below(16));
+        c.memoryChannels = static_cast<unsigned>(1 + below(2));
+        c.maxUnresolved = static_cast<unsigned>(1 + below(8));
+        c.predictor.btbEntries = static_cast<unsigned>(pick(kBtb));
+        c.predictor.phtEntries = static_cast<unsigned>(pick(kPht));
+        return c;
+    }
+
+    uint64_t
+    interval()
+    {
+        static const uint64_t candidates[] = {1'000, 2'000, 5'000, 7'500,
+                                              10'000};
+        return pick(candidates);
+    }
+
+    Rng rng;
+
+    static constexpr FetchPolicy kPolicies[] = {
+        FetchPolicy::Oracle, FetchPolicy::Optimistic, FetchPolicy::Resume,
+        FetchPolicy::Pessimistic, FetchPolicy::Decode};
+    static constexpr uint64_t kCacheBytes[] = {1024, 2048, 4096, 8192,
+                                               16384};
+    static constexpr uint64_t kWays[] = {1, 2, 4};
+    static constexpr uint64_t kLines[] = {16, 32, 64};
+    static constexpr uint64_t kBtb[] = {16, 64, 256};
+    static constexpr uint64_t kPht[] = {64, 512, 2048};
+};
+
+constexpr FetchPolicy Fuzzer::kPolicies[];
+constexpr uint64_t Fuzzer::kCacheBytes[];
+constexpr uint64_t Fuzzer::kWays[];
+constexpr uint64_t Fuzzer::kLines[];
+constexpr uint64_t Fuzzer::kBtb[];
+constexpr uint64_t Fuzzer::kPht[];
+
+} // namespace
+
+// Contract 1: arming the decision point with StaticSelector never
+// perturbs the simulation — full-results equality, not just ISPI.
+TEST(SelectorProperties, StaticSelectorIsBitExactAcrossRandomConfigs)
+{
+    Fuzzer fuzz(20260808);
+    int mismatches = 0;
+    for (int point = 0; point < 200; ++point) {
+        std::string benchmark = fuzz.benchmark();
+        SimConfig plain = fuzz.config();
+        const Workload &workload = *sharedWorkload(benchmark);
+
+        SimConfig adaptive = plain;
+        adaptive.adaptiveSelector = SelectorKind::Static;
+        adaptive.adaptiveInterval = fuzz.interval();
+
+        SimResults a = runSimulation(workload, plain);
+        SimResults b = runSimulation(workload, adaptive);
+        if (!(a == b)) {
+            ++mismatches;
+            ADD_FAILURE() << "point " << point << ": " << benchmark
+                          << " " << plain.describe()
+                          << " diverged with adaptive interval "
+                          << adaptive.adaptiveInterval;
+        }
+    }
+    EXPECT_EQ(mismatches, 0);
+}
+
+// Contract 2a: the same adaptive config yields the same results on a
+// second invocation (fresh engine, fresh selector).
+TEST(SelectorProperties, AdaptiveRunsAreDeterministicAcrossInvocations)
+{
+    Fuzzer fuzz(977);
+    for (int point = 0; point < 20; ++point) {
+        std::string benchmark = fuzz.benchmark();
+        SimConfig config = fuzz.config();
+        config.adaptiveSelector = fuzz.below(2) == 0
+                                      ? SelectorKind::Threshold
+                                      : SelectorKind::Bandit;
+        config.adaptiveInterval = fuzz.interval();
+        config.adaptiveSeed = 1 + fuzz.below(100);
+        const Workload &workload = *sharedWorkload(benchmark);
+
+        SimResults first = runSimulation(workload, config);
+        SimResults second = runSimulation(workload, config);
+        EXPECT_TRUE(first == second)
+            << "point " << point << ": " << benchmark << " "
+            << toString(config.adaptiveSelector)
+            << " diverged across invocations";
+    }
+}
+
+// Contract 2b: a sweep of adaptive runs is oblivious to worker count.
+TEST(SelectorProperties, AdaptiveSweepsMatchSerialAndParallel)
+{
+    Fuzzer fuzz(31337);
+    std::vector<RunSpec> specs;
+    for (int point = 0; point < 20; ++point) {
+        SimConfig config = fuzz.config();
+        config.adaptiveSelector = point % 2 == 0 ? SelectorKind::Threshold
+                                                 : SelectorKind::Bandit;
+        config.adaptiveInterval = fuzz.interval();
+        config.adaptiveSeed = 1 + fuzz.below(100);
+        specs.push_back(RunSpec{fuzz.benchmark(), config});
+    }
+    std::vector<SimResults> serial = runSweep(specs, 1);
+    std::vector<SimResults> parallel = runSweep(specs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(serial[i] == parallel[i])
+            << "spec " << i << " (" << specs[i].benchmark
+            << ") differs between serial and parallel sweeps";
+    }
+}
+
+// Contract 3: the per-interval Oracle is a true lower bound over its
+// candidates, on every workload and random machine point tried.
+TEST(SelectorProperties, OracleDominatesEveryStaticPolicy)
+{
+    Fuzzer fuzz(4242);
+    for (int point = 0; point < 12; ++point) {
+        std::string benchmark = fuzz.benchmark();
+        SimConfig base = fuzz.config();
+        uint64_t interval = fuzz.interval();
+        PerIntervalOracle oracle = computePerIntervalOracle(
+            *sharedWorkload(benchmark), base, interval);
+
+        ASSERT_EQ(oracle.staticIspi.size(), allPolicies().size());
+        for (size_t p = 0; p < oracle.staticIspi.size(); ++p) {
+            EXPECT_LE(oracle.oracleIspi, oracle.staticIspi[p] + 1e-12)
+                << "point " << point << ": bound exceeds "
+                << toString(oracle.policies[p]) << " on " << benchmark;
+        }
+        EXPECT_LE(oracle.oracleIspi, oracle.bestStaticIspi() + 1e-12);
+        EXPECT_EQ(oracle.bestPolicy.size(), oracle.bestPenaltySlots.size());
+    }
+}

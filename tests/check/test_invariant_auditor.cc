@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "adaptive/adaptive_log.hh"
 #include "cache/bus.hh"
 #include "cache/icache.hh"
 #include "cache/line_buffer.hh"
@@ -105,6 +106,86 @@ TEST(InvariantAuditor, CatchesSeededBusViolation)
     InvariantAuditor auditor = InvariantAuditor::standard(CheckLevel::Cheap);
     ASSERT_EQ(auditor.runChecks(ctx), 1u);
     EXPECT_EQ(auditor.violations().front().invariant, "bus-accounting");
+}
+
+// ---- Adaptive epoch tiling -------------------------------------------
+
+/** Violations of adaptive-epoch-tiling alone in @p ctx. */
+size_t
+tilingViolations(const AuditContext &ctx)
+{
+    InvariantAuditor auditor = InvariantAuditor::standard(CheckLevel::Cheap);
+    auditor.runChecks(ctx);
+    size_t count = 0;
+    for (const InvariantViolation &violation : auditor.violations())
+        count += violation.invariant == "adaptive-epoch-tiling";
+    return count;
+}
+
+TEST(InvariantAuditor, AdaptiveTilingAcceptsAContiguousChoiceLog)
+{
+    SimResults stats;
+    stats.instructions = 250;
+    AdaptiveLog log;
+    log.interval = 100;
+    log.basePolicy = FetchPolicy::Resume;
+    log.choices = {{0, FetchPolicy::Resume, 0, 100},
+                   {1, FetchPolicy::Optimistic, 100, 200},
+                   {2, FetchPolicy::Optimistic, 200, 250}};
+    log.switches = 1;
+
+    AuditContext ctx;
+    ctx.stats = &stats;
+    ctx.adaptiveLog = &log;
+    ctx.endOfRun = true;
+    EXPECT_EQ(tilingViolations(ctx), 0u);
+
+    // Mid-run checkpoints skip the end-of-run coverage clause.
+    ctx.endOfRun = false;
+    log.choices.back().lastInstruction = 230;
+    EXPECT_EQ(tilingViolations(ctx), 0u);
+}
+
+TEST(InvariantAuditor, AdaptiveTilingCatchesSeededDefects)
+{
+    SimResults stats;
+    stats.instructions = 300;
+    AdaptiveLog good;
+    good.interval = 100;
+    good.basePolicy = FetchPolicy::Resume;
+    good.choices = {{0, FetchPolicy::Resume, 0, 100},
+                    {1, FetchPolicy::Resume, 100, 200},
+                    {2, FetchPolicy::Resume, 200, 300}};
+    good.switches = 0;
+
+    auto check = [&stats](const AdaptiveLog &log) {
+        AuditContext ctx;
+        ctx.stats = &stats;
+        ctx.adaptiveLog = &log;
+        ctx.endOfRun = true;
+        return tilingViolations(ctx);
+    };
+    ASSERT_EQ(check(good), 0u);
+
+    AdaptiveLog gapped = good;     // window starts off the epoch grid
+    gapped.choices[1].firstInstruction = 150;
+    EXPECT_GE(check(gapped), 1u);
+
+    AdaptiveLog short_epoch = good;   // non-final epoch cut short
+    short_epoch.choices[1].lastInstruction = 150;
+    EXPECT_GE(check(short_epoch), 1u);
+
+    AdaptiveLog miscounted = good;    // switch counter disagrees
+    miscounted.switches = 2;
+    EXPECT_EQ(check(miscounted), 1u);
+
+    AdaptiveLog uncovered = good;     // log ends before the run does
+    uncovered.choices.pop_back();
+    EXPECT_EQ(check(uncovered), 1u);
+
+    // A run without adaptive selection is skipped, never flagged.
+    AdaptiveLog off;
+    EXPECT_EQ(check(off), 0u);
 }
 
 TEST(InvariantAuditor, LevelGatesParanoidInvariants)

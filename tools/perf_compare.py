@@ -31,9 +31,16 @@ untouched stages are printed as a machine-noise floor. The CURRENT
 meta must carry "sample_interval" (proof the flag was really on);
 benchmark and budget must still match.
 
+--adaptive-overhead takes ONE perf file and bounds the adaptive
+decision point's cost within it (DESIGN.md §12): the sim_adaptive
+stage runs the same simulation as sim_live with a StaticSelector
+armed, so any throughput difference is pure epoch-ticker and
+choice-log bookkeeping. The bound defaults to 3%.
+
 Usage:
     tools/perf_compare.py BASELINE CURRENT [--tolerance 0.25] [--strict]
     tools/perf_compare.py --overhead OFF.json ON.json [--strict]
+    tools/perf_compare.py --adaptive-overhead PERF.json [--strict]
     tools/perf_compare.py --self-test
 """
 
@@ -177,6 +184,30 @@ def compare_overhead(base_meta, base, cur_meta, cur, baseline_name,
     if flagged:
         drops = ", ".join(flagged)
         warn(f"sampler overhead exceeds {tolerance:.0%} on: {drops}")
+        if strict:
+            return 1
+    return 0
+
+
+def compare_adaptive(stages, name, tolerance, strict):
+    """Bound the adaptive decision point's bookkeeping cost within one
+    perf file: sim_adaptive (StaticSelector armed) vs sim_live."""
+    for stage in ("sim_live", "sim_adaptive"):
+        if stage not in stages:
+            raise SystemExit(
+                f"error: {name} has no '{stage}' perf record; run a "
+                f"perf_microbench that measures both")
+    live = stages["sim_live"]["rate"]
+    adaptive = stages["sim_adaptive"]["rate"]
+    overhead = 1.0 - adaptive / live if live > 0 else 0.0
+    print(f"adaptive decision-point overhead (bound {tolerance:.0%})")
+    print(f"{'stage':<16} {'rate/s':>14}")
+    print(f"{'sim_live':<16} {live:>14.0f}")
+    print(f"{'sim_adaptive':<16} {adaptive:>14.0f}")
+    print(f"overhead: {overhead:.1%}")
+    if overhead > tolerance:
+        warn(f"adaptive selector overhead {overhead:.1%} exceeds "
+             f"{tolerance:.0%}")
         if strict:
             return 1
     return 0
@@ -330,6 +361,33 @@ def self_test():
             check("sampler-on BASELINE raises",
                   "baseline" in str(err) or "off" in str(err))
 
+        # 8. Adaptive-overhead mode: bounded within one file.
+        stages = {"sim_live": {"stage": "sim_live", "rate": 100.0},
+                  "sim_adaptive": {"stage": "sim_adaptive",
+                                   "rate": 98.0}}
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = compare_adaptive(stages, "perf", 0.03, True)
+        check("2% adaptive overhead within the 3% bound", code == 0)
+        stages["sim_adaptive"]["rate"] = 90.0
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = compare_adaptive(stages, "perf", 0.03, True)
+        check("10% adaptive overhead flagged strictly", code == 1)
+        check("adaptive overhead named in warning",
+              "adaptive" in err.getvalue())
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                compare_adaptive({"sim_live": {"stage": "sim_live",
+                                               "rate": 100.0}},
+                                 "perf", 0.03, False)
+            check("missing sim_adaptive raises", False)
+        except SystemExit as err:
+            check("missing sim_adaptive raises",
+                  "sim_adaptive" in str(err))
+
     if failures:
         print(f"self-test: {len(failures)} check(s) failed",
               file=sys.stderr)
@@ -352,6 +410,9 @@ def main(argv=None):
                         help="check sampler overhead: BASELINE measured "
                              "with the sampler off, CURRENT with "
                              "--sample-interval armed")
+    parser.add_argument("--adaptive-overhead", action="store_true",
+                        help="bound sim_adaptive vs sim_live within ONE "
+                             "perf file (default tolerance 0.03)")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any stage is flagged "
                              "(default: warn only)")
@@ -361,6 +422,16 @@ def main(argv=None):
 
     if args.self_test:
         return self_test()
+    if args.adaptive_overhead:
+        if args.baseline is None:
+            parser.error("--adaptive-overhead needs one perf JSONL file")
+        if args.current is not None:
+            parser.error("--adaptive-overhead compares stages within "
+                         "ONE file; drop the second path")
+        tolerance = args.tolerance if args.tolerance is not None else 0.03
+        _, stages = load_perf(args.baseline)
+        return compare_adaptive(stages, args.baseline, tolerance,
+                                args.strict)
     if args.baseline is None or args.current is None:
         parser.error("BASELINE and CURRENT are required "
                      "(or use --self-test)")

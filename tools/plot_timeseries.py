@@ -15,6 +15,11 @@ look at without a notebook:
     columns (instruction x-axis plus one column per run) ready for
     gnuplot / pandas / a spreadsheet.
 
+When the file also carries `adaptive` records (an --adaptive run's
+choice log, DESIGN.md §12), the chart overlays a '|' column at every
+epoch boundary where the selector switched policy for the selected
+runs; --no-switch-markers suppresses the overlay.
+
 Metrics name either a derived value ("ispi", "miss_rate_percent",
 "cond_accuracy", "bus_wait_fraction", "ispi.rt_icache", ...) or any
 raw per-epoch counter ("demand_misses", "wrong_fills", ...).
@@ -50,6 +55,37 @@ def load_timeseries(path):
             if record.get("record") == "timeseries":
                 records.append(record)
     return records
+
+
+def load_adaptive(path):
+    """Return the list of adaptive records of a JSONL file."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: malformed JSON: {err}")
+            if record.get("record") == "adaptive":
+                records.append(record)
+    return records
+
+
+def run_identity(record):
+    """The members that pair a timeseries row with an adaptive row."""
+    return (record.get("workload"), record.get("policy"),
+            record.get("prefetch"), record.get("run_seed"))
+
+
+def switch_positions(adaptive_record):
+    """Instruction counts where the choice log changed policy."""
+    choices = adaptive_record.get("choices", [])
+    return [choice.get("first_instruction", 0)
+            for prev, choice in zip(choices, choices[1:])
+            if choice.get("policy") != prev.get("policy")]
 
 
 def run_label(record):
@@ -98,10 +134,12 @@ def select(records, workload, policy, prefetch):
     return out
 
 
-def ascii_chart(series, metric, width, height):
+def ascii_chart(series, metric, width, height, switch_xs=None):
     """Render labelled series as text; returns the chart as a string.
 
     @p series is a list of (label, xs, ys) with a shared x domain.
+    @p switch_xs (optional) lists instruction counts where an adaptive
+    selector switched policy; each is overlaid as a '|' column.
     """
     marks = "*+ox#%@&"
     xmax = max(max(xs) for _, xs, _ in series)
@@ -110,6 +148,10 @@ def ascii_chart(series, metric, width, height):
     if ymax == ymin:
         ymax = ymin + 1.0
     grid = [[" "] * width for _ in range(height)]
+    for x in switch_xs or []:
+        col = min(width - 1, int(x / xmax * (width - 1))) if xmax else 0
+        for row in grid:
+            row[col] = "|"
     for index, (_, xs, ys) in enumerate(series):
         mark = marks[index % len(marks)]
         for x, y in zip(xs, ys):
@@ -125,6 +167,8 @@ def ascii_chart(series, metric, width, height):
     lines.append(" " * 11 + f"0 .. {xmax:,} instructions")
     for index, (label, _, _) in enumerate(series):
         lines.append(f"  {marks[index % len(marks)]} {label}")
+    if switch_xs:
+        lines.append(f"  | policy switch ({len(switch_xs)} total)")
     return "\n".join(lines)
 
 
@@ -209,6 +253,32 @@ def self_test():
     check("constant series does not divide by zero",
           "flat" in ascii_chart(flat, "ispi.rt_icache", 20, 4))
 
+    adaptive = {"record": "adaptive", "workload": "gcc",
+                "policy": "Fetch", "prefetch": "none", "run_seed": 42,
+                "choices": [
+                    {"epoch": 0, "policy": "Fetch",
+                     "first_instruction": 0, "last_instruction": 100},
+                    {"epoch": 1, "policy": "Stall",
+                     "first_instruction": 100,
+                     "last_instruction": 200},
+                    {"epoch": 2, "policy": "Stall",
+                     "first_instruction": 200,
+                     "last_instruction": 300}]}
+    check("switch positions found at policy changes",
+          switch_positions(adaptive) == [100])
+    check("unchanged epochs yield no switch",
+          switch_positions({"choices": adaptive["choices"][1:]}) == [])
+    check("run identity pairs timeseries with adaptive rows",
+          run_identity(adaptive) ==
+          ("gcc", "Fetch", "none", 42))
+    marked = ascii_chart(series, "ispi", 40, 8, [100])
+    check("switch marker column overlaid", "|" in
+          marked.splitlines()[2][12:])
+    check("switch marker legend present",
+          "policy switch (1 total)" in marked)
+    check("series marks win over the marker column",
+          "*" in marked)
+
     import os
     import tempfile
     with tempfile.TemporaryDirectory() as tmp:
@@ -216,10 +286,13 @@ def self_test():
         with open(jsonl, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(rec) + "\n")
             handle.write(json.dumps({"record": "run"}) + "\n")
+            handle.write(json.dumps(adaptive) + "\n")
             handle.write("\n")
         loaded = load_timeseries(jsonl)
         check("loader keeps only timeseries records",
               loaded == [rec])
+        check("adaptive loader keeps only adaptive records",
+              load_adaptive(jsonl) == [adaptive])
 
         tsv = os.path.join(tmp, "out.tsv")
         write_tsv(series, "ispi", tsv)
@@ -258,6 +331,9 @@ def main(argv=None):
                         help="list the selectable runs and exit")
     parser.add_argument("--tsv", metavar="PATH",
                         help="write the series as TSV instead of a chart")
+    parser.add_argument("--no-switch-markers", action="store_true",
+                        help="do not overlay adaptive policy-switch "
+                             "columns on the chart")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in unit tests and exit")
     args = parser.parse_args(argv)
@@ -298,7 +374,17 @@ def main(argv=None):
     if args.tsv:
         write_tsv(series, args.metric, args.tsv)
         return 0
-    print(ascii_chart(series, args.metric, args.width, args.height))
+
+    switch_xs = []
+    if not args.no_switch_markers:
+        adaptive = {run_identity(r): r for r in
+                    load_adaptive(args.results)}
+        for record in selected:
+            match = adaptive.get(run_identity(record))
+            if match:
+                switch_xs.extend(switch_positions(match))
+    print(ascii_chart(series, args.metric, args.width, args.height,
+                      sorted(set(switch_xs))))
     return 0
 
 

@@ -77,6 +77,8 @@ class BenchMain
                        "write flattened per-run records to this CSV path");
         opts.addString("check", "off",
                        "invariant-audit level: off, cheap or paranoid");
+        opts.addCount("checkpoint-interval", 100'000,
+                      "paranoid-audit checkpoint spacing, instructions");
         opts.addString("ledger", "",
                        "journal completed runs to this write-ahead "
                        "ledger (enables --resume)");
@@ -144,6 +146,14 @@ class BenchMain
                          "error: --check expects off, cheap or paranoid "
                          "(got '%s')\n",
                          opts.getString("check").c_str());
+            parseFailed = true;
+            return false;
+        }
+        checkpointInterval = opts.getCount("checkpoint-interval");
+        if (checkpointInterval == 0) {
+            std::fprintf(stderr,
+                         "error: --checkpoint-interval expects a "
+                         "positive instruction count (got 0)\n");
             parseFailed = true;
             return false;
         }
@@ -455,6 +465,7 @@ class BenchMain
     uint64_t budget = kDefaultBudget;
     unsigned parallelism = 0;
     CheckLevel checkLevel = CheckLevel::Off;
+    uint64_t checkpointInterval = 100'000;
     bool parseFailed = false;
     std::unique_ptr<JsonlWriter> json;
     std::unique_ptr<CsvReportWriter> csv;
@@ -519,8 +530,10 @@ runSweepReported(const std::vector<RunSpec> &specs)
     BenchMain &bm = benchMain();
     std::vector<RunSpec> audited = specs;
     if (bm.checkLevel != CheckLevel::Off) {
-        for (RunSpec &spec : audited)
+        for (RunSpec &spec : audited) {
             spec.config.checkLevel = bm.checkLevel;
+            spec.config.checkpointInterval = bm.checkpointInterval;
+        }
     }
     bm.applyObsConfig(audited);
     bm.applyAdaptiveConfig(audited);

@@ -247,6 +247,7 @@ main(int argc, char **argv)
     SimConfig base;
     base.instructionBudget = benchMain().budget;
     base.checkLevel = benchMain().checkLevel;
+    base.checkpointInterval = benchMain().checkpointInterval;
     banner("Bench suite",
            "13 profiles x 5 policies x {no prefetch, next-line}", base);
 

@@ -102,7 +102,11 @@ main(int argc, char **argv)
                    "gshare|global|pc|local|combining");
     opts.addCount("ras", 0, "return-address-stack depth (0 = none)");
     opts.addCount("victim", 0, "victim-cache entries (0 = none)");
+    opts.addCount("victim-hit-cycles", 1,
+                  "victim-cache hit latency, cycles");
     opts.addFlag("l2", "enable the explicit 64K L2 (5/20-cycle split)");
+    opts.addCount("l2-hit-cycles", 5, "L2 hit latency, cycles");
+    opts.addCount("l2-miss-cycles", 20, "L2 miss latency, cycles");
 
     opts.addString("adaptive", "",
                    "per-epoch policy selection: static|threshold|bandit");
@@ -177,7 +181,13 @@ main(int argc, char **argv)
         static_cast<unsigned>(opts.getCount("ras"));
     config.victimEntries =
         static_cast<unsigned>(opts.getCount("victim"));
+    config.victimHitCycles =
+        static_cast<unsigned>(opts.getCount("victim-hit-cycles"));
     config.l2Enabled = opts.getFlag("l2");
+    config.l2HitCycles =
+        static_cast<unsigned>(opts.getCount("l2-hit-cycles"));
+    config.l2MissCycles =
+        static_cast<unsigned>(opts.getCount("l2-miss-cycles"));
     config.validate();
 
     Workload workload =

@@ -127,7 +127,7 @@ class ThresholdSelector : public PolicySelector
 
   private:
     std::vector<ThresholdRule> rules;
-    double split;
+    double split = 0.0;
 };
 
 /**
@@ -188,9 +188,9 @@ class EpsilonGreedyBandit : public PolicySelector
     size_t armIndex(FetchPolicy policy) const;
 
     std::vector<FetchPolicy> arms;
-    uint64_t seed;
-    double epsilon;
-    double alpha;
+    uint64_t seed = 0;
+    double epsilon = 0.0;
+    double alpha = 0.0;
     std::vector<double> edges;
     Rng rng;
     std::vector<uint64_t> counts;            ///< per arm, all contexts

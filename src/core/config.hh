@@ -76,9 +76,11 @@ struct SimConfig
     }
     /** Shorthand for the paper's evaluated prefetcher; equivalent to
      *  prefetchKind = NextLine when prefetchKind is None. */
+    // SPECFETCH-ALLOW(config-plumbing): manifest serializes effectivePrefetchKind(), which folds this in
     bool nextLinePrefetch = false;
     /** Prefetch mechanism; overrides nextLinePrefetch when not None
      *  (Target/Combined are §2.2 related-work extensions). */
+    // SPECFETCH-ALLOW(config-plumbing): manifest serializes effectivePrefetchKind(), the resolved alias
     PrefetchKind prefetchKind = PrefetchKind::None;
     /** Target-prefetch table entries (power of two). */
     unsigned targetTableEntries = 64;

@@ -30,7 +30,9 @@ struct SimResults
     uint64_t instructions = 0;
     /** Slot penalties of the simulated machine (filled by the engine;
      *  8/16 on the paper baseline). */
+    // SPECFETCH-ALLOW(stat-conservation): machine parameters echoed from config, not accumulated stats
     uint64_t misfetchSlots = 8;
+    // SPECFETCH-ALLOW(stat-conservation): machine parameter, not an accumulated stat
     uint64_t mispredictSlots = 16;
     /** Final slot clock (instructions + all lost slots). */
     Slot finalSlot = 0;

@@ -123,6 +123,7 @@ prepareShared(const std::vector<RunSpec> &specs, unsigned workers,
     }
     std::vector<std::shared_ptr<const TraceSnapshot>> recorded(
         toRecord.size());
+    // SPECFETCH-ALLOW(error-boundary): pre-recording failures abort before any run starts; nothing to quarantine yet
     parallelFor(toRecord.size(), workers, [&](size_t i) {
         const auto &[key, length] = toRecord[i];
         TraceSpan span("snapshot_record", "sweep", key.first);
@@ -307,6 +308,7 @@ runSweep(const std::vector<RunSpec> &specs, unsigned parallelism,
     std::vector<SimResults> results(specs.size());
 
     SweepClock::time_point runStart = SweepClock::now();
+    // SPECFETCH-ALLOW(error-boundary): the plain sweep aborts on panic by contract; use runSweepGuarded to quarantine
     parallelFor(specs.size(), workers, [&](size_t index) {
         const RunSpec &spec = specs[index];
         const Workload &workload = *shared.workloads.at(spec.benchmark);
@@ -360,6 +362,7 @@ runSweepGuarded(const std::vector<RunSpec> &specs, const SweepGuard &guard,
     std::mutex failuresMutex;
 
     SweepClock::time_point runStart = SweepClock::now();
+    // SPECFETCH-ALLOW(error-boundary): lookups cannot fail after prepareShared validated every spec; runs go through runOneGuarded
     parallelFor(specs.size(), workers, [&](size_t index) {
         const RunSpec &spec = specs[index];
         const Workload &workload = *shared.workloads.at(spec.benchmark);

@@ -99,6 +99,7 @@ runResilientSweep(const std::vector<RunSpec> &specs,
     guard.backoffBaseSeconds = options.backoffBaseSeconds;
     guard.runTimeoutSeconds = options.runTimeoutSeconds;
     guard.injector = options.injector;
+    // SPECFETCH-ALLOW(error-boundary): a ledger-append failure means the journal is gone; aborting beats silently dropping runs
     guard.onRunComplete = [&](size_t subIndex, const SimResults &results) {
         size_t index = remaining[subIndex];
         JsonValue record = options.makeRecord(index, results);

@@ -68,7 +68,7 @@ class IntervalSampler
     void append(const SimResults &stats, Slot now,
                 uint64_t prefetchesIssued, bool partial);
 
-    uint64_t epochInterval;
+    uint64_t epochInterval = 0;
     std::vector<EpochRecord> series;
     /** Cumulative values at the previous boundary. */
     SimResults prev;

@@ -11,6 +11,7 @@ namespace specfetch {
 ProgressReporter &
 ProgressReporter::global()
 {
+    // SPECFETCH-ALLOW(shared-state): Meyers singleton; the reporter guards its state with atomics and a mutex
     static ProgressReporter reporter;
     return reporter;
 }

@@ -115,8 +115,8 @@ class SetHeatmap
     }
 
     ICacheConfig cfg;
-    uint64_t numSets;
-    unsigned lineShift;
+    uint64_t numSets = 0;
+    unsigned lineShift = 0;
     std::vector<uint64_t> demandAccesses_;
     std::vector<uint64_t> demandMisses_;
     std::vector<uint64_t> correctFills_;

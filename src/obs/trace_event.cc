@@ -10,6 +10,7 @@ namespace specfetch {
 TraceEventSink &
 TraceEventSink::global()
 {
+    // SPECFETCH-ALLOW(shared-state): Meyers singleton; the sink serializes all access behind its own mutex
     static TraceEventSink sink;
     return sink;
 }

@@ -85,6 +85,7 @@ class TraceEventSink
     std::mutex mutex;
     std::string outPath;
     std::chrono::steady_clock::time_point origin;
+    // SPECFETCH-ALLOW(unordered): observability-only thread-id interning, mutex-guarded, never ordered into results
     std::unordered_map<std::thread::id, uint64_t> tids;
     std::vector<Span> spans;
 };
@@ -122,7 +123,7 @@ class TraceSpan
     const char *spanName;
     const char *spanCategory;
     std::string spanDetail;
-    bool active;
+    bool active = false;
     std::chrono::steady_clock::time_point begin;
 };
 

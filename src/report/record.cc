@@ -114,8 +114,25 @@ toJson(const SimConfig &config)
         .set("miss_penalty_cycles",
              JsonValue::integer(config.missPenaltyCycles))
         .set("memory_channels", JsonValue::integer(config.memoryChannels))
-        .set("l2_enabled", JsonValue::boolean(config.l2Enabled))
-        .set("victim_entries", JsonValue::integer(config.victimEntries))
+        .set("l2_enabled", JsonValue::boolean(config.l2Enabled));
+    // The L2 geometry and hit/miss latencies matter only when the L2
+    // exists; they appear only then so records of single-level runs
+    // stay byte-identical to schema v1 golden files.
+    if (config.l2Enabled) {
+        JsonValue l2 = JsonValue::object();
+        l2.set("size_bytes", JsonValue::integer(config.l2Cache.sizeBytes))
+            .set("line_bytes", JsonValue::integer(config.l2Cache.lineBytes))
+            .set("ways", JsonValue::integer(config.l2Cache.ways));
+        manifest.set("l2_cache", std::move(l2))
+            .set("l2_hit_cycles", JsonValue::integer(config.l2HitCycles))
+            .set("l2_miss_cycles", JsonValue::integer(config.l2MissCycles));
+    }
+    manifest.set("victim_entries", JsonValue::integer(config.victimEntries));
+    if (config.victimEntries > 0) {
+        manifest.set("victim_hit_cycles",
+                     JsonValue::integer(config.victimHitCycles));
+    }
+    manifest
         .set("prefetch_kind",
              JsonValue::string(toString(config.effectivePrefetchKind())))
         .set("target_table_entries",

@@ -1,0 +1,17 @@
+"""Entry point so `python3 tools/analyze` works directly.
+
+When invoked as a directory, Python runs this file without package
+context; bootstrap the package by putting tools/ on sys.path.
+"""
+
+import os
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    from analyze.cli import main
+else:
+    from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,147 @@
+"""Command-line interface for specfetch-analyze.
+
+    python3 tools/analyze [--root DIR] [--build-dir DIR] [--strict]
+                          [--rules a,b] [--json] [--sarif PATH]
+                          [--baseline PATH] [--write-baseline]
+                          [--list-rules] [--self-test]
+
+Exit codes follow the perf_compare.py convention: without --strict
+findings are warnings (exit 0); with --strict any non-baselined
+finding exits 1. --self-test exits 1 when any corpus expectation is
+violated.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from . import __version__
+from .engine import Baseline, run_rules
+from .project import Project
+from .rules import all_rules
+from .sarif import make_sarif, write_sarif
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__),
+                                "baseline.json")
+
+
+def _select_rules(names):
+    rules = all_rules()
+    if not names:
+        return rules
+    known = {r.rule_id for r in rules}
+    unknown = set(names) - known
+    if unknown:
+        raise SystemExit(
+            f"unknown rule(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}")
+    return [r for r in rules if r.rule_id in names]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="tools/analyze",
+        description="Project-aware static analysis for the "
+                    "speculative-fetch simulator (see DESIGN.md §13).")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: .)")
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any non-baselined finding")
+    parser.add_argument("--rules", default="",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON on stdout")
+    parser.add_argument("--sarif", metavar="PATH",
+                        help="write a SARIF 2.1.0 report to PATH")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file (default: "
+                             "tools/analyze/baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule ids and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the violation corpus and engine "
+                             "self-tests")
+    parser.add_argument("--version", action="version",
+                        version=f"specfetch-analyze {__version__}")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id:18s} "
+                  f"{rule.description.splitlines()[0]}")
+        print(f"{'bad-suppression':18s} SPECFETCH-ALLOW without a "
+              f"reason")
+        return 0
+
+    if args.self_test:
+        from .selftest import run_self_test
+        return run_self_test()
+
+    names = [n.strip() for n in args.rules.split(",") if n.strip()]
+    rules = _select_rules(names)
+
+    started = time.monotonic()
+    project = Project(args.root, build_dir=args.build_dir)
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline = None if (args.no_baseline or args.write_baseline) \
+        else Baseline.load(baseline_path)
+    result = run_rules(project, rules, baseline)
+    elapsed = time.monotonic() - started
+
+    if args.write_baseline:
+        Baseline.dump(result.findings, project, baseline_path)
+        print(f"wrote {len(result.findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    if args.sarif:
+        root_uri = "file://" + project.root.rstrip("/") + "/"
+        write_sarif(result, root_uri, args.sarif)
+
+    if args.json:
+        doc = {
+            "version": 1,
+            "root": project.root,
+            "used_compilation_database": project.used_database,
+            "files_analyzed": len(project.rel_paths),
+            "elapsed_seconds": round(elapsed, 3),
+            "findings": [
+                {"rule": f.rule, "path": f.path, "line": f.line,
+                 "message": f.message}
+                for f in result.findings
+            ],
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+        }
+        json.dump(doc, sys.stdout, indent=2)
+        print()
+    else:
+        for f in result.findings:
+            print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+        db_note = "" if project.used_database \
+            else " (no compile_commands.json; walked src/)"
+        print(f"analyze: {len(project.rel_paths)} files, "
+              f"{len(result.findings)} finding(s), "
+              f"{len(result.suppressed)} suppressed, "
+              f"{len(result.baselined)} baselined, "
+              f"{elapsed:.1f}s{db_note}")
+
+    if result.findings:
+        if args.strict:
+            return 1
+        print("analyze: findings are warnings without --strict")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+#include "../src/core/config.hh"
+
+int main() {
+    specfetch::SimConfig config;
+    config.fetchWidth = 8;
+    return static_cast<int>(config.fetchWidth);
+}

@@ -1,0 +1,11 @@
+#pragma once
+#include <cstdint>
+
+namespace specfetch {
+
+struct SimConfig {
+    uint32_t fetchWidth = 4;
+    uint32_t secretKnob = 0;
+};
+
+}  // namespace specfetch

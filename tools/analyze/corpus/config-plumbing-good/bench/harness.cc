@@ -1,0 +1,8 @@
+#include "../src/core/config.hh"
+
+int main() {
+    specfetch::SimConfig config;
+    config.fetchWidth = 8;
+    config.secretKnob = 3;
+    return static_cast<int>(config.fetchWidth + config.secretKnob);
+}

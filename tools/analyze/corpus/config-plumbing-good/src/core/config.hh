@@ -1,0 +1,13 @@
+#pragma once
+#include <cstdint>
+
+namespace specfetch {
+
+struct SimConfig {
+    uint32_t fetchWidth = 4;
+    uint32_t secretKnob = 0;
+    // SPECFETCH-ALLOW(config-plumbing): derived at load time, never user-set
+    uint32_t derivedMask = 0;
+};
+
+}  // namespace specfetch

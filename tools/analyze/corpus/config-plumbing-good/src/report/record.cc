@@ -1,0 +1,9 @@
+#include "../core/config.hh"
+
+namespace specfetch {
+
+int toJson(const SimConfig& config) {
+    return static_cast<int>(config.fetchWidth + config.secretKnob);
+}
+
+}  // namespace specfetch

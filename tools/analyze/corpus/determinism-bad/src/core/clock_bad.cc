@@ -1,0 +1,21 @@
+// Known-bad determinism corpus: every flagged line below must fire.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace specfetch {
+
+void stamp() {
+    auto t0 = std::chrono::system_clock::now();
+    time_t t1 = time(nullptr);
+    long t2 = clock();
+    int r = rand();
+    std::random_device rd;
+    (void)t0;
+    (void)t1;
+    (void)t2;
+    (void)r;
+    (void)rd;
+}
+
+}  // namespace specfetch

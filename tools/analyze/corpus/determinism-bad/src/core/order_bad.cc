@@ -1,0 +1,12 @@
+// Hash-ordered and pointer-keyed containers must fire.
+#include <map>
+#include <unordered_map>
+
+namespace specfetch {
+
+struct Line;
+
+std::unordered_map<int, int> histogram;
+std::map<Line*, int> byPointer;
+
+}  // namespace specfetch

@@ -1,0 +1,14 @@
+// Deterministic counterparts: nothing in this file may fire.
+#include <chrono>
+
+namespace specfetch {
+
+// rand() and system_clock mentioned in a comment are fine.
+void stamp() {
+    auto t0 = std::chrono::steady_clock::now();
+    const char* label = "time(nullptr) inside a string literal";
+    (void)t0;
+    (void)label;
+}
+
+}  // namespace specfetch

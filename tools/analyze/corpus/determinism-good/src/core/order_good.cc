@@ -1,0 +1,9 @@
+// Ordered container with a value key: deterministic iteration.
+#include <cstdint>
+#include <map>
+
+namespace specfetch {
+
+std::map<uint64_t, int> histogram;
+
+}  // namespace specfetch

@@ -1,0 +1,27 @@
+namespace specfetch {
+
+void parallelFor(int n, void (*fn)(int));
+[[noreturn]] void panic(const char* msg);
+
+int runOne(int i) {
+    if (i < 0) {
+        panic("negative run index");
+    }
+    return i * 2;
+}
+
+void sweep(int n) {
+    parallelFor(n, [](int i) {
+        runOne(i);
+    });
+}
+
+void sweepDirect(int n) {
+    parallelFor(n, [](int i) {
+        if (i > 7) {
+            panic("run index out of range");
+        }
+    });
+}
+
+}  // namespace specfetch

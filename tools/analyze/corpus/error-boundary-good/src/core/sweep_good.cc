@@ -1,0 +1,45 @@
+namespace specfetch {
+
+struct ScopedThrowOnError {
+    ScopedThrowOnError();
+    ~ScopedThrowOnError();
+};
+
+void parallelFor(int n, void (*fn)(int));
+[[noreturn]] void panic(const char* msg);
+
+int runOne(int i) {
+    if (i < 0) {
+        panic("negative run index");
+    }
+    return i * 2;
+}
+
+void sweepGuarded(int n) {
+    parallelFor(n, [](int i) {
+        ScopedThrowOnError guard;
+        try {
+            runOne(i);
+        } catch (...) {
+        }
+    });
+}
+
+void sweepPlain(int n) {
+    // SPECFETCH-ALLOW(error-boundary): plain sweep aborts on panic by contract
+    parallelFor(n, [](int i) { runOne(i); });
+}
+
+void sweepPlainMultiline(int n) {
+    // A waiver on the lambda's opening line covers every panic site
+    // in the body: one allow per intentional-abort sweep.
+    // SPECFETCH-ALLOW(error-boundary): plain sweep aborts on panic by contract
+    parallelFor(n, [](int i) {
+        if (i > 100) {
+            panic("run index out of range");
+        }
+        runOne(i);
+    });
+}
+
+}  // namespace specfetch

@@ -1,0 +1,10 @@
+#pragma once
+
+namespace specfetch {
+
+struct Source {
+    virtual ~Source() = default;
+    virtual bool next(int& inst) = 0;
+};
+
+}  // namespace specfetch

@@ -1,0 +1,22 @@
+#include "hot.hh"
+
+namespace specfetch {
+
+int drive(Source& src, int n) {
+    int sum = 0;
+    for (int i = 0; i < n; ++i) {
+        int* p = new int(i);
+        sum += *p;
+        delete p;
+    }
+    int inst = 0;
+    while (sum < 100) {
+        if (!src.next(inst)) {
+            break;
+        }
+        sum += inst;
+    }
+    return sum;
+}
+
+}  // namespace specfetch

@@ -1,0 +1,12 @@
+#include <cstdint>
+
+namespace specfetch {
+
+static uint64_t totalRuns = 0;
+
+uint64_t bump() {
+    static uint64_t calls = 0;
+    return ++calls + ++totalRuns;
+}
+
+}  // namespace specfetch

@@ -1,0 +1,22 @@
+#include <cstdint>
+#include <mutex>
+
+namespace specfetch {
+
+static const uint64_t kLimit = 64;
+static std::mutex cacheLock;
+static thread_local uint64_t scratch = 0;
+// SPECFETCH-ALLOW(shared-state): lazily filled once, guarded by cacheLock
+static uint64_t cachedValue = 0;
+
+uint64_t lookup() {
+    std::lock_guard<std::mutex> lock(cacheLock);
+    static uint64_t hits = 0;
+    return ++hits + cachedValue + kLimit + scratch;
+}
+
+static int helper(int x) {
+    return x + static_cast<int>(kLimit);
+}
+
+}  // namespace specfetch

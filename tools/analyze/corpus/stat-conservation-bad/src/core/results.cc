@@ -1,0 +1,11 @@
+#include "results.hh"
+
+namespace specfetch {
+
+void withStatTree(const char* name, uint64_t value);
+
+void registerStats(const SimResults& r) {
+    withStatTree("fetch_cycles", r.fetchCycles);
+}
+
+}  // namespace specfetch

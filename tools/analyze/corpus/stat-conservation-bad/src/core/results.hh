@@ -1,0 +1,11 @@
+#pragma once
+#include <cstdint>
+
+namespace specfetch {
+
+struct SimResults {
+    uint64_t fetchCycles = 0;
+    uint64_t lostSlots = 0;
+};
+
+}  // namespace specfetch

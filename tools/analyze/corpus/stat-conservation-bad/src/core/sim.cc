@@ -1,0 +1,9 @@
+#include "results.hh"
+
+namespace specfetch {
+
+void step(SimResults& r) {
+    r.fetchCycles += 1;
+}
+
+}  // namespace specfetch

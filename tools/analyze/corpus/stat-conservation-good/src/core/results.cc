@@ -1,0 +1,12 @@
+#include "results.hh"
+
+namespace specfetch {
+
+void withStatTree(const char* name, uint64_t value);
+
+void registerStats(const SimResults& r) {
+    withStatTree("fetch_cycles", r.fetchCycles);
+    withStatTree("lost_slots", r.lostSlots);
+}
+
+}  // namespace specfetch

@@ -1,0 +1,13 @@
+#pragma once
+#include <cstdint>
+
+namespace specfetch {
+
+struct SimResults {
+    uint64_t fetchCycles = 0;
+    uint64_t lostSlots = 0;
+    // SPECFETCH-ALLOW(stat-conservation): machine parameter echoed into reports
+    uint64_t slotWidth = 0;
+};
+
+}  // namespace specfetch

@@ -1,0 +1,12 @@
+#include "results.hh"
+
+namespace specfetch {
+
+void step(SimResults& r, bool lost) {
+    r.fetchCycles += 1;
+    if (lost) {
+        r.lostSlots += 1;
+    }
+}
+
+}  // namespace specfetch

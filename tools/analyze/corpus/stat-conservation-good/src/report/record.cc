@@ -1,0 +1,9 @@
+#include "../core/results.hh"
+
+namespace specfetch {
+
+int emitCounters(const SimResults& r) {
+    return static_cast<int>(r.fetchCycles + r.lostSlots);
+}
+
+}  // namespace specfetch

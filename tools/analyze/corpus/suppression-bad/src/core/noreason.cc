@@ -1,0 +1,11 @@
+#include <chrono>
+
+namespace specfetch {
+
+void stamp() {
+    // SPECFETCH-ALLOW(wall-clock)
+    auto t0 = std::chrono::system_clock::now();
+    (void)t0;
+}
+
+}  // namespace specfetch

@@ -1,0 +1,12 @@
+#pragma once
+#include <cstdint>
+
+namespace specfetch {
+
+struct FetchCounters {
+    uint64_t hits = 0;
+    uint64_t misses;
+    double ipc;
+};
+
+}  // namespace specfetch

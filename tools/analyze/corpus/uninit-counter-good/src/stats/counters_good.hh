@@ -1,0 +1,19 @@
+#pragma once
+#include <cstdint>
+
+namespace specfetch {
+
+struct FetchCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double ipc = 0.0;
+    void add(uint64_t delta);
+};
+
+inline void tally(uint64_t value) {
+    uint64_t local;
+    local = value;
+    (void)local;
+}
+
+}  // namespace specfetch

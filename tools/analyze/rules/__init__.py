@@ -1,0 +1,25 @@
+"""Rule registry.
+
+Each rule module exports RULES, a tuple of rule instances. A rule has
+`rule_id` (the name used in SPECFETCH-ALLOW and the baseline),
+`description` (first line goes into the SARIF rule catalog), and
+`run(project) -> [Finding]`.
+"""
+
+
+class Rule:
+    rule_id = ""
+    description = ""
+
+    def run(self, project):
+        raise NotImplementedError
+
+
+def all_rules():
+    from . import (config_plumbing, determinism, error_boundary,
+                   hot_path, shared_state, stat_conservation)
+    rules = []
+    for module in (determinism, hot_path, stat_conservation,
+                   error_boundary, shared_state, config_plumbing):
+        rules.extend(module.RULES)
+    return rules

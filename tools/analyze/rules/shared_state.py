@@ -1,0 +1,164 @@
+"""Shared mutable state reachable from parallel sweep workers.
+
+Sweep workers share one address space; a mutable file-scope object or
+function-local static in any translation unit they execute is a data
+race unless it is a synchronization primitive itself, immutable,
+thread-local, or consistently lock-guarded. The rule flags `static`
+variable definitions in worker-reachable directories, with these
+exemptions (checked in this order):
+
+  - class members (a different audit: they follow their object);
+  - thread_local, const, constexpr, constinit declarations;
+  - synchronization types (mutex, atomic, once_flag, ...);
+  - static *functions* (internal linkage, not state);
+  - statics declared inside a function whose body takes a lock
+    (lock_guard / unique_lock / scoped_lock / shared_lock) — the
+    project convention for guarded lazy-init caches.
+
+Deliberate process-wide singletons (trace sinks, progress reporters)
+carry SPECFETCH-ALLOW(shared-state) with the reason on the
+declaration line.
+
+Known limitation, on purpose: `static T name(args);` with no `=`
+is indistinguishable from a function declaration by tokens alone and
+is skipped; the project writes statics with `=` or brace init.
+"""
+
+from .. import scopes as scp
+from .. import tokenizer as tok
+from ..engine import Finding
+from ..project import WORKER_DIRS
+from . import Rule
+
+_SYNC_TYPES = frozenset((
+    "mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
+    "atomic", "atomic_flag", "atomic_bool", "atomic_int",
+    "atomic_uint", "atomic_size_t", "atomic_uint64_t",
+    "once_flag", "condition_variable",
+))
+_LOCK_IDENTS = frozenset((
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+))
+_IMMUTABLE = frozenset(("const", "constexpr", "constinit"))
+
+
+class SharedState(Rule):
+    rule_id = "shared-state"
+    description = ("Mutable static reachable from parallel sweep "
+                   "workers without synchronization; guard it, make "
+                   "it thread_local, or annotate the singleton.")
+
+    def run(self, project):
+        findings = []
+        for source in project.files(dirs=WORKER_DIRS,
+                                    suffixes=(".cc", ".cpp")):
+            findings.extend(self._check(source))
+        return findings
+
+    def _check(self, source):
+        ctoks = source.ctoks
+        findings = []
+        for i, t in enumerate(ctoks):
+            if t.kind != tok.IDENT or t.text != "static":
+                continue
+            scope = scp.innermost(source.scopes, i)
+            if scope.kind == scp.CLASS:
+                continue
+            stmt, terminator = self._statement(ctoks, i + 1)
+            idents = {s.text for s in stmt if s.kind == tok.IDENT}
+            if i > 0 and ctoks[i - 1].text == "thread_local":
+                continue
+            if idents & _IMMUTABLE or "thread_local" in idents:
+                continue
+            if idents & _SYNC_TYPES:
+                continue
+            texts = [s.text for s in stmt]
+            if terminator == "{":
+                # `static ret name(args) {` defines a function; the
+                # scope builder already classified that brace.
+                brace_index = i + 1 + len(stmt)
+                opened = self._scope_at(source.scopes, brace_index)
+                if opened is not None \
+                        and opened.kind == scp.FUNCTION:
+                    continue
+            elif "(" in texts and (
+                    "=" not in texts
+                    or texts.index("=") > texts.index("(")):
+                # Function declaration / ctor-call ambiguity — skip
+                # (see module docstring).
+                continue
+            name = self._decl_name(stmt)
+            if name is None:
+                continue
+            where = "function-local static" \
+                if scope.kind in (scp.FUNCTION, scp.LAMBDA) \
+                else "file-scope static"
+            if where == "function-local static" \
+                    and self._lock_guarded(source, scope):
+                continue
+            findings.append(Finding(
+                self.rule_id, source.rel_path, name.line,
+                f"mutable {where} `{name.text}` is shared across "
+                f"parallel sweep workers (guard it with a mutex/"
+                f"atomic, make it thread_local, or annotate the "
+                f"singleton)"))
+        return findings
+
+    @staticmethod
+    def _statement(ctoks, start):
+        """Tokens from @p start up to the terminating ';' or a
+        top-level '{'; returns (tokens, terminator_text)."""
+        stmt = []
+        depth = 0
+        for j in range(start, len(ctoks)):
+            t = ctoks[j]
+            if t.kind == tok.PUNCT:
+                if t.text in ("(", "["):
+                    depth += 1
+                elif t.text in (")", "]"):
+                    depth -= 1
+                elif t.text == ";" and depth <= 0:
+                    return stmt, ";"
+                elif t.text == "{" and depth <= 0:
+                    return stmt, "{"
+                elif t.text == "}" and depth <= 0:
+                    return stmt, "}"
+            stmt.append(t)
+        return stmt, ""
+
+    @staticmethod
+    def _scope_at(root, open_index):
+        for scope in root.walk():
+            if scope.open == open_index:
+                return scope
+        return None
+
+    @staticmethod
+    def _decl_name(stmt):
+        """The declared variable: last IDENT before the first of
+        '=', '[', '{' — or the trailing IDENT of a plain `Type name`
+        declaration."""
+        end = len(stmt)
+        for j, t in enumerate(stmt):
+            if t.kind == tok.PUNCT and t.text in ("=", "[", "{"):
+                end = j
+                break
+        for t in reversed(stmt[:end]):
+            if t.kind == tok.IDENT:
+                return t
+            if t.kind == tok.PUNCT and t.text in (">", ")"):
+                return None
+        return None
+
+    @staticmethod
+    def _lock_guarded(source, fn_scope):
+        ctoks = source.ctoks
+        for i in range(fn_scope.open + 1,
+                       min(fn_scope.close - 1, len(ctoks))):
+            if ctoks[i].kind == tok.IDENT \
+                    and ctoks[i].text in _LOCK_IDENTS:
+                return True
+        return False
+
+
+RULES = (SharedState(),)

@@ -1,0 +1,128 @@
+"""Stat conservation: every counter the simulator carries must flow
+end to end.
+
+A counter declared in SimResults that never reaches the stat tree or
+the schema-v1 record is silently-lost data; one that nothing ever
+updates is a dead column that reads as zero forever. Both have bitten
+this codebase before (a counter added for a paper figure that only
+showed up in one of statsDump/visitStats). The rule walks the struct
+declaration and cross-checks three obligations per arithmetic field:
+
+  registered   the field is referenced by the stat-tree registration
+               translation unit (results.cc's withStatTree feeds both
+               statsDump and visitStats);
+  emitted      the field is referenced by the schema-v1 record
+               emitter;
+  updated      some simulator source other than the registration and
+               emission files references the field at all.
+
+Fields that are deliberately not counters (machine parameters echoed
+into the results block) carry a SPECFETCH-ALLOW(stat-conservation)
+on their declaration line with the reason.
+"""
+
+from ..engine import Finding
+from . import Rule
+
+_ARITH_MARKERS = (
+    "uint64_t", "uint32_t", "uint16_t", "uint8_t",
+    "int64_t", "int32_t", "int", "unsigned", "size_t",
+    "double", "float", "bool", "Slot", "Addr",
+)
+
+# (decl header, struct, registration TUs, emission TUs, update dirs).
+# Update scanning excludes the declaration header and the
+# registration/emission files — results.cc's operator== mentions every
+# field, so counting it as an "update" would blind the check.
+STRUCTS = (
+    {
+        "path": "src/core/results.hh",
+        "name": "SimResults",
+        "registered": ("src/core/results.cc",),
+        "emitted": ("src/report/record.cc",),
+        "update_dirs": ("src/core", "src/cache", "src/branch",
+                        "src/adaptive", "src/trace", "src/check",
+                        "src/stats", "src/fault"),
+    },
+    {
+        "path": "src/obs/epoch.hh",
+        "name": "EpochRecord",
+        "registered": (),
+        "emitted": ("src/obs/obs_record.cc",),
+        "update_dirs": ("src/obs",),
+    },
+)
+
+
+def _arith(type_text):
+    parts = type_text.split()
+    return any(p in _ARITH_MARKERS for p in parts)
+
+
+class StatConservation(Rule):
+    rule_id = "stat-conservation"
+    description = ("Counter declared in a stats struct that is not "
+                   "registered in the stat tree, not emitted into "
+                   "schema-v1 records, or never updated by the "
+                   "simulator.")
+
+    def run(self, project):
+        findings = []
+        for spec in STRUCTS:
+            findings.extend(self._check(project, spec))
+        return findings
+
+    def _check(self, project, spec):
+        fields = project.struct_fields(spec["path"], spec["name"])
+        if not fields:
+            return []
+        findings = []
+        reg_idents = self._idents(project, spec["registered"])
+        emit_idents = self._idents(project, spec["emitted"])
+        skip_updates = {spec["path"]} | set(spec["registered"]) \
+            | set(spec["emitted"])
+        update_sources = [
+            s for s in project.files(dirs=spec["update_dirs"])
+            if s.rel_path not in skip_updates
+        ]
+        qual = spec["name"]
+        for name, type_text, line, _has_init in fields:
+            if not _arith(type_text):
+                continue
+            if spec["registered"] and reg_idents is not None \
+                    and name not in reg_idents:
+                findings.append(Finding(
+                    self.rule_id, spec["path"], line,
+                    f"counter {qual}::{name} is not registered in the "
+                    f"stat tree ({spec['registered'][0]}) — it will be "
+                    f"invisible to statsDump and visitStats"))
+            if spec["emitted"] and emit_idents is not None \
+                    and name not in emit_idents:
+                findings.append(Finding(
+                    self.rule_id, spec["path"], line,
+                    f"counter {qual}::{name} is not emitted into "
+                    f"schema-v1 records ({spec['emitted'][0]})"))
+            if update_sources and not any(
+                    name in s.idents() for s in update_sources):
+                findings.append(Finding(
+                    self.rule_id, spec["path"], line,
+                    f"counter {qual}::{name} is never updated by any "
+                    f"simulator source — dead column"))
+        return findings
+
+    @staticmethod
+    def _idents(project, rel_paths):
+        """Union of identifiers in @p rel_paths; None when none of the
+        files exist (the obligation is then unknowable, not violated)."""
+        idents = None
+        for rel in rel_paths:
+            source = project.file(rel)
+            if source is None:
+                continue
+            if idents is None:
+                idents = set()
+            idents |= source.idents()
+        return idents
+
+
+RULES = (StatConservation(),)

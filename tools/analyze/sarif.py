@@ -1,0 +1,148 @@
+"""SARIF 2.1.0 emission (and structural validation, for the
+self-test) of analyze findings.
+
+SARIF is the interchange format CI code-scanning UIs ingest; the CI
+analyze job uploads the report as an artifact. We emit the minimal
+valid document: one run, the rule catalog in tool.driver.rules, one
+result per finding with a physical location relative to SRCROOT.
+"""
+
+import json
+
+TOOL_NAME = "specfetch-analyze"
+TOOL_VERSION = "1.0.0"
+SARIF_VERSION = "2.1.0"
+SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+              "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def make_sarif(result, root_uri):
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": description.split("\n")[0]},
+            "fullDescription": {"text": description},
+        }
+        for rule_id, description in sorted(set(result.rules))
+    ]
+    results = []
+    for finding in result.findings:
+        results.append({
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, finding.line)},
+                },
+            }],
+        })
+    return {
+        "$schema": SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "informationUri":
+                        "https://github.com/specfetch/specfetch",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": root_uri},
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(result, root_uri, path):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(make_sarif(result, root_uri), handle, indent=2)
+        handle.write("\n")
+
+
+def validate_sarif(doc):
+    """Structural validation against the parts of the 2.1.0 schema we
+    rely on; returns a list of problems (empty = valid). Not a full
+    JSON-Schema validation — the container has no jsonschema package —
+    but enough to catch emitter regressions."""
+    problems = []
+
+    def need(cond, message):
+        if not cond:
+            problems.append(message)
+        return cond
+
+    if not need(isinstance(doc, dict), "top level must be an object"):
+        return problems
+    need(doc.get("version") == SARIF_VERSION,
+         f"version must be {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not need(isinstance(runs, list) and runs, "runs must be a "
+                "non-empty array"):
+        return problems
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not need(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver", {}) \
+            if isinstance(run.get("tool"), dict) else {}
+        need(isinstance(driver.get("name"), str) and driver.get("name"),
+             f"{where}.tool.driver.name must be a non-empty string")
+        rules = driver.get("rules", [])
+        rule_ids = set()
+        if need(isinstance(rules, list),
+                f"{where}.tool.driver.rules must be an array"):
+            for j, rule in enumerate(rules):
+                ok = isinstance(rule, dict) \
+                    and isinstance(rule.get("id"), str) and rule["id"]
+                need(ok, f"{where}.tool.driver.rules[{j}] needs a "
+                     f"string id")
+                if ok:
+                    rule_ids.add(rule["id"])
+        results = run.get("results")
+        if not need(isinstance(results, list),
+                    f"{where}.results must be an array"):
+            continue
+        for j, res in enumerate(results):
+            rwhere = f"{where}.results[{j}]"
+            if not need(isinstance(res, dict),
+                        f"{rwhere} must be an object"):
+                continue
+            need(isinstance(res.get("ruleId"), str) and res["ruleId"],
+                 f"{rwhere}.ruleId must be a non-empty string")
+            if res.get("ruleId") in rule_ids or not rule_ids:
+                pass
+            else:
+                problems.append(f"{rwhere}.ruleId {res['ruleId']!r} "
+                                f"not in the driver rule catalog")
+            message = res.get("message")
+            need(isinstance(message, dict)
+                 and isinstance(message.get("text"), str),
+                 f"{rwhere}.message.text must be a string")
+            locations = res.get("locations")
+            if not need(isinstance(locations, list) and locations,
+                        f"{rwhere}.locations must be non-empty"):
+                continue
+            for k, loc in enumerate(locations):
+                phys = loc.get("physicalLocation", {}) \
+                    if isinstance(loc, dict) else {}
+                art = phys.get("artifactLocation", {}) \
+                    if isinstance(phys, dict) else {}
+                need(isinstance(art.get("uri"), str),
+                     f"{rwhere}.locations[{k}] needs artifactLocation"
+                     f".uri")
+                region = phys.get("region", {}) \
+                    if isinstance(phys, dict) else {}
+                start = region.get("startLine")
+                need(isinstance(start, int) and start >= 1,
+                     f"{rwhere}.locations[{k}] region.startLine must "
+                     f"be a positive integer")
+    return problems

@@ -1,0 +1,232 @@
+"""Self-test: tokenizer/scope unit checks, the violation corpus, the
+baseline round-trip, and SARIF validation.
+
+The corpus under tools/analyze/corpus/ is the executable spec of the
+rules. Each case directory is a miniature project tree (files at
+their project-relative paths) plus an EXPECT file listing exactly
+the findings the engine must produce, one per line:
+
+    <rule> <path>:<line>
+
+An empty EXPECT (comments allowed) means the case must analyze
+clean — that is how known-good snippets and suppression behavior are
+locked in. Every rule has at least one known-bad case that fires and
+one known-good case that stays silent; a rule change that breaks
+either fails CI before it reaches the tree.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+from . import scopes as scp
+from . import tokenizer as tok
+from .engine import Baseline, run_rules
+from .project import Project
+from .rules import all_rules
+from .sarif import make_sarif, validate_sarif
+
+CORPUS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "corpus")
+
+
+def _checker():
+    try:
+        from common.selftest import Checker
+    except ImportError:
+        sys.path.insert(0, os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        from common.selftest import Checker
+    return Checker()
+
+
+# ----------------------------------------------------------------------
+# Tokenizer / scope unit checks
+
+
+def _check_tokenizer(c):
+    toks = tok.tokenize('auto s = R"x(rand() "quoted")x";')
+    strings = [t for t in toks if t.kind == tok.STRING]
+    c.check("tokenizer: raw string is one literal",
+            len(strings) == 1 and "rand()" in strings[0].text)
+    c.check("tokenizer: raw string hides banned names",
+            not any(t.kind == tok.IDENT and t.text == "rand"
+                    for t in toks))
+
+    toks = tok.tokenize("int n = 1'000'000;")
+    numbers = [t for t in toks if t.kind == tok.NUMBER]
+    c.check("tokenizer: digit separators merge into one number",
+            len(numbers) == 1 and numbers[0].text == "1'000'000")
+
+    toks = tok.tokenize("#ifdef FOO\nint x;\n#endif\nint y;\n")
+    x = next(t for t in toks if t.text == "x")
+    y = next(t for t in toks if t.text == "y")
+    c.check("tokenizer: conditional depth tracked",
+            x.pp_depth == 1 and y.pp_depth == 0)
+
+    toks = tok.tokenize("#define FOO \\\n    1\nint z;\n")
+    pps = [t for t in toks if t.kind == tok.PP]
+    z = next(t for t in toks if t.text == "z")
+    c.check("tokenizer: continued directive is one token",
+            len(pps) == 1 and pps[0].directive == "define"
+            and z.line == 3)
+
+    toks = tok.tokenize("// rand() in a comment\nint w = 0;\n")
+    c.check("tokenizer: comments carry no identifiers",
+            not any(t.kind == tok.IDENT and t.text == "rand"
+                    for t in tok.code_tokens(toks)))
+
+
+def _check_scopes(c):
+    text = (
+        "namespace outer {\n"
+        "struct Widget {\n"
+        "  int run(int n) {\n"
+        "    for (int i = 0; i < n; ++i) step(i);\n"
+        "    return n;\n"
+        "  }\n"
+        "};\n"
+        "Widget::Widget(int x) : a_(x), b_{x} {\n"
+        "  init();\n"
+        "}\n"
+        "}\n"
+    )
+    root = scp.build_scopes(tok.code_tokens(tok.tokenize(text)))
+    kinds = {}
+    for s in root.walk():
+        kinds.setdefault(s.kind, []).append(s)
+    c.check("scopes: namespace/class/function/loop all found",
+            scp.NAMESPACE in kinds and scp.CLASS in kinds
+            and scp.FUNCTION in kinds and scp.LOOP in kinds)
+    fn_names = {s.qualname for s in kinds.get(scp.FUNCTION, ())}
+    c.check("scopes: ctor with initializer list named",
+            "Widget::Widget" in fn_names)
+    loops = kinds.get(scp.LOOP, [])
+    c.check("scopes: braceless loop body has extent",
+            loops and loops[0].close > loops[0].open)
+
+
+# ----------------------------------------------------------------------
+# Corpus
+
+
+def _load_expect(case_dir):
+    expected = set()
+    with open(os.path.join(case_dir, "EXPECT"),
+              encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            rule, loc = line.split(None, 1)
+            path, lineno = loc.rsplit(":", 1)
+            expected.add((rule, path, int(lineno)))
+    return expected
+
+
+def _run_case(case_dir):
+    project = Project(case_dir, build_dir="no-such-build-dir")
+    result = run_rules(project, all_rules(), baseline=None)
+    return project, result
+
+
+def _check_corpus(c):
+    cases = sorted(
+        name for name in os.listdir(CORPUS_DIR)
+        if os.path.isdir(os.path.join(CORPUS_DIR, name)))
+    c.check("corpus: case directories present", bool(cases))
+    rules_fired = set()
+    for name in cases:
+        case_dir = os.path.join(CORPUS_DIR, name)
+        expected = _load_expect(case_dir)
+        _, result = _run_case(case_dir)
+        found = {(f.rule, f.path, f.line) for f in result.findings}
+        ok = c.check(f"corpus {name}: findings match EXPECT",
+                     found == expected)
+        if not ok:
+            for item in sorted(expected - found):
+                print(f"      missing:    {item[0]} {item[1]}:{item[2]}")
+            for item in sorted(found - expected):
+                print(f"      unexpected: {item[0]} {item[1]}:{item[2]}")
+        rules_fired |= {rule for rule, _, _ in found}
+    every_rule = {r.rule_id for r in all_rules()} | {"bad-suppression"}
+    missing = every_rule - rules_fired
+    c.check("corpus: every rule has a firing known-bad case "
+            + (f"(missing: {', '.join(sorted(missing))})"
+               if missing else ""),
+            not missing)
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip
+
+
+def _check_baseline(c):
+    case_dir = os.path.join(CORPUS_DIR, "determinism-bad")
+    project, result = _run_case(case_dir)
+    c.check("baseline: corpus case has findings to baseline",
+            len(result.findings) > 0)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "baseline.json")
+        Baseline.dump(result.findings, project, path)
+        baseline = Baseline.load(path)
+        rebaselined = run_rules(Project(case_dir,
+                                        build_dir="no-such-build-dir"),
+                                all_rules(), baseline)
+        c.check("baseline: round-trip silences every finding",
+                not rebaselined.findings
+                and len(rebaselined.baselined) == len(result.findings))
+        # Damaged baseline must be a hard error, not an empty set.
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{\"version\": 99}")
+        try:
+            Baseline.load(path)
+            c.check("baseline: damaged file rejected", False)
+        except SystemExit:
+            c.check("baseline: damaged file rejected", True)
+    c.check("baseline: missing file is empty baseline",
+            not Baseline.load(os.path.join(case_dir,
+                                           "no-such-file.json")).entries)
+
+
+# ----------------------------------------------------------------------
+# SARIF
+
+
+def _check_sarif(c):
+    case_dir = os.path.join(CORPUS_DIR, "determinism-bad")
+    _, result = _run_case(case_dir)
+    doc = make_sarif(result, "file:///tmp/case/")
+    c.check("sarif: emitted document validates",
+            validate_sarif(doc) == [])
+    c.check("sarif: one result per finding",
+            len(doc["runs"][0]["results"]) == len(result.findings))
+    c.check("sarif: document survives JSON round-trip",
+            validate_sarif(json.loads(json.dumps(doc))) == [])
+
+    broken = json.loads(json.dumps(doc))
+    del broken["version"]
+    c.check("sarif: missing version rejected",
+            validate_sarif(broken) != [])
+    broken = json.loads(json.dumps(doc))
+    if broken["runs"][0]["results"]:
+        broken["runs"][0]["results"][0]["ruleId"] = "no-such-rule"
+        c.check("sarif: result with uncataloged rule rejected",
+                validate_sarif(broken) != [])
+    broken = json.loads(json.dumps(doc))
+    if broken["runs"][0]["results"]:
+        broken["runs"][0]["results"][0]["locations"] = []
+        c.check("sarif: result without location rejected",
+                validate_sarif(broken) != [])
+
+
+def run_self_test():
+    print("analyze self-test:")
+    c = _checker()
+    _check_tokenizer(c)
+    _check_scopes(c)
+    _check_corpus(c)
+    _check_baseline(c)
+    _check_sarif(c)
+    return c.finish()

@@ -1,0 +1,232 @@
+"""Preprocessor-aware C++ tokenizer.
+
+Turns source text into a flat token stream the scope tracker and the
+rules consume. This is deliberately not a parser: the rules need
+identifiers, punctuation and structure (braces, parens), with comments
+and string/char literals lifted out so a banned name mentioned in a
+docstring or a log message can never fire a rule — the failure mode
+the old line-regex lint could only approximate.
+
+Preprocessor handling: a directive (with its backslash continuations)
+becomes a single token of kind PP carrying the directive name, so
+`#include <unordered_map>` is visible to rules as a directive, not as
+an identifier soup, and conditional-compilation depth is tracked per
+token (Token.pp_depth) so a rule can tell code under `#if`/`#ifdef`
+from unconditional code.
+
+Token kinds:
+  IDENT   identifiers and keywords (text is the spelling)
+  NUMBER  numeric literals (incl. digit separators, suffixes)
+  STRING  string literals (incl. raw strings); text is the literal
+  CHAR    character literals
+  PUNCT   one punctuation character ('::' arrives as two ':' tokens)
+  PP      one whole preprocessor directive; .text is the full
+          directive, .directive is its name ("include", "if", ...)
+  COMMENT one comment (// to end of line, or a whole /* */ block);
+          multi-line block comments produce one token at their first
+          line
+"""
+
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+PP = "pp"
+COMMENT = "comment"
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+# Conditional-compilation directives that open/continue/close a region.
+_PP_OPEN = frozenset(("if", "ifdef", "ifndef"))
+_PP_ELSE = frozenset(("else", "elif", "elifdef", "elifndef"))
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "pp_depth", "directive")
+
+    def __init__(self, kind, text, line, pp_depth=0, directive=None):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.pp_depth = pp_depth
+        self.directive = directive
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def _scan_string(text, i, line):
+    """Scan a quoted literal starting at text[i] (a quote); returns the
+    index one past the closing quote and the number of newlines seen."""
+    quote = text[i]
+    i += 1
+    newlines = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "\\" and i + 1 < n:
+            i += 2
+            continue
+        if c == "\n":
+            newlines += 1  # unterminated literal; keep line counts sane
+            i += 1
+            continue
+        i += 1
+        if c == quote:
+            break
+    return i, newlines
+
+
+def _scan_raw_string(text, i):
+    """Scan a raw string literal R"delim(...)delim" starting at the
+    R; returns (end_index, newline_count)."""
+    # i points at 'R', i+1 at '"'.
+    j = text.find("(", i + 2)
+    if j < 0:
+        return len(text), text.count("\n", i)
+    delim = text[i + 2:j]
+    closer = ")" + delim + '"'
+    k = text.find(closer, j + 1)
+    end = len(text) if k < 0 else k + len(closer)
+    return end, text.count("\n", i, end)
+
+
+def tokenize(text):
+    """Tokenize @p text; returns a list of Token."""
+    tokens = []
+    i = 0
+    n = len(text)
+    line = 1
+    pp_depth = 0
+    at_line_start = True  # only whitespace seen since the last newline
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            tokens.append(Token(COMMENT, text[i:j], line, pp_depth))
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            tokens.append(Token(COMMENT, text[i:j], line, pp_depth))
+            line += text.count("\n", i, j)
+            i = j
+            at_line_start = False
+            continue
+
+        if c == "#" and at_line_start:
+            # One directive token, including backslash continuations.
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                k = n if k < 0 else k
+                # A trailing backslash continues the directive.
+                m = k - 1
+                while m > j and text[m] in " \t\r":
+                    m -= 1
+                if m > j and text[m] == "\\":
+                    j = k + 1
+                    continue
+                j = k
+                break
+            directive_text = text[i:j]
+            body = directive_text[1:].lstrip()
+            name = ""
+            for ch in body:
+                if ch in _IDENT_CONT:
+                    name += ch
+                else:
+                    break
+            if name in _PP_ELSE:
+                pass  # same region depth
+            elif name in _PP_OPEN:
+                pp_depth += 1
+            tokens.append(Token(PP, directive_text, line,
+                                pp_depth, directive=name))
+            if name == "endif":
+                pp_depth = max(0, pp_depth - 1)
+            line += directive_text.count("\n")
+            i = j
+            at_line_start = False
+            continue
+
+        at_line_start = False
+
+        if c == '"' or (c == "R" and i + 1 < n and text[i + 1] == '"'):
+            if c == "R":
+                j, newlines = _scan_raw_string(text, i)
+            else:
+                j, newlines = _scan_string(text, i, line)
+            tokens.append(Token(STRING, text[i:j], line, pp_depth))
+            line += newlines
+            i = j
+            continue
+        if c == "'":
+            # Heuristic: a quote directly between digits/idents is a
+            # C++14 digit separator, not a char literal.
+            prev = text[i - 1] if i > 0 else ""
+            nxt = text[i + 1] if i + 1 < n else ""
+            if prev in _IDENT_CONT and nxt in _IDENT_CONT and tokens \
+                    and tokens[-1].kind == NUMBER:
+                tokens[-1].text += "'"
+                i += 1
+                continue
+            j, newlines = _scan_string(text, i, line)
+            tokens.append(Token(CHAR, text[i:j], line, pp_depth))
+            line += newlines
+            i = j
+            continue
+
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            word = text[i:j]
+            # Merge continued numeric literal after a digit separator.
+            if tokens and tokens[-1].kind == NUMBER \
+                    and tokens[-1].text.endswith("'"):
+                tokens[-1].text += word
+            else:
+                tokens.append(Token(IDENT, word, line, pp_depth))
+            i = j
+            continue
+        if c in _DIGITS:
+            j = i + 1
+            while j < n and (text[j] in _IDENT_CONT or text[j] == "."):
+                j += 1
+            # Continue a numeric literal split by a digit separator.
+            if tokens and tokens[-1].kind == NUMBER \
+                    and tokens[-1].text.endswith("'"):
+                tokens[-1].text += text[i:j]
+            else:
+                tokens.append(Token(NUMBER, text[i:j], line, pp_depth))
+            i = j
+            continue
+
+        tokens.append(Token(PUNCT, c, line, pp_depth))
+        i += 1
+
+    return tokens
+
+
+def code_tokens(tokens):
+    """The token stream without comments and directives — what most
+    rules iterate."""
+    return [t for t in tokens if t.kind not in (COMMENT, PP)]

@@ -1,0 +1,7 @@
+"""Shared plumbing for the tools/ scripts.
+
+One copy of the schema-v1 JSONL reading loop (jsonl.py) and of the
+self-test check harness (selftest.py), imported by perf_compare.py,
+validate_trace.py, plot_timeseries.py and the tools/analyze framework.
+Scripts put the tools/ directory on sys.path and import `common.*`.
+"""

@@ -1,0 +1,52 @@
+"""Schema-v1 JSONL reading shared by the tools/ scripts.
+
+Every bench harness emits one JSON object per line, each carrying a
+"record" kind tag ("run", "perf", "timeseries", ...). The readers here
+centralize the three behaviours the tools used to each implement
+privately:
+
+  - blank lines are skipped;
+  - malformed JSON is a hard error naming path:line (the file is
+    damaged, not merely incomplete);
+  - callers filter by record kind without re-spelling the loop.
+"""
+
+import json
+import sys
+
+
+def warn(message):
+    """Uniform warning line on stderr, as the tools have always printed."""
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def iter_records(path, kinds=None):
+    """Yield (lineno, record) for each JSON object line of @p path.
+
+    With @p kinds (an iterable of "record" values), only matching
+    records are yielded. Malformed JSON raises SystemExit naming the
+    file and line; an unreadable file raises SystemExit naming the
+    error.
+    """
+    wanted = set(kinds) if kinds is not None else None
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as err:
+        raise SystemExit(f"cannot read {path}: {err}")
+    with handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: malformed JSON: {err}")
+            if wanted is not None and record.get("record") not in wanted:
+                continue
+            yield lineno, record
+
+
+def load_records(path, kinds=None):
+    """List of records (without line numbers); see iter_records."""
+    return [record for _, record in iter_records(path, kinds)]

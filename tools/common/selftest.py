@@ -1,0 +1,34 @@
+"""Self-test check harness shared by the tools/ scripts.
+
+Each tool ships a --self-test mode that exercises its own rejection
+and acceptance paths without external fixtures (the lint CI job runs
+them all). This is the one copy of the label/status bookkeeping they
+used to duplicate.
+"""
+
+import sys
+
+
+class Checker:
+    """Collects named pass/fail checks and renders the summary."""
+
+    def __init__(self):
+        self.failures = []
+        self.count = 0
+
+    def check(self, label, condition):
+        self.count += 1
+        status = "ok" if condition else "FAIL"
+        print(f"  [{status}] {label}")
+        if not condition:
+            self.failures.append(label)
+        return bool(condition)
+
+    def finish(self):
+        """Print the summary; return the process exit code."""
+        if self.failures:
+            print(f"self-test: {len(self.failures)} of {self.count} "
+                  f"check(s) failed", file=sys.stderr)
+            return 1
+        print(f"self-test: all {self.count} checks passed")
+        return 0

@@ -1,397 +1,43 @@
 #!/usr/bin/env python3
-"""Determinism lint for the simulation core.
+"""Determinism lint — thin wrapper over tools/analyze.
 
-The simulator's contract (DESIGN.md, tests/integration/test_golden_results)
-is bit-exact reproducibility: the same config and seed must produce the
-same counters on every machine, at every parallelism. This lint fails CI
-on source patterns that historically break that contract:
+The original line-regex lint lived here; its rules (wall-clock,
+libc-random, unordered, uninit-counter, loop-alloc, loop-virtual) were
+ported to the token/scope-based framework in tools/analyze, which adds
+the project-wide rules (stat-conservation, error-boundary,
+shared-state, config-plumbing), suppression auditing, a baseline and
+SARIF output. This wrapper keeps the historical CLI working:
 
-  wall-clock    Reading real time inside the simulation core
-                (std::chrono::system_clock, time(), gettimeofday,
-                localtime, clock()). steady_clock is allowed: the
-                harness uses it for *reporting* elapsed time, which is
-                outside the deterministic state.
-  libc-random   rand()/srand()/random_device. All simulated randomness
-                must flow through util/random.hh's seeded generator.
-  unordered     Iterating std::unordered_map/set feeds hash-order (and
-                therefore libstdc++-version-dependent) sequences into
-                results. Ordered containers cost a log factor and keep
-                runs comparable; use them in the core.
-  uninit-counter A bare arithmetic member declaration without an
-                initializer in a header ("uint64_t hits;") starts life
-                as stack garbage when the struct is stack-constructed,
-                which is exactly how counter nondeterminism enters.
+    tools/lint.py [--root DIR]    lint the tree (exit 1 on findings)
+    tools/lint.py --self-test     run the analyzer's self-test corpus
 
-Two further rules guard the *hot path* rather than determinism. They
-apply only to src/core/*.cc, where the per-instruction loops live and
-a single allocation or virtual dispatch per instruction is the
-difference between minutes and hours at paper-scale budgets:
-
-  loop-alloc    Heap allocation (new/make_shared/make_unique/malloc)
-                inside a loop body.
-  loop-virtual  Call to a method that some header declares virtual
-                (e.g. InstructionSource::next) inside a loop body.
-                Prefer the statically-bound path (FetchEngine::runWith)
-                or hoist the call; waive it when the dispatch is
-                genuinely rare (e.g. only on cache misses).
-
-A finding can be waived on its line (or the line above) with:
-    // lint: allow(<rule>)
-naming one of: wall-clock, libc-random, unordered, uninit-counter,
-loop-alloc, loop-virtual.
-
-Usage:
-    tools/lint.py [--root DIR]    lint the simulation core (exit 1 on
-                                  findings)
-    tools/lint.py --self-test     verify every rule catches its seeded
-                                  violation (exit 1 if any slips by)
+Both legacy `// lint: allow(<rule>)` waivers and the canonical
+`// SPECFETCH-ALLOW(<rule>): reason` form are honored. New callers
+should invoke `python3 tools/analyze` directly for the full option
+set (--rules, --sarif, --baseline, --strict).
 """
 
 import argparse
 import os
-import re
 import sys
 
-# Directories whose sources must be deterministic. bench/ and tools are
-# excluded: harness timing (steady_clock) and report timestamps live
-# there by design.
-CORE_DIRS = [
-    "src/core",
-    "src/cache",
-    "src/branch",
-    "src/workload",
-    "src/isa",
-    "src/trace",
-    "src/check",
-    "src/stats",
-    "src/util",
-    "src/report",
-]
-
-ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
-
-RULES = [
-    (
-        "wall-clock",
-        re.compile(
-            r"system_clock|gettimeofday|\blocaltime\b|\bgmtime\b"
-            r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
-            r"|\bclock\s*\(\s*\)"
-        ),
-        "reads wall-clock time inside the simulation core",
-    ),
-    (
-        "libc-random",
-        re.compile(r"\b(?:std::)?(?:s?rand)\s*\(|random_device"),
-        "uses unseeded/libc randomness (route through util/random.hh)",
-    ),
-    (
-        "unordered",
-        re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
-        "hash-ordered container in the core (iteration order feeds "
-        "results)",
-    ),
-]
-
-# Arithmetic member without an initializer, e.g. "uint64_t hits;".
-# Restricted to headers (struct/class bodies); locals in .cc files are
-# the compiler's problem (-Wuninitialized / sanitizers).
-UNINIT_RE = re.compile(
-    r"^\s*(?:uint(?:8|16|32|64)_t|int(?:8|16|32|64)_t|unsigned|int"
-    r"|size_t|double|float|bool|Slot|Addr)\s+"
-    r"[A-Za-z_]\w*\s*;\s*(?://.*)?$"
-)
-
-# Hot-path rules, applied only inside loop bodies in src/core/*.cc.
-HOT_DIR = "src/core"
-LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
-ALLOC_RE = re.compile(
-    r"\bnew\b|\bmake_shared\b|\bmake_unique\b|\bmalloc\s*\("
-)
-# "virtual <anything> name(" in a header: harvest name so call sites
-# through a pointer/reference can be flagged. Destructors and
-# operators are dispatch sites too but have no flaggable call syntax.
-VIRTUAL_DECL_RE = re.compile(
-    r"\bvirtual\s+[\w:<>,&*\s]*?\b([a-zA-Z_]\w*)\s*\("
-)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from analyze.cli import main as analyze_main  # noqa: E402
 
 
-def harvest_virtual_names(root):
-    """Method names declared virtual anywhere under src/ headers."""
-    names = set()
-    base = os.path.join(root, "src")
-    for dirpath, _, filenames in os.walk(base):
-        for name in filenames:
-            if not name.endswith((".hh", ".h")):
-                continue
-            with open(os.path.join(dirpath, name),
-                      encoding="utf-8") as handle:
-                for m in VIRTUAL_DECL_RE.finditer(handle.read()):
-                    if not m.group(1).startswith("operator"):
-                        names.add(m.group(1))
-    return names
-
-
-def allowed(lines, idx, rule):
-    for probe in (idx, idx - 1):
-        if probe < 0:
-            continue
-        m = ALLOW_RE.search(lines[probe])
-        if m and m.group(1) == rule:
-            return True
-    return False
-
-
-def lint_text(path, text, hot_loops=False, virtual_names=frozenset()):
-    """Return [(path, line_no, rule, message)] for one file's content.
-
-    With hot_loops set (src/core/*.cc), also run the loop-alloc and
-    loop-virtual rules on code inside loop bodies, using
-    @p virtual_names as the set of virtually-dispatched method names.
-    """
-    virtual_call_re = None
-    if hot_loops and virtual_names:
-        virtual_call_re = re.compile(
-            r"(?:->|\.)\s*(?:"
-            + "|".join(sorted(re.escape(n) for n in virtual_names))
-            + r")\s*\("
-        )
-    findings = []
-    lines = text.splitlines()
-    in_block_comment = False
-    brace_depth = 0
-    loop_stack = []  # brace depths at which a loop body opened
-    pending_loop = False  # saw for/while, waiting for its "{"
-    for idx, line in enumerate(lines):
-        code = line
-        # Strip comments so documentation may mention the banned names.
-        if in_block_comment:
-            end = code.find("*/")
-            if end < 0:
-                continue
-            code = code[end + 2:]
-            in_block_comment = False
-        while True:
-            start = code.find("/*")
-            if start < 0:
-                break
-            end = code.find("*/", start + 2)
-            if end < 0:
-                code = code[:start]
-                in_block_comment = True
-                break
-            code = code[:start] + code[end + 2:]
-        slash = code.find("//")
-        if slash >= 0:
-            code = code[:slash]
-        if not code.strip():
-            continue
-
-        if hot_loops:
-            # The loop header itself re-evaluates its condition every
-            # iteration, so check it along with the body.
-            in_loop = bool(loop_stack) or pending_loop \
-                or LOOP_RE.search(code)
-            if in_loop:
-                if ALLOC_RE.search(code) \
-                        and not allowed(lines, idx, "loop-alloc"):
-                    findings.append((
-                        path, idx + 1, "loop-alloc",
-                        "heap allocation inside a hot loop",
-                    ))
-                if virtual_call_re and virtual_call_re.search(code) \
-                        and not allowed(lines, idx, "loop-virtual"):
-                    findings.append((
-                        path, idx + 1, "loop-virtual",
-                        "virtual dispatch inside a hot loop (hoist it "
-                        "or use the statically-bound path)",
-                    ))
-            # A one-liner ("for (...) stmt;" or "} while (cond);")
-            # opens no body; anything else waits for its "{".
-            if LOOP_RE.search(code) and not (
-                    "{" not in code and code.rstrip().endswith(";")):
-                pending_loop = True
-            for ch in code:
-                if ch == "{":
-                    brace_depth += 1
-                    if pending_loop:
-                        loop_stack.append(brace_depth)
-                        pending_loop = False
-                elif ch == "}":
-                    if loop_stack and loop_stack[-1] == brace_depth:
-                        loop_stack.pop()
-                    brace_depth -= 1
-            # A braceless loop body ends at the statement's ";".
-            if pending_loop and code.rstrip().endswith(";") \
-                    and not LOOP_RE.search(code):
-                pending_loop = False
-
-        for rule, pattern, message in RULES:
-            if pattern.search(code) and not allowed(lines, idx, rule):
-                findings.append((path, idx + 1, rule, message))
-        if (
-            path.endswith((".hh", ".h"))
-            and UNINIT_RE.match(code)
-            and not allowed(lines, idx, "uninit-counter")
-        ):
-            findings.append(
-                (
-                    path,
-                    idx + 1,
-                    "uninit-counter",
-                    "arithmetic member without an initializer",
-                )
-            )
-    return findings
-
-
-def lint_tree(root):
-    virtual_names = harvest_virtual_names(root)
-    findings = []
-    for rel in CORE_DIRS:
-        base = os.path.join(root, rel)
-        if not os.path.isdir(base):
-            continue
-        hot = rel == HOT_DIR
-        for dirpath, _, names in os.walk(base):
-            for name in sorted(names):
-                if not name.endswith((".cc", ".hh", ".h", ".cpp")):
-                    continue
-                path = os.path.join(dirpath, name)
-                with open(path, encoding="utf-8") as handle:
-                    findings.extend(lint_text(
-                        path, handle.read(),
-                        hot_loops=hot and name.endswith((".cc", ".cpp")),
-                        virtual_names=virtual_names))
-    return findings
-
-
-SELF_TEST_CASES = [
-    ("wall-clock", "a.cc", "auto t = std::chrono::system_clock::now();"),
-    ("wall-clock", "a.cc", "time_t t = time(nullptr);"),
-    ("libc-random", "a.cc", "int r = rand();"),
-    ("libc-random", "a.cc", "std::random_device rd;"),
-    ("unordered", "a.cc", "std::unordered_map<int, int> seen;"),
-    ("uninit-counter", "a.hh", "    uint64_t hits;"),
-]
-
-SELF_TEST_CLEAN = [
-    ("a.cc", "auto t = std::chrono::steady_clock::now();"),
-    ("a.cc", "Random rng(seed);"),
-    ("a.hh", "    uint64_t hits = 0;"),
-    ("a.cc", "// rand() must never appear in the core"),
-    ("a.cc", "std::unordered_map<int, int> ok; // lint: allow(unordered)"),
-]
-
-# Hot-loop rules run with hot_loops=True and virtual_names={"next"},
-# mimicking a src/core/*.cc file. Snippets are whole fragments because
-# the rules are loop-scoped, not line-scoped.
-SELF_TEST_HOT_CASES = [
-    ("loop-alloc",
-     "for (int i = 0; i < n; ++i) {\n"
-     "    auto p = std::make_unique<int>(i);\n"
-     "}\n"),
-    ("loop-alloc",
-     "while (more) {\n"
-     "    buf = new char[64];\n"
-     "}\n"),
-    ("loop-alloc",
-     "for (int i = 0; i < n; ++i)\n"
-     "    items.push_back(std::make_shared<Foo>());\n"),
-    ("loop-virtual",
-     "while (budget > 0) {\n"
-     "    source.next(inst);\n"
-     "}\n"),
-    ("loop-virtual",
-     "for (;;) {\n"
-     "    if (!src->next(inst))\n"
-     "        break;\n"
-     "}\n"),
-]
-
-SELF_TEST_HOT_CLEAN = [
-    # Allocation before the loop, none inside.
-    "auto p = std::make_unique<int>(7);\n"
-    "for (int i = 0; i < n; ++i) {\n"
-    "    *p += i;\n"
-    "}\n",
-    # Non-virtual call inside a loop.
-    "for (int i = 0; i < n; ++i) {\n"
-    "    cache.access(line);\n"
-    "}\n",
-    # Waived virtual dispatch.
-    "for (int i = 0; i < n; ++i) {\n"
-    "    // lint: allow(loop-virtual)\n"
-    "    source.next(inst);\n"
-    "}\n",
-    # One-line loop leaves no dangling body.
-    "for (int i = 0; i < n; ++i) sum += i;\n"
-    "auto q = std::make_unique<int>(9);\n",
-    # After the loop closes, allocation is fine again.
-    "while (more) {\n"
-    "    step();\n"
-    "}\n"
-    "auto r = new Thing();\n",
-]
-
-
-def self_test():
-    failures = 0
-    for rule, path, snippet in SELF_TEST_CASES:
-        found = lint_text(path, snippet + "\n")
-        if not any(f[2] == rule for f in found):
-            print(f"self-test FAIL: {rule} missed: {snippet!r}")
-            failures += 1
-    for path, snippet in SELF_TEST_CLEAN:
-        found = lint_text(path, snippet + "\n")
-        if found:
-            print(f"self-test FAIL: false positive on {snippet!r}: {found}")
-            failures += 1
-    hot_names = {"next"}
-    for rule, snippet in SELF_TEST_HOT_CASES:
-        found = lint_text("src/core/a.cc", snippet, hot_loops=True,
-                          virtual_names=hot_names)
-        if not any(f[2] == rule for f in found):
-            print(f"self-test FAIL: {rule} missed: {snippet!r}")
-            failures += 1
-    for snippet in SELF_TEST_HOT_CLEAN:
-        found = lint_text("src/core/a.cc", snippet, hot_loops=True,
-                          virtual_names=hot_names)
-        if found:
-            print(f"self-test FAIL: false positive on {snippet!r}: {found}")
-            failures += 1
-    if failures:
-        return 1
-    print(
-        f"self-test OK: "
-        f"{len(SELF_TEST_CASES) + len(SELF_TEST_HOT_CASES)} violations "
-        f"caught, {len(SELF_TEST_CLEAN) + len(SELF_TEST_HOT_CLEAN)} "
-        f"clean fragments passed"
-    )
-    return 0
-
-
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", default=".", help="repository root")
-    parser.add_argument(
-        "--self-test",
-        action="store_true",
-        help="check that every rule catches its seeded violation",
-    )
-    args = parser.parse_args()
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Determinism lint (wrapper over tools/analyze)")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the analyzer self-test corpus and exit")
+    args = parser.parse_args(argv)
 
     if args.self_test:
-        return self_test()
-
-    findings = lint_tree(args.root)
-    for path, line, rule, message in findings:
-        print(f"{path}:{line}: [{rule}] {message}")
-    if findings:
-        print(f"{len(findings)} determinism-lint finding(s)")
-        return 1
-    print("determinism lint clean")
-    return 0
+        return analyze_main(["--self-test"])
+    # The historical contract: findings fail the build.
+    return analyze_main(["--root", args.root, "--strict"])
 
 
 if __name__ == "__main__":

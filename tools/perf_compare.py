@@ -46,42 +46,34 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 
-
-def warn(message):
-    print(f"warning: {message}", file=sys.stderr)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from common.jsonl import iter_records, warn  # noqa: E402
+from common.selftest import Checker  # noqa: E402
 
 
 def load_perf(path):
     """Return (meta, {stage: record}) from a perf JSONL file."""
     meta = None
     stages = {}
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as err:
-                raise SystemExit(f"{path}:{lineno}: malformed JSON: {err}")
-            kind = record.get("record")
-            if kind == "perf_meta":
-                meta = record
-            elif kind == "perf":
-                stage = record.get("stage")
-                rate = record.get("rate")
-                if not isinstance(stage, str) or stage == "":
-                    warn(f"{path}:{lineno}: perf record without a "
-                         f"usable 'stage'; skipping it")
-                    continue
-                if not isinstance(rate, (int, float)) \
-                        or isinstance(rate, bool):
-                    warn(f"{path}:{lineno}: stage '{stage}' has no "
-                         f"numeric 'rate'; skipping it")
-                    continue
-                stages[stage] = record
+    for lineno, record in iter_records(path, kinds=("perf_meta", "perf")):
+        if record["record"] == "perf_meta":
+            meta = record
+            continue
+        stage = record.get("stage")
+        rate = record.get("rate")
+        if not isinstance(stage, str) or stage == "":
+            warn(f"{path}:{lineno}: perf record without a "
+                 f"usable 'stage'; skipping it")
+            continue
+        if not isinstance(rate, (int, float)) \
+                or isinstance(rate, bool):
+            warn(f"{path}:{lineno}: stage '{stage}' has no "
+                 f"numeric 'rate'; skipping it")
+            continue
+        stages[stage] = record
     if meta is None:
         raise SystemExit(f"{path}: no perf_meta record found")
     if not stages:
@@ -228,13 +220,8 @@ def self_test():
         return path
 
     meta = {"record": "perf_meta", "benchmark": "gcc", "budget": 1000}
-    failures = []
-
-    def check(label, condition):
-        status = "ok" if condition else "FAIL"
-        print(f"  [{status}] {label}")
-        if not condition:
-            failures.append(label)
+    checker = Checker()
+    check = checker.check
 
     with tempfile.TemporaryDirectory() as tmp:
         # 1. Records without stage/rate are skipped with a warning,
@@ -388,12 +375,7 @@ def self_test():
             check("missing sim_adaptive raises",
                   "sim_adaptive" in str(err))
 
-    if failures:
-        print(f"self-test: {len(failures)} check(s) failed",
-              file=sys.stderr)
-        return 1
-    print("self-test: all checks passed")
-    return 0
+    return checker.finish()
 
 
 def main(argv=None):

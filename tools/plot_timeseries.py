@@ -33,45 +33,22 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 
-
-def warn(message):
-    print(f"warning: {message}", file=sys.stderr)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from common.jsonl import load_records, warn  # noqa: E402
+from common.selftest import Checker  # noqa: E402
 
 
 def load_timeseries(path):
     """Return the list of timeseries records of a JSONL file."""
-    records = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as err:
-                raise SystemExit(f"{path}:{lineno}: malformed JSON: {err}")
-            if record.get("record") == "timeseries":
-                records.append(record)
-    return records
+    return load_records(path, kinds=("timeseries",))
 
 
 def load_adaptive(path):
     """Return the list of adaptive records of a JSONL file."""
-    records = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as err:
-                raise SystemExit(f"{path}:{lineno}: malformed JSON: {err}")
-            if record.get("record") == "adaptive":
-                records.append(record)
-    return records
+    return load_records(path, kinds=("adaptive",))
 
 
 def run_identity(record):
@@ -194,13 +171,8 @@ def write_tsv(series, metric, path):
 
 def self_test():
     """Exercise selection, extraction and rendering on synthetic rows."""
-    failures = []
-
-    def check(label, condition):
-        status = "ok" if condition else "FAIL"
-        print(f"  [{status}] {label}")
-        if not condition:
-            failures.append(label)
+    checker = Checker()
+    check = checker.check
 
     def epoch(n, ispi, misses):
         return {"epoch": n, "first_instruction": n * 100,
@@ -303,12 +275,7 @@ def self_test():
         check("tsv rows carry the values",
               lines[1].startswith("100\t0.5\t10"))
 
-    if failures:
-        print(f"self-test: {len(failures)} check(s) failed",
-              file=sys.stderr)
-        return 1
-    print("self-test: all checks passed")
-    return 0
+    return checker.finish()
 
 
 def main(argv=None):

@@ -27,7 +27,11 @@ Exit code 0 when the file is valid, 1 otherwise.
 
 import argparse
 import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from common.selftest import Checker  # noqa: E402
 
 
 def fail(errors, message):
@@ -125,13 +129,8 @@ def validate_file(path, required_spans=()):
 
 def self_test():
     """Exercise every rejection path without external fixtures."""
-    failures = []
-
-    def check(label, condition):
-        status = "ok" if condition else "FAIL"
-        print(f"  [{status}] {label}")
-        if not condition:
-            failures.append(label)
+    checker = Checker()
+    check = checker.check
 
     def span(name, ts, dur, tid=1, **extra):
         event = {"name": name, "cat": "test", "ph": "X", "ts": ts,
@@ -187,12 +186,7 @@ def self_test():
     check("present required span accepted",
           validate(good, required_spans=["run"]) == [])
 
-    if failures:
-        print(f"self-test: {len(failures)} check(s) failed",
-              file=sys.stderr)
-        return 1
-    print("self-test: all checks passed")
-    return 0
+    return checker.finish()
 
 
 def main(argv=None):

@@ -21,9 +21,11 @@
  * smoke check against bench/perf_baseline.json.
  *
  * Timing methodology (README "Performance methodology"): every stage
- * runs --repeats times and the minimum is kept — the minimum is the
- * least-contended observation and is the stable statistic on shared
- * CI machines. Stages run strictly sequentially, never overlapped.
+ * runs --repeats times and one statistic is kept — the minimum by
+ * default (the least-contended observation; right for quick local A/B
+ * runs) or the median with --stat median (robust against outliers in
+ * both directions; what the gated CI comparison uses with >= 5
+ * repeats). Stages run strictly sequentially, never overlapped.
  */
 
 #include <algorithm>
@@ -58,15 +60,33 @@ timeOnce(Fn &&fn)
     return std::chrono::duration<double>(end - begin).count();
 }
 
-/** Best (minimum) of @p repeats timed runs of @p fn. */
+/** Which statistic summarises the repeated timings of a stage. */
+enum class Stat
+{
+    /** Minimum: the least-contended observation; the stable statistic
+     *  for quick local A/B runs. */
+    Best,
+    /** Median: robust to the occasional fast outlier as well as the
+     *  slow ones; what the gated CI comparison uses, with enough
+     *  repeats to make it meaningful (>= 5). */
+    Median,
+};
+
+/** The chosen statistic over @p repeats timed runs of @p fn. */
 template <typename Fn>
 double
-bestOf(unsigned repeats, Fn &&fn)
+measure(unsigned repeats, Stat stat, Fn &&fn)
 {
-    double best = timeOnce(fn);
-    for (unsigned i = 1; i < repeats; ++i)
-        best = std::min(best, timeOnce(fn));
-    return best;
+    std::vector<double> samples;
+    samples.reserve(repeats);
+    for (unsigned i = 0; i < repeats; ++i)
+        samples.push_back(timeOnce(fn));
+    std::sort(samples.begin(), samples.end());
+    if (stat == Stat::Best)
+        return samples.front();
+    const size_t n = samples.size();
+    return n % 2 == 1 ? samples[n / 2]
+                      : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
 }
 
 /** One measured stage, ready to print and export. */
@@ -112,7 +132,10 @@ main(int argc, char **argv)
     opts.addCount("budget", benchBudget(2'000'000),
                   "instructions per stage (default honours "
                   "SPECFETCH_BUDGET)");
-    opts.addCount("repeats", 3, "timed repetitions per stage (min kept)");
+    opts.addCount("repeats", 3, "timed repetitions per stage");
+    opts.addString("stat", "best",
+                   "statistic over the repeats: 'best' (minimum; local "
+                   "A/B runs) or 'median' (the gated CI comparison)");
     opts.addString("benchmark", "gcc", "workload profile to measure");
     opts.addString("json", "", "append schema-v1 perf records to this path");
     opts.addCount("sample-interval", 0,
@@ -127,6 +150,13 @@ main(int argc, char **argv)
         std::max<uint64_t>(1, opts.getCount("repeats")));
     const std::string benchmark = opts.getString("benchmark");
     const uint64_t sampleInterval = opts.getCount("sample-interval");
+    const std::string statName = opts.getString("stat");
+    if (statName != "best" && statName != "median") {
+        std::fprintf(stderr, "error: --stat must be 'best' or 'median', "
+                     "not '%s'\n", statName.c_str());
+        return 1;
+    }
+    const Stat stat = statName == "median" ? Stat::Median : Stat::Best;
 
     // Open the sink before spending minutes measuring.
     std::unique_ptr<JsonlWriter> writer;
@@ -153,7 +183,7 @@ main(int argc, char **argv)
     // once per benchmark thanks to sharedWorkload()).
     {
         StageResult r{"workload_build", "builds", 1, 0.0};
-        r.seconds = bestOf(repeats, [&] {
+        r.seconds = measure(repeats, stat, [&] {
             Workload w = buildWorkload(getProfile(benchmark));
             gSink = gSink + w.image.size();
         });
@@ -164,7 +194,7 @@ main(int argc, char **argv)
     // generator every live run steps once per instruction).
     {
         StageResult r{"executor_step", "instructions", budget, 0.0};
-        r.seconds = bestOf(repeats, [&] {
+        r.seconds = measure(repeats, stat, [&] {
             Executor executor(workload.cfg, base.runSeed);
             DynInst inst;
             uint64_t sum = 0;
@@ -180,7 +210,7 @@ main(int argc, char **argv)
     // Stage: recording a correct-path snapshot from the executor.
     {
         StageResult r{"snapshot_record", "instructions", budget, 0.0};
-        r.seconds = bestOf(repeats, [&] {
+        r.seconds = measure(repeats, stat, [&] {
             Executor executor(workload.cfg, base.runSeed);
             TraceSnapshot snap = TraceSnapshot::record(executor, budget);
             gSink = gSink + snap.byteSize();
@@ -195,7 +225,7 @@ main(int argc, char **argv)
     const TraceSnapshot snapshot = TraceSnapshot::record(recorder, budget);
     {
         StageResult r{"snapshot_replay", "instructions", budget, 0.0};
-        r.seconds = bestOf(repeats, [&] {
+        r.seconds = measure(repeats, stat, [&] {
             SnapshotReplaySource source(snapshot);
             DynInst inst;
             uint64_t sum = 0;
@@ -209,7 +239,7 @@ main(int argc, char **argv)
     // Stage: one full simulation fed by the live executor.
     {
         StageResult r{"sim_live", "instructions", budget, 0.0};
-        r.seconds = bestOf(repeats, [&] {
+        r.seconds = measure(repeats, stat, [&] {
             SimResults res = runSimulation(workload, base);
             gSink = gSink + res.finalSlot;
         });
@@ -220,7 +250,7 @@ main(int argc, char **argv)
     // sweep fast path; results are bit-identical to sim_live).
     {
         StageResult r{"sim_replay", "instructions", budget, 0.0};
-        r.seconds = bestOf(repeats, [&] {
+        r.seconds = measure(repeats, stat, [&] {
             SimResults res = runSimulation(workload, base, snapshot);
             gSink = gSink + res.finalSlot;
         });
@@ -237,7 +267,7 @@ main(int argc, char **argv)
         adaptive.adaptiveSelector = SelectorKind::Static;
         adaptive.adaptiveInterval = 50'000;
         StageResult r{"sim_adaptive", "instructions", budget, 0.0};
-        r.seconds = bestOf(repeats, [&] {
+        r.seconds = measure(repeats, stat, [&] {
             SimResults res = runSimulation(workload, adaptive);
             gSink = gSink + res.finalSlot;
         });
@@ -258,16 +288,17 @@ main(int argc, char **argv)
             }
         }
         StageResult r{"grid", "instructions", budget * specs.size(), 0.0};
-        r.seconds = bestOf(repeats, [&] {
+        r.seconds = measure(repeats, stat, [&] {
             std::vector<SimResults> res = runSweep(specs, 1);
             gSink = gSink + res.back().finalSlot;
         });
         results.push_back(r);
     }
 
-    std::printf("perf_microbench: %s, budget %llu, best of %u\n",
+    std::printf("perf_microbench: %s, budget %llu, %s of %u\n",
                 benchmark.c_str(),
-                static_cast<unsigned long long>(budget), repeats);
+                static_cast<unsigned long long>(budget),
+                statName.c_str(), repeats);
     std::printf("%-16s %14s %12s %16s\n", "stage", "work", "seconds",
                 "rate/s");
     for (const StageResult &r : results) {
@@ -283,6 +314,7 @@ main(int argc, char **argv)
         meta.set("benchmark", JsonValue::string(benchmark));
         meta.set("budget", JsonValue::integer(budget));
         meta.set("repeats", JsonValue::integer(repeats));
+        meta.set("stat", JsonValue::string(statName));
         // Kept conditional so baselines measured without the sampler
         // keep their historical shape.
         if (sampleInterval > 0)

@@ -14,35 +14,6 @@ Btb::Btb(unsigned _entries, unsigned _ways)
     fatal_if(!isPowerOfTwo(sets), "BTB set count must be a power of two");
 }
 
-unsigned
-Btb::setIndex(Addr pc) const
-{
-    return static_cast<unsigned>(bits(pc / kInstBytes, 0, indexBits));
-}
-
-Addr
-Btb::tagOf(Addr pc) const
-{
-    return (pc / kInstBytes) >> indexBits;
-}
-
-BtbLookup
-Btb::lookup(Addr pc)
-{
-    ++lookups;
-    Entry *base = &table[setIndex(pc) * ways];
-    Addr tag = tagOf(pc);
-    for (unsigned w = 0; w < ways; ++w) {
-        Entry &entry = base[w];
-        if (entry.valid && entry.tag == tag) {
-            entry.lastUse = ++useClock;
-            ++hits;
-            return BtbLookup{true, entry.target};
-        }
-    }
-    return BtbLookup{};
-}
-
 BtbLookup
 Btb::peek(Addr pc) const
 {
@@ -53,40 +24,6 @@ Btb::peek(Addr pc) const
             return BtbLookup{true, base[w].target};
     }
     return BtbLookup{};
-}
-
-void
-Btb::insert(Addr pc, Addr target)
-{
-    ++insertions;
-    Entry *base = &table[setIndex(pc) * ways];
-    Addr tag = tagOf(pc);
-
-    // Refresh an existing entry in place.
-    for (unsigned w = 0; w < ways; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].target = target;
-            base[w].lastUse = ++useClock;
-            return;
-        }
-    }
-
-    // Fill an invalid way, else evict true-LRU.
-    Entry *victim = &base[0];
-    for (unsigned w = 0; w < ways; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
-    }
-    if (victim->valid)
-        ++evictions;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->target = target;
-    victim->lastUse = ++useClock;
 }
 
 void

@@ -39,17 +39,70 @@ class Btb
      */
     Btb(unsigned entries = 64, unsigned ways = 4);
 
-    /** Probe at fetch time; updates LRU on hit. */
-    BtbLookup lookup(Addr pc);
+    /**
+     * Probe at fetch time; updates LRU on hit. Inline: the predictor
+     * probes the BTB once per control instruction (correct and wrong
+     * path), inside the simulator's hot loop.
+     */
+    BtbLookup
+    lookup(Addr pc)
+    {
+        ++lookups;
+        Entry *base = &table[setIndex(pc) * ways];
+        Addr tag = tagOf(pc);
+        for (unsigned w = 0; w < ways; ++w) {
+            Entry &entry = base[w];
+            if (entry.valid && entry.tag == tag) {
+                entry.lastUse = ++useClock;
+                ++hits;
+                return BtbLookup{true, entry.target};
+            }
+        }
+        return BtbLookup{};
+    }
 
     /** Probe without perturbing replacement state (for inspection). */
     BtbLookup peek(Addr pc) const;
 
     /**
      * Insert/refresh the mapping pc -> target (decode-time
-     * speculative update for predicted-taken branches).
+     * speculative update for predicted-taken branches). Inline: one
+     * insert per predicted-taken branch on both paths, right next to
+     * lookup() in the simulator's per-control-instruction hot loop.
      */
-    void insert(Addr pc, Addr target);
+    void
+    insert(Addr pc, Addr target)
+    {
+        ++insertions;
+        Entry *base = &table[setIndex(pc) * ways];
+        Addr tag = tagOf(pc);
+
+        // Refresh an existing entry in place.
+        for (unsigned w = 0; w < ways; ++w) {
+            if (base[w].valid && base[w].tag == tag) {
+                base[w].target = target;
+                base[w].lastUse = ++useClock;
+                return;
+            }
+        }
+
+        // Fill an invalid way, else evict true-LRU.
+        Entry *victim = &base[0];
+        for (unsigned w = 0; w < ways; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+            if (base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+        }
+        if (victim->valid)
+            ++evictions;
+        victim->valid = true;
+        victim->tag = tag;
+        victim->target = target;
+        victim->lastUse = ++useClock;
+    }
 
     /** Invalidate any entry for @p pc. */
     void invalidate(Addr pc);
@@ -74,8 +127,13 @@ class Btb
         uint64_t lastUse = 0;
     };
 
-    unsigned setIndex(Addr pc) const;
-    Addr tagOf(Addr pc) const;
+    unsigned
+    setIndex(Addr pc) const
+    {
+        return static_cast<unsigned>((pc / kInstBytes) & (sets - 1));
+    }
+
+    Addr tagOf(Addr pc) const { return (pc / kInstBytes) >> indexBits; }
 
     unsigned entries = 0;
     unsigned ways = 0;

@@ -25,84 +25,4 @@ Pht::Pht(unsigned _entries, unsigned counter_bits, PhtIndexing _indexing,
     }
 }
 
-unsigned
-Pht::gshareIndex(Addr pc) const
-{
-    return static_cast<unsigned>((ghr ^ (pc / kInstBytes)) &
-                                 mask(historyBits));
-}
-
-unsigned
-Pht::pcIndex(Addr pc) const
-{
-    return static_cast<unsigned>((pc / kInstBytes) & mask(historyBits));
-}
-
-unsigned
-Pht::indexFor(Addr pc) const
-{
-    uint64_t pc_bits = pc / kInstBytes;
-    uint64_t index = 0;
-    switch (indexing) {
-      case PhtIndexing::Gshare:
-        index = ghr ^ pc_bits;
-        break;
-      case PhtIndexing::GlobalOnly:
-        index = ghr;
-        break;
-      case PhtIndexing::PcOnly:
-        index = pc_bits;
-        break;
-      case PhtIndexing::Local:
-        index = localHistories[pc_bits & mask(localIndexBits)];
-        break;
-      case PhtIndexing::Combining:
-        index = ghr ^ pc_bits;    // the gshare component's index
-        break;
-    }
-    return static_cast<unsigned>(index & mask(historyBits));
-}
-
-bool
-Pht::predict(Addr pc) const
-{
-    ++predictions;
-    if (indexing == PhtIndexing::Combining) {
-        bool use_gshare = chooser[pcIndex(pc)].predictTaken();
-        return use_gshare ? counters[gshareIndex(pc)].predictTaken()
-                          : bimodal[pcIndex(pc)].predictTaken();
-    }
-    return counters[indexFor(pc)].predictTaken();
-}
-
-void
-Pht::update(Addr pc, bool taken)
-{
-    ++updates;
-    // Train the counter at the index formed from the *architectural*
-    // history (all older branches resolved). Under deep speculation a
-    // fetch-time predict() for this branch may have read a different,
-    // stale index — that mismatch is precisely the PHT degradation the
-    // paper attributes to speculative execution (Table 3, B1 vs B4).
-    if (indexing == PhtIndexing::Combining) {
-        // Both components train on every branch; the chooser trains
-        // only when they disagree, toward whichever was right
-        // (McFarling 93).
-        bool g = counters[gshareIndex(pc)].predictTaken();
-        bool b = bimodal[pcIndex(pc)].predictTaken();
-        if (g != b)
-            chooser[pcIndex(pc)].update(g == taken);
-        counters[gshareIndex(pc)].update(taken);
-        bimodal[pcIndex(pc)].update(taken);
-    } else {
-        counters[indexFor(pc)].update(taken);
-    }
-    ghr = ((ghr << 1) | (taken ? 1 : 0)) & mask(historyBits);
-    if (indexing == PhtIndexing::Local) {
-        uint64_t &history =
-            localHistories[(pc / kInstBytes) & mask(localIndexBits)];
-        history = ((history << 1) | (taken ? 1 : 0)) & mask(historyBits);
-    }
-}
-
 } // namespace specfetch

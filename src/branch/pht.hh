@@ -19,6 +19,7 @@
 
 #include "isa/types.hh"
 #include "stats/stats.hh"
+#include "util/bit_ops.hh"
 #include "util/sat_counter.hh"
 
 namespace specfetch {
@@ -59,17 +60,63 @@ class Pht
                  PhtIndexing indexing = PhtIndexing::Gshare,
                  unsigned local_entries = 1024);
 
-    /** Predict direction for the conditional branch at @p pc using the
-     *  *current* (architectural, resolve-updated) history. */
-    bool predict(Addr pc) const;
+    /**
+     * Predict direction for the conditional branch at @p pc using the
+     * *current* (architectural, resolve-updated) history. Inline: one
+     * call per conditional branch on both the correct and the wrong
+     * path — the hottest predictor entry point.
+     */
+    bool
+    predict(Addr pc) const
+    {
+        ++predictions;
+        if (indexing == PhtIndexing::Combining) {
+            bool use_gshare = chooser[pcIndex(pc)].predictTaken();
+            return use_gshare ? counters[gshareIndex(pc)].predictTaken()
+                              : bimodal[pcIndex(pc)].predictTaken();
+        }
+        return counters[indexFor(pc)].predictTaken();
+    }
 
     /**
      * Resolve-time training: update the counter the prediction was
      * read from and then shift the outcome into the history register.
+     * Inline: one call per resolved conditional branch, paired with
+     * predict() in the simulator's per-branch hot path.
      * @param pc     Branch address.
      * @param taken  Actual direction.
      */
-    void update(Addr pc, bool taken);
+    void
+    update(Addr pc, bool taken)
+    {
+        ++updates;
+        // Train the counter at the index formed from the *architectural*
+        // history (all older branches resolved). Under deep speculation
+        // a fetch-time predict() for this branch may have read a
+        // different, stale index — that mismatch is precisely the PHT
+        // degradation the paper attributes to speculative execution
+        // (Table 3, B1 vs B4).
+        if (indexing == PhtIndexing::Combining) {
+            // Both components train on every branch; the chooser trains
+            // only when they disagree, toward whichever was right
+            // (McFarling 93).
+            bool g = counters[gshareIndex(pc)].predictTaken();
+            bool b = bimodal[pcIndex(pc)].predictTaken();
+            if (g != b)
+                chooser[pcIndex(pc)].update(g == taken);
+            counters[gshareIndex(pc)].update(taken);
+            bimodal[pcIndex(pc)].update(taken);
+        } else {
+            counters[indexFor(pc)].update(taken);
+        }
+        ghr = ((ghr << 1) | (taken ? 1 : 0)) & mask(historyBits);
+        if (indexing == PhtIndexing::Local) {
+            uint64_t &history =
+                localHistories[(pc / kInstBytes) & mask(localIndexBits)];
+            history = ((history << 1) | (taken ? 1 : 0)) &
+                      mask(historyBits);
+        }
+    }
 
     /** History register value (low @ref historyBits bits). */
     uint64_t history() const { return ghr; }
@@ -82,7 +129,30 @@ class Pht
     /** @} */
 
   private:
-    unsigned indexFor(Addr pc) const;
+    unsigned
+    indexFor(Addr pc) const
+    {
+        uint64_t pc_bits = pc / kInstBytes;
+        uint64_t index = 0;
+        switch (indexing) {
+          case PhtIndexing::Gshare:
+            index = ghr ^ pc_bits;
+            break;
+          case PhtIndexing::GlobalOnly:
+            index = ghr;
+            break;
+          case PhtIndexing::PcOnly:
+            index = pc_bits;
+            break;
+          case PhtIndexing::Local:
+            index = localHistories[pc_bits & mask(localIndexBits)];
+            break;
+          case PhtIndexing::Combining:
+            index = ghr ^ pc_bits;    // the gshare component's index
+            break;
+        }
+        return static_cast<unsigned>(index & mask(historyBits));
+    }
 
     unsigned entries = 0;
     unsigned historyBits = 0;
@@ -98,8 +168,18 @@ class Pht
     std::vector<SatCounter> bimodal;
     std::vector<SatCounter> chooser;
 
-    unsigned gshareIndex(Addr pc) const;
-    unsigned pcIndex(Addr pc) const;
+    unsigned
+    gshareIndex(Addr pc) const
+    {
+        return static_cast<unsigned>((ghr ^ (pc / kInstBytes)) &
+                                     mask(historyBits));
+    }
+
+    unsigned
+    pcIndex(Addr pc) const
+    {
+        return static_cast<unsigned>((pc / kInstBytes) & mask(historyBits));
+    }
 };
 
 } // namespace specfetch

@@ -13,146 +13,4 @@ BranchPredictor::BranchPredictor(const PredictorConfig &config)
 {
 }
 
-Prediction
-BranchPredictor::predict(Addr pc, InstClass cls)
-{
-    Prediction result;
-    switch (cls) {
-      case InstClass::Plain:
-        return result;
-
-      case InstClass::CondBranch: {
-        result.taken = phtUnit.predict(pc);
-        if (result.taken) {
-            BtbLookup hit = btbUnit.lookup(pc);
-            result.targetKnown = hit.hit;
-            result.target = hit.target;
-        }
-        return result;
-      }
-
-      case InstClass::Jump:
-      case InstClass::Call: {
-        result.taken = true;
-        BtbLookup hit = btbUnit.lookup(pc);
-        result.targetKnown = hit.hit;
-        result.target = hit.target;
-        if (cls == InstClass::Call && rasEnabled)
-            rasUnit.push(pc + kInstBytes);
-        return result;
-      }
-
-      case InstClass::Return: {
-        result.taken = true;
-        if (rasEnabled) {
-            Addr predicted = rasUnit.pop();
-            result.targetKnown = predicted != 0;
-            result.target = predicted;
-        } else {
-            BtbLookup hit = btbUnit.lookup(pc);
-            result.targetKnown = hit.hit;
-            result.target = hit.target;
-        }
-        return result;
-      }
-
-      case InstClass::IndirectJump: {
-        result.taken = true;
-        BtbLookup hit = btbUnit.lookup(pc);
-        result.targetKnown = hit.hit;
-        result.target = hit.target;
-        return result;
-      }
-
-      case InstClass::IndirectCall: {
-        // Virtual dispatch: the target comes from the BTB; the return
-        // address is pushed like any call.
-        result.taken = true;
-        BtbLookup hit = btbUnit.lookup(pc);
-        result.targetKnown = hit.hit;
-        result.target = hit.target;
-        if (rasEnabled)
-            rasUnit.push(pc + kInstBytes);
-        return result;
-      }
-    }
-    return result;
-}
-
-void
-BranchPredictor::onDecode(Addr pc, const StaticInst &inst,
-                          bool predicted_taken)
-{
-    // Decode produces the target of direct control flow; the paper
-    // inserts predicted-taken branches into the BTB at this point,
-    // speculatively. Indirect targets are not known until resolve.
-    if (hasStaticTarget(inst.cls) && predicted_taken)
-        btbUnit.insert(pc, inst.target);
-}
-
-void
-BranchPredictor::onResolve(const DynInst &inst)
-{
-    if (inst.cls == InstClass::CondBranch)
-        phtUnit.update(inst.pc, inst.taken);
-    // Indirect control records its resolved target for next time;
-    // returns go through the BTB only when the RAS is disabled
-    // (paper baseline).
-    if (inst.cls == InstClass::IndirectJump ||
-        inst.cls == InstClass::IndirectCall ||
-        (inst.cls == InstClass::Return && !rasEnabled)) {
-        btbUnit.insert(inst.pc, inst.target);
-    }
-}
-
-BranchOutcome
-BranchPredictor::classify(const Prediction &prediction, const DynInst &inst)
-{
-    switch (inst.cls) {
-      case InstClass::Plain:
-        return BranchOutcome::Correct;
-
-      case InstClass::CondBranch:
-        if (prediction.taken != inst.taken)
-            return BranchOutcome::DirMispredict;
-        if (!inst.taken)
-            return BranchOutcome::Correct;
-        // Predicted and actually taken: fetch needed the target.
-        if (prediction.targetKnown && prediction.target == inst.target)
-            return BranchOutcome::Correct;
-        return BranchOutcome::Misfetch;
-
-      case InstClass::Jump:
-      case InstClass::Call:
-        if (prediction.targetKnown && prediction.target == inst.target)
-            return BranchOutcome::Correct;
-        return BranchOutcome::Misfetch;
-
-      case InstClass::Return:
-      case InstClass::IndirectJump:
-      case InstClass::IndirectCall:
-        // The register value is only available at resolve: a wrong or
-        // missing predicted target costs the full mispredict penalty.
-        if (prediction.targetKnown && prediction.target == inst.target)
-            return BranchOutcome::Correct;
-        return BranchOutcome::TargetMispredict;
-    }
-    return BranchOutcome::Correct;
-}
-
-unsigned
-BranchPredictor::penaltySlots(BranchOutcome outcome)
-{
-    switch (outcome) {
-      case BranchOutcome::Correct:
-        return 0;
-      case BranchOutcome::Misfetch:
-        return 8;       // two cycles to decode/compute the target
-      case BranchOutcome::DirMispredict:
-      case BranchOutcome::TargetMispredict:
-        return 16;      // four cycles to resolve
-    }
-    return 0;
-}
-
 } // namespace specfetch

@@ -68,9 +68,75 @@ class BranchPredictor
     /**
      * Fetch-time prediction for the control instruction at @p pc.
      * Perturbs BTB LRU state (a real lookup) and, when the RAS is
-     * enabled, speculatively pops/pushes it.
+     * enabled, speculatively pops/pushes it. Inline (along with
+     * onDecode): one call per control instruction on both paths —
+     * the per-branch hot path of the whole simulator.
      */
-    Prediction predict(Addr pc, InstClass cls);
+    Prediction
+    predict(Addr pc, InstClass cls)
+    {
+        Prediction result;
+        switch (cls) {
+          case InstClass::Plain:
+            return result;
+
+          case InstClass::CondBranch: {
+            result.taken = phtUnit.predict(pc);
+            if (result.taken) {
+                BtbLookup hit = btbUnit.lookup(pc);
+                result.targetKnown = hit.hit;
+                result.target = hit.target;
+            }
+            return result;
+          }
+
+          case InstClass::Jump:
+          case InstClass::Call: {
+            result.taken = true;
+            BtbLookup hit = btbUnit.lookup(pc);
+            result.targetKnown = hit.hit;
+            result.target = hit.target;
+            if (cls == InstClass::Call && rasEnabled)
+                rasUnit.push(pc + kInstBytes);
+            return result;
+          }
+
+          case InstClass::Return: {
+            result.taken = true;
+            if (rasEnabled) {
+                Addr predicted = rasUnit.pop();
+                result.targetKnown = predicted != 0;
+                result.target = predicted;
+            } else {
+                BtbLookup hit = btbUnit.lookup(pc);
+                result.targetKnown = hit.hit;
+                result.target = hit.target;
+            }
+            return result;
+          }
+
+          case InstClass::IndirectJump: {
+            result.taken = true;
+            BtbLookup hit = btbUnit.lookup(pc);
+            result.targetKnown = hit.hit;
+            result.target = hit.target;
+            return result;
+          }
+
+          case InstClass::IndirectCall: {
+            // Virtual dispatch: the target comes from the BTB; the
+            // return address is pushed like any call.
+            result.taken = true;
+            BtbLookup hit = btbUnit.lookup(pc);
+            result.targetKnown = hit.hit;
+            result.target = hit.target;
+            if (rasEnabled)
+                rasUnit.push(pc + kInstBytes);
+            return result;
+          }
+        }
+        return result;
+    }
 
     /**
      * Decode-time update (speculative; also runs for wrong-path
@@ -78,25 +144,95 @@ class BranchPredictor
      * predicted-taken direct branches into the BTB with their
      * now-computed static target.
      */
-    void onDecode(Addr pc, const StaticInst &inst, bool predicted_taken);
+    void
+    onDecode(Addr pc, const StaticInst &inst, bool predicted_taken)
+    {
+        // Decode produces the target of direct control flow; the paper
+        // inserts predicted-taken branches into the BTB at this point,
+        // speculatively. Indirect targets are not known until resolve.
+        if (hasStaticTarget(inst.cls) && predicted_taken)
+            btbUnit.insert(pc, inst.target);
+    }
 
     /**
      * Resolve-time update for correct-path branches: trains the PHT
      * for conditionals and installs resolved indirect targets.
+     * Inline: one call per resolved control instruction, the third
+     * per-branch predictor entry point on the simulator's hot path.
      */
-    void onResolve(const DynInst &inst);
+    void
+    onResolve(const DynInst &inst)
+    {
+        if (inst.cls == InstClass::CondBranch)
+            phtUnit.update(inst.pc, inst.taken);
+        // Indirect control records its resolved target for next time;
+        // returns go through the BTB only when the RAS is disabled
+        // (paper baseline).
+        if (inst.cls == InstClass::IndirectJump ||
+            inst.cls == InstClass::IndirectCall ||
+            (inst.cls == InstClass::Return && !rasEnabled)) {
+            btbUnit.insert(inst.pc, inst.target);
+        }
+    }
 
     /**
      * Classify the fetch-time prediction against the dynamic truth.
+     * Inline: called once per correct-path control instruction.
      * @param prediction  What predict() returned at fetch.
      * @param inst        The correct-path instruction record.
      */
-    static BranchOutcome classify(const Prediction &prediction,
-                                  const DynInst &inst);
+    static BranchOutcome
+    classify(const Prediction &prediction, const DynInst &inst)
+    {
+        switch (inst.cls) {
+          case InstClass::Plain:
+            return BranchOutcome::Correct;
+
+          case InstClass::CondBranch:
+            if (prediction.taken != inst.taken)
+                return BranchOutcome::DirMispredict;
+            if (!inst.taken)
+                return BranchOutcome::Correct;
+            // Predicted and actually taken: fetch needed the target.
+            if (prediction.targetKnown && prediction.target == inst.target)
+                return BranchOutcome::Correct;
+            return BranchOutcome::Misfetch;
+
+          case InstClass::Jump:
+          case InstClass::Call:
+            if (prediction.targetKnown && prediction.target == inst.target)
+                return BranchOutcome::Correct;
+            return BranchOutcome::Misfetch;
+
+          case InstClass::Return:
+          case InstClass::IndirectJump:
+          case InstClass::IndirectCall:
+            // The register value is only available at resolve: a wrong
+            // or missing predicted target costs the full mispredict
+            // penalty.
+            if (prediction.targetKnown && prediction.target == inst.target)
+                return BranchOutcome::Correct;
+            return BranchOutcome::TargetMispredict;
+        }
+        return BranchOutcome::Correct;
+    }
 
     /** Issue-slot penalty charged for an outcome on the baseline
      *  machine (0 / 8 / 16; paper §4.1). */
-    static unsigned penaltySlots(BranchOutcome outcome);
+    static unsigned
+    penaltySlots(BranchOutcome outcome)
+    {
+        switch (outcome) {
+          case BranchOutcome::Correct:
+            return 0;
+          case BranchOutcome::Misfetch:
+            return 8;       // two cycles to decode/compute the target
+          case BranchOutcome::DirMispredict:
+          case BranchOutcome::TargetMispredict:
+            return 16;      // four cycles to resolve
+        }
+        return 0;
+    }
 
     const Btb &btb() const { return btbUnit; }
     const Pht &pht() const { return phtUnit; }

@@ -21,108 +21,10 @@ ICache::ICache(const ICacheConfig &config)
     fatal_if(!isPowerOfTwo(sets), "set count must be a power of two");
 }
 
-uint64_t
-ICache::setOf(Addr line_addr) const
-{
-    return (line_addr >> lineShift) & (sets - 1);
-}
-
-Addr
-ICache::tagOf(Addr line_addr) const
-{
-    return line_addr >> lineShift >> setShift;
-}
-
-ICache::Frame *
-ICache::find(Addr line_addr)
-{
-    Frame *base = &frames[setOf(line_addr) * cfg.ways];
-    Addr tag = tagOf(line_addr);
-    const unsigned ways = cfg.ways;
-    for (unsigned w = 0; w < ways; ++w)
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    return nullptr;
-}
-
-const ICache::Frame *
-ICache::find(Addr line_addr) const
-{
-    const Frame *base = &frames[setOf(line_addr) * cfg.ways];
-    Addr tag = tagOf(line_addr);
-    const unsigned ways = cfg.ways;
-    for (unsigned w = 0; w < ways; ++w)
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    return nullptr;
-}
-
-bool
-ICache::access(Addr line_addr)
-{
-    panic_if(line_addr & lineMask, "access not line aligned: %llx",
-             static_cast<unsigned long long>(line_addr));
-    ++accesses;
-    Frame *frame = find(line_addr);
-    if (!frame) {
-        ++misses;
-        return false;
-    }
-    frame->lastUse = ++useClock;
-    return true;
-}
-
 bool
 ICache::contains(Addr line_addr) const
 {
     return find(line_addr) != nullptr;
-}
-
-Eviction
-ICache::insert(Addr line_addr)
-{
-    panic_if(line_addr & lineMask, "insert not line aligned: %llx",
-             static_cast<unsigned long long>(line_addr));
-    ++insertions;
-
-    Frame *base = &frames[setOf(line_addr) * cfg.ways];
-    Addr tag = tagOf(line_addr);
-
-    // Refresh in place if present (e.g. prefetch completing after a
-    // demand fill already installed the line).
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].lastUse = ++useClock;
-            return Eviction{};
-        }
-    }
-
-    Frame *victim = &base[0];
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
-    }
-
-    Eviction result;
-    if (victim->valid) {
-        ++evictions;
-        result.valid = true;
-        uint64_t set = setOf(line_addr);
-        result.lineAddr = ((victim->tag << setShift) | set)
-                          << lineShift;
-        if (victimCache)
-            victimCache->insert(result.lineAddr);
-    }
-
-    victim->valid = true;
-    victim->tag = tag;
-    victim->firstRef = true;
-    victim->lastUse = ++useClock;
-    return result;
 }
 
 bool

@@ -23,12 +23,12 @@
 #include <string>
 #include <vector>
 
+#include "cache/victim_cache.hh"
 #include "isa/types.hh"
 #include "stats/stats.hh"
+#include "util/logging.hh"
 
 namespace specfetch {
-
-class VictimCache;
 
 /** Geometry + identity of an instruction cache. */
 struct ICacheConfig
@@ -67,18 +67,79 @@ class ICache
 
     /**
      * Fetch-path probe: hit updates LRU. Does not touch the
-     * first-ref bit (see testAndClearFirstRef).
+     * first-ref bit (see testAndClearFirstRef). Inline: one probe
+     * per fetched line on both the correct and the wrong path — the
+     * single hottest cache operation in the simulator.
      */
-    bool access(Addr line_addr);
+    bool
+    access(Addr line_addr)
+    {
+        panic_if(line_addr & lineMask, "access not line aligned: %llx",
+                 static_cast<unsigned long long>(line_addr));
+        ++accesses;
+        Frame *frame = find(line_addr);
+        if (!frame) {
+            ++misses;
+            return false;
+        }
+        frame->lastUse = ++useClock;
+        return true;
+    }
 
     /** Presence test with no replacement-state side effects. */
     bool contains(Addr line_addr) const;
 
     /**
      * Install @p line_addr, evicting the LRU way of its set if full.
-     * The new frame's first-ref bit is set.
+     * The new frame's first-ref bit is set. Inline: one insert per
+     * fill on both paths, adjacent to access() on the hot path.
      */
-    Eviction insert(Addr line_addr);
+    Eviction
+    insert(Addr line_addr)
+    {
+        panic_if(line_addr & lineMask, "insert not line aligned: %llx",
+                 static_cast<unsigned long long>(line_addr));
+        ++insertions;
+
+        Frame *base = &frames[setOf(line_addr) * cfg.ways];
+        Addr tag = tagOf(line_addr);
+
+        // Refresh in place if present (e.g. prefetch completing after
+        // a demand fill already installed the line).
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            if (base[w].valid && base[w].tag == tag) {
+                base[w].lastUse = ++useClock;
+                return Eviction{};
+            }
+        }
+
+        Frame *victim = &base[0];
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+            if (base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+        }
+
+        Eviction result;
+        if (victim->valid) {
+            ++evictions;
+            result.valid = true;
+            uint64_t set = setOf(line_addr);
+            result.lineAddr = ((victim->tag << setShift) | set)
+                              << lineShift;
+            if (victimCache)
+                victimCache->insert(result.lineAddr);
+        }
+
+        victim->valid = true;
+        victim->tag = tag;
+        victim->firstRef = true;
+        victim->lastUse = ++useClock;
+        return result;
+    }
 
     /**
      * If @p line_addr is present and its first-ref bit is set, clear
@@ -120,10 +181,40 @@ class ICache
         uint64_t lastUse = 0;
     };
 
-    uint64_t setOf(Addr line_addr) const;
-    Addr tagOf(Addr line_addr) const;
-    Frame *find(Addr line_addr);
-    const Frame *find(Addr line_addr) const;
+    uint64_t
+    setOf(Addr line_addr) const
+    {
+        return (line_addr >> lineShift) & (sets - 1);
+    }
+
+    Addr tagOf(Addr line_addr) const
+    {
+        return line_addr >> lineShift >> setShift;
+    }
+
+    Frame *
+    find(Addr line_addr)
+    {
+        Frame *base = &frames[setOf(line_addr) * cfg.ways];
+        Addr tag = tagOf(line_addr);
+        const unsigned ways = cfg.ways;
+        for (unsigned w = 0; w < ways; ++w)
+            if (base[w].valid && base[w].tag == tag)
+                return &base[w];
+        return nullptr;
+    }
+
+    const Frame *
+    find(Addr line_addr) const
+    {
+        const Frame *base = &frames[setOf(line_addr) * cfg.ways];
+        Addr tag = tagOf(line_addr);
+        const unsigned ways = cfg.ways;
+        for (unsigned w = 0; w < ways; ++w)
+            if (base[w].valid && base[w].tag == tag)
+                return &base[w];
+        return nullptr;
+    }
 
     ICacheConfig cfg;
     VictimCache *victimCache = nullptr;

@@ -11,21 +11,6 @@ MemoryHierarchy::MemoryHierarchy(const MemoryConfig &config,
 }
 
 Slot
-MemoryHierarchy::fillSlots(Addr line_addr)
-{
-    if (!l2)
-        return Slot(cfg.missPenaltyCycles) * issueWidth;
-
-    if (l2->access(line_addr)) {
-        ++l2Hits;
-        return Slot(cfg.l2HitCycles) * issueWidth;
-    }
-    ++l2Misses;
-    l2->insert(line_addr);
-    return Slot(cfg.l2MissCycles) * issueWidth;
-}
-
-Slot
 MemoryHierarchy::maxFillSlots() const
 {
     unsigned cycles = l2 ? cfg.l2MissCycles : cfg.missPenaltyCycles;

@@ -66,9 +66,24 @@ class MemoryHierarchy
     /**
      * The bus occupancy, in slots, of filling @p line_addr. In
      * two-level mode this probes the L2 and installs the line there
-     * on an L2 miss.
+     * on an L2 miss. Inline: queried once per fill on both the
+     * correct and the wrong path; in flat mode (the baseline) it
+     * folds to a constant at the call site.
      */
-    Slot fillSlots(Addr line_addr);
+    Slot
+    fillSlots(Addr line_addr)
+    {
+        if (!l2)
+            return Slot(cfg.missPenaltyCycles) * issueWidth;
+
+        if (l2->access(line_addr)) {
+            ++l2Hits;
+            return Slot(cfg.l2HitCycles) * issueWidth;
+        }
+        ++l2Misses;
+        l2->insert(line_addr);
+        return Slot(cfg.l2MissCycles) * issueWidth;
+    }
 
     /** Worst-case fill occupancy (sizing stalls conservatively). */
     Slot maxFillSlots() const;

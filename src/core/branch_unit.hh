@@ -7,10 +7,9 @@
 #ifndef SPECFETCH_CORE_BRANCH_UNIT_HH_
 #define SPECFETCH_CORE_BRANCH_UNIT_HH_
 
-#include <deque>
-
 #include "isa/types.hh"
 #include "util/logging.hh"
+#include "util/ring_buffer.hh"
 
 namespace specfetch {
 
@@ -91,7 +90,7 @@ class BranchUnit
     }
 
   private:
-    std::deque<Slot> condResolves;
+    RingQueue<Slot> condResolves;
     Slot latestResolve = 0;
 };
 

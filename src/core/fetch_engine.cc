@@ -16,6 +16,9 @@ namespace {
 
 constexpr Addr kNoLine = ~Addr{0};
 
+/** FetchPolicy enumerator as a template-argument policy slot. */
+constexpr int pol(FetchPolicy p) { return static_cast<int>(p); }
+
 } // namespace
 
 FetchEngine::FetchEngine(const SimConfig &_config, const ProgramImage &_image)
@@ -132,6 +135,10 @@ FetchEngine::runAudit(bool end_of_run)
     if (!auditor)
         return;
     TraceSpan span("audit", "check");
+    // Predictor training due by the current slot is applied lazily
+    // (at the next control instruction); an audit must observe the
+    // same predictor state as the eager schedule would.
+    drainResolves();
 
     AuditContext ctx;
     ctx.config = &config;
@@ -186,41 +193,46 @@ FetchEngine::onAdaptiveBoundary()
 }
 
 void
-FetchEngine::advanceTo(Slot target, PenaltyKind kind)
+FetchEngine::drainResolvesDue()
 {
-    if (target <= now)
-        return;
-    stats.penalty.charge(kind, static_cast<uint64_t>(target - now));
-    now = target;
-    drainResolves();
-}
-
-void
-FetchEngine::drainResolves()
-{
-    while (!pendingResolves.empty() && pendingResolves.front().at <= now) {
+    do {
         predictor.onResolve(pendingResolves.front().inst);
         pendingResolves.pop_front();
-    }
+    } while (!pendingResolves.empty() &&
+             pendingResolves.front().at <= now);
 }
 
+template <int PF>
 void
 FetchEngine::maybePrefetch(Addr line_addr)
 {
-    if (prefetcher.enabled())
+    if (prefetchArmed<PF>())
         prefetcher.onAccess(line_addr, now, config.missPenaltySlots());
 }
 
+template <int P, int PF>
 void
 FetchEngine::handleLineAccess(Addr line_addr)
 {
     ++stats.demandAccesses;
     if (heatmap)
         heatmap->demandAccess(line_addr);
-    bool hit = cache.access(line_addr);
+    if (cache.access(line_addr)) [[likely]] {
+        if (observer)
+            observer->onCorrectAccess(line_addr, true);
+        maybePrefetch<PF>(line_addr);
+        return;
+    }
+    handleLineMiss<P, PF>(line_addr);
+}
+
+template <int P, int PF>
+void
+FetchEngine::handleLineMiss(Addr line_addr)
+{
     bool buffer_hit = false;
 
-    if (!hit && resumeBuffer.matches(line_addr)) {
+    if (resumeBuffer.matches(line_addr)) {
         // A previously initiated (wrong-path) fill of this very line:
         // no new memory request, but the data must finish arriving —
         // the Resume policy's residual cost.
@@ -228,14 +240,15 @@ FetchEngine::handleLineAccess(Addr line_addr)
             advanceTo(resumeBuffer.readyAt(), PenaltyKind::Bus);
         resumeBuffer.drainIfReady(cache, now);
         buffer_hit = true;
-    } else if (!hit && prefetcher.enabled() &&
+    } else if (prefetchArmed<PF>() &&
                prefetcher.buffer().matches(line_addr)) {
         // Demand access to an in-flight or completed prefetch.
         if (!prefetcher.buffer().isReady(now))
             advanceTo(prefetcher.buffer().readyAt(), PenaltyKind::RtIcache);
         prefetcher.drain(now);
         buffer_hit = true;
-    } else if (!hit && prefetcher.streamMatches(line_addr)) {
+    } else if (prefetchArmed<PF>() &&
+               prefetcher.streamMatches(line_addr)) {
         // Demand access served by the stream-buffer head: wait for
         // the data if needed, then consume (which also requests the
         // next sequential line).
@@ -245,12 +258,11 @@ FetchEngine::handleLineAccess(Addr line_addr)
         buffer_hit = true;
     }
 
-    if (hit || buffer_hit) {
-        if (buffer_hit)
-            ++stats.bufferHits;
+    if (buffer_hit) {
+        ++stats.bufferHits;
         if (observer)
             observer->onCorrectAccess(line_addr, true);
-        maybePrefetch(line_addr);
+        maybePrefetch<PF>(line_addr);
         return;
     }
 
@@ -264,7 +276,7 @@ FetchEngine::handleLineAccess(Addr line_addr)
         ++stats.bufferHits;
         if (observer)
             observer->onCorrectAccess(line_addr, true);
-        maybePrefetch(line_addr);
+        maybePrefetch<PF>(line_addr);
         return;
     }
 
@@ -276,7 +288,9 @@ FetchEngine::handleLineAccess(Addr line_addr)
         observer->onCorrectAccess(line_addr, false);
 
     // Conservative policies tax the miss before it may be serviced.
-    switch (config.policy) {
+    // With a static policy slot the switch folds to either nothing or
+    // a single unconditional wait computation.
+    switch (activePolicy<P>()) {
       case FetchPolicy::Pessimistic:
         advanceTo(std::max(branchUnit.latestResolveAt(),
                            lastIssue + 1 + config.decodeSlots()),
@@ -292,7 +306,7 @@ FetchEngine::handleLineAccess(Addr line_addr)
 
     // "Written at the next I-cache miss": retire completed buffers.
     resumeBuffer.drainIfReady(cache, now);
-    if (prefetcher.enabled())
+    if (prefetchArmed<PF>())
         prefetcher.drain(now);
 
     // Wait for the bus (occupied by a wrong-path fill under Resume or
@@ -309,15 +323,21 @@ FetchEngine::handleLineAccess(Addr line_addr)
     // The first fetch from the freshly loaded line can trigger the
     // next-line prefetch (its first-ref bit was just set); a stream
     // buffer instead uses the miss itself as its allocation trigger.
-    maybePrefetch(line_addr);
-    if (prefetcher.enabled())
+    maybePrefetch<PF>(line_addr);
+    if (prefetchArmed<PF>())
         prefetcher.onDemandMiss(line_addr, now, config.missPenaltySlots());
 }
 
+template <int P, int PF>
 void
 FetchEngine::fetchOne(const DynInst &inst)
 {
-    drainResolves();
+    // Plain instructions neither read nor train the predictor, so the
+    // resolve drain is only due ahead of control instructions (the
+    // only other drain points — advanceTo and the audit hook — run
+    // regardless of instruction class).
+    if (inst.cls != InstClass::Plain)
+        drainResolves();
 
     // Speculation-depth limit: a new conditional branch cannot be
     // fetched while maxUnresolved conditionals are in flight.
@@ -329,7 +349,7 @@ FetchEngine::fetchOne(const DynInst &inst)
 
     Addr line = cache.lineOf(inst.pc);
     if (line != curLine) {
-        handleLineAccess(line);
+        handleLineAccess<P, PF>(line);
         curLine = line;
     }
 
@@ -339,34 +359,49 @@ FetchEngine::fetchOne(const DynInst &inst)
     now = issue + 1;
 
     if (inst.cls != InstClass::Plain)
-        handleControl(inst, issue);
+        handleControl<PF>(inst, issue);
 }
 
+template <int P, int PF>
 void
 FetchEngine::fetchPlainRun(Addr pc, uint32_t count)
 {
-    // One drain covers the whole run: resolves only mutate predictor
-    // state, and plains never read it — the next control instruction
-    // (or the next run) drains again before any prediction.
-    drainResolves();
+    // No resolve drain here: resolves only mutate predictor state,
+    // and plains never read it — the next control instruction drains
+    // before any prediction (advanceTo drains on every stall).
+    //
+    // The run's addresses are consecutive, so its lines are too: the
+    // first (possibly partial) line occupancy is computed once, after
+    // which stepping a whole line is a single add. The retired count
+    // is likewise hoisted to one add per run — nothing below reads
+    // stats.instructions, and the batch caps in runLoop guarantee no
+    // sampler/adaptive/audit boundary falls inside a batch.
     const Addr line_bytes = cache.lineBytes();
-    while (count > 0) {
-        Addr line = cache.lineOf(pc);
+    const uint32_t per_line = static_cast<uint32_t>(line_bytes / kInstBytes);
+    stats.instructions += count;
+    Addr line = cache.lineOf(pc);
+    uint32_t in_line = static_cast<uint32_t>(std::min<uint64_t>(
+        count, (line + line_bytes - pc) / kInstBytes));
+    for (;;) {
         if (line != curLine) {
-            handleLineAccess(line);
+            handleLineAccess<P, PF>(line);
             curLine = line;
         }
-        Addr line_end = line + line_bytes;
-        uint32_t in_line = static_cast<uint32_t>(
-            std::min<uint64_t>(count, (line_end - pc) / kInstBytes));
-        stats.instructions += in_line;
+        // The per-line clock ordering is load-bearing: a probe's stall
+        // charges depend on now at probe time, and Decode/Pessimistic
+        // miss taxes read lastIssue — both must see exactly the state
+        // an instruction-at-a-time fetch would produce.
         now += in_line;
         lastIssue = now - 1;
-        pc += Addr(in_line) * kInstBytes;
         count -= in_line;
+        if (count == 0)
+            break;
+        line += line_bytes;
+        in_line = count < per_line ? count : per_line;
     }
 }
 
+template <int PF>
 void
 FetchEngine::handleControl(const DynInst &inst, Slot issue)
 {
@@ -393,20 +428,25 @@ FetchEngine::handleControl(const DynInst &inst, Slot issue)
     // Resolve-time PHT / indirect-target training.
     pendingResolves.push_back(PendingResolve{resolve_done, inst});
 
-    size_t unresolved = branchUnit.unresolvedCond(now);
     Slot window_start = issue + 1;
 
     switch (outcome) {
       case BranchOutcome::Correct:
         if (inst.taken) {
-            prefetcher.trainTarget(cache.lineOf(inst.pc),
-                                   cache.lineOf(inst.target));
+            if (prefetchArmed<PF>()) {
+                prefetcher.trainTarget(cache.lineOf(inst.pc),
+                                       cache.lineOf(inst.target));
+            }
             curLine = kNoLine;    // the stream moved; re-access
         }
         return;
 
       case BranchOutcome::Misfetch: {
         ++stats.misfetches;
+        // The depth query is only needed when a wrong-path walk can
+        // consume further speculation slots — keep it off the
+        // correctly-predicted (majority) path.
+        size_t unresolved = branchUnit.unresolvedCond(now);
         Slot window_end = window_start + config.decodeSlots();
         stats.penalty.charge(PenaltyKind::Branch, config.decodeSlots());
         // Until decode produces the target, fetch runs down the
@@ -416,13 +456,13 @@ FetchEngine::handleControl(const DynInst &inst, Slot issue)
         now = window_end;
         if (blocked > window_end)
             advanceTo(blocked, PenaltyKind::WrongIcache);
-        drainResolves();
         curLine = kNoLine;
         return;
       }
 
       case BranchOutcome::DirMispredict: {
         ++stats.dirMispredicts;
+        size_t unresolved = branchUnit.unresolvedCond(now);
         Slot window_end = window_start + config.resolveSlots();
         stats.penalty.charge(PenaltyKind::Branch, config.resolveSlots());
 
@@ -455,7 +495,6 @@ FetchEngine::handleControl(const DynInst &inst, Slot issue)
         now = window_end;
         if (blocked > window_end)
             advanceTo(blocked, PenaltyKind::WrongIcache);
-        drainResolves();
         curLine = kNoLine;
         return;
       }
@@ -466,6 +505,7 @@ FetchEngine::handleControl(const DynInst &inst, Slot issue)
         stats.penalty.charge(PenaltyKind::Branch, config.resolveSlots());
         Slot blocked = window_end;
         if (pred.targetKnown) {
+            size_t unresolved = branchUnit.unresolvedCond(now);
             blocked = walker.walk(pred.target, window_start, window_end,
                                   unresolved);
         }
@@ -474,16 +514,15 @@ FetchEngine::handleControl(const DynInst &inst, Slot issue)
         now = window_end;
         if (blocked > window_end)
             advanceTo(blocked, PenaltyKind::WrongIcache);
-        drainResolves();
         curLine = kNoLine;
         return;
       }
     }
 }
 
-template <typename Source>
+template <typename Source, int P, int PF>
 SimResults
-FetchEngine::runWith(Source &source)
+FetchEngine::runLoop(Source &source)
 {
     stats.policy = config.policy;
     stats.prefetch = config.effectivePrefetchKind() != PrefetchKind::None;
@@ -510,7 +549,7 @@ FetchEngine::runWith(Source &source)
     // InstructionSource instantiation keeps the virtual dispatch.
     // lint: allow(loop-virtual)
     while (retired_warmup < warmup && source.next(inst)) {
-        fetchOne(inst);
+        fetchOne<P, PF>(inst);
         ++retired_warmup;
         if (retired_warmup >= next_watchdog) {
             Watchdog::poll(retired_warmup);
@@ -570,7 +609,7 @@ FetchEngine::runWith(Source &source)
             uint32_t batch = static_cast<uint32_t>(cap);
             uint32_t got = source.takePlainRun(run_pc, batch);
             if (got > 0) {
-                fetchPlainRun(run_pc, got);
+                fetchPlainRun<P, PF>(run_pc, got);
                 if (stats.instructions >= next_sample) {
                     sampler->onBoundary(stats, now,
                                         prefetcher.issuedCount());
@@ -594,7 +633,7 @@ FetchEngine::runWith(Source &source)
         // lint: allow(loop-virtual)
         if (!source.next(inst))
             break;
-        fetchOne(inst);
+        fetchOne<P, PF>(inst);
         if (stats.instructions >= next_sample) {
             sampler->onBoundary(stats, now, prefetcher.issuedCount());
             next_sample += sampler->interval();
@@ -613,6 +652,9 @@ FetchEngine::runWith(Source &source)
         }
     }
 
+    // Apply any training still due by the final slot so the predictor
+    // ends the run in the same state the eager drain schedule left it.
+    drainResolves();
     stats.finalSlot = now;
     stats.prefetchesIssued = prefetcher.issuedCount() - prefetchBaseline;
     if (sampler)
@@ -632,6 +674,42 @@ FetchEngine::runWith(Source &source)
     }
     runAudit(true);
     return stats;
+}
+
+template <typename Source>
+SimResults
+FetchEngine::runWith(Source &source)
+{
+    // Resolve the policy and prefetch slots once, here, and enter a
+    // runLoop instantiation where both are compile-time constants.
+    // The prefetch unit's kind never changes mid-run, so PF is always
+    // static; the policy slot must stay dynamic under an adaptive
+    // selector, which rewrites config.policy at epoch boundaries.
+    const bool pf = prefetcher.enabled();
+    if (selector) {
+        return pf ? runLoop<Source, kDynamic, 1>(source)
+                  : runLoop<Source, kDynamic, 0>(source);
+    }
+    switch (config.policy) {
+      case FetchPolicy::Oracle:
+        return pf ? runLoop<Source, pol(FetchPolicy::Oracle), 1>(source)
+                  : runLoop<Source, pol(FetchPolicy::Oracle), 0>(source);
+      case FetchPolicy::Optimistic:
+        return pf ? runLoop<Source, pol(FetchPolicy::Optimistic), 1>(source)
+                  : runLoop<Source, pol(FetchPolicy::Optimistic), 0>(source);
+      case FetchPolicy::Resume:
+        return pf ? runLoop<Source, pol(FetchPolicy::Resume), 1>(source)
+                  : runLoop<Source, pol(FetchPolicy::Resume), 0>(source);
+      case FetchPolicy::Pessimistic:
+        return pf ? runLoop<Source, pol(FetchPolicy::Pessimistic), 1>(source)
+                  : runLoop<Source, pol(FetchPolicy::Pessimistic), 0>(source);
+      case FetchPolicy::Decode:
+        return pf ? runLoop<Source, pol(FetchPolicy::Decode), 1>(source)
+                  : runLoop<Source, pol(FetchPolicy::Decode), 0>(source);
+    }
+    // Unreachable after SimConfig::validate(); the dynamic loop
+    // handles anything a future policy enumerator might add.
+    return runLoop<Source, kDynamic, kDynamic>(source);
 }
 
 template SimResults

@@ -16,7 +16,6 @@
 #ifndef SPECFETCH_CORE_FETCH_ENGINE_HH_
 #define SPECFETCH_CORE_FETCH_ENGINE_HH_
 
-#include <deque>
 #include <memory>
 
 #include "adaptive/adaptive_log.hh"
@@ -31,6 +30,7 @@
 #include "core/results.hh"
 #include "core/wrong_path_walker.hh"
 #include "isa/program_image.hh"
+#include "util/ring_buffer.hh"
 #include "workload/executor.hh"
 
 #include "obs/observations.hh"
@@ -71,6 +71,15 @@ class FetchEngine
      * virtual call per instruction. Results are identical to run().
      * Instantiated in fetch_engine.cc for InstructionSource,
      * Executor, and SnapshotReplaySource.
+     *
+     * Internally this is a dispatcher (DESIGN.md §14): for a static
+     * run it switches once on (config.policy, prefetch on/off) and
+     * enters a runLoop instantiation where both are compile-time
+     * constants, so the per-instruction and per-line paths carry no
+     * policy switch and no prefetch branches at all. Adaptive runs
+     * (config.adaptiveSelector != Off), whose policy changes at epoch
+     * boundaries, take the dynamic-policy instantiation, which reads
+     * config.policy per access exactly as before.
      */
     template <typename Source>
     SimResults runWith(Source &source);
@@ -92,33 +101,110 @@ class FetchEngine
     /** @} */
 
   private:
-    /** Advance the slot clock to @p target, charging lost slots. */
-    void advanceTo(Slot target, PenaltyKind kind);
+    /**
+     * @name Compile-time policy/prefetch slots
+     * The hot-path methods below are templated on the fetch policy
+     * and the prefetch on/off flag so a static run resolves both at
+     * compile time. kDynamic in either slot falls back to reading the
+     * live configuration — required for adaptive runs, whose policy
+     * changes at epoch boundaries. @{
+     */
+    static constexpr int kDynamic = -1;
 
-    /** Apply resolve-time predictor updates due by the current slot. */
-    void drainResolves();
+    /** The policy governing this access (folds to a constant when
+     *  @p P names one). */
+    template <int P>
+    FetchPolicy
+    activePolicy() const
+    {
+        if constexpr (P == kDynamic)
+            return config.policy;
+        else
+            return static_cast<FetchPolicy>(P);
+    }
+
+    /** Whether a prefetch unit is armed (folds likewise). */
+    template <int PF>
+    bool
+    prefetchArmed() const
+    {
+        return PF == kDynamic ? prefetcher.enabled() : PF != 0;
+    }
+    /** @} */
+
+    /** Advance the slot clock to @p target, charging lost slots. */
+    void
+    advanceTo(Slot target, PenaltyKind kind)
+    {
+        if (target <= now)
+            return;
+        stats.penalty.charge(kind, static_cast<uint64_t>(target - now));
+        now = target;
+        drainResolves();
+    }
+
+    /**
+     * Apply resolve-time predictor updates due by the current slot.
+     * Polled once per fetched control instruction and on every clock
+     * advance, so the not-due check inlines at every call site; the
+     * training loop itself (one iteration per resolved control) stays
+     * out of line.
+     */
+    void
+    drainResolves()
+    {
+        if (!pendingResolves.empty() && pendingResolves.front().at <= now)
+            drainResolvesDue();
+    }
+
+    /** The training loop behind drainResolves(); call only when the
+     *  front entry is due. */
+    void drainResolvesDue();
 
     /** Handle the correct-path access to @p line_addr (may stall). */
+    template <int P, int PF>
     void handleLineAccess(Addr line_addr);
 
+    /**
+     * The miss continuation of handleLineAccess (fill buffers, victim
+     * swap, conservative-policy tax, bus fill). Split out so the hit
+     * path — one probe and a likely-taken branch — stays small enough
+     * to inline into the per-line batch loop.
+     */
+    template <int P, int PF>
+    void handleLineMiss(Addr line_addr);
+
     /** Issue one correct-path instruction; returns its issue slot. */
+    template <int P, int PF>
     void fetchOne(const DynInst &inst);
 
     /**
      * Issue @p count contiguous correct-path plain instructions
      * starting at @p pc (the replay fast path). Equivalent to count
-     * fetchOne() calls on plain instructions: line accesses happen on
-     * line crossings, and the slot clock advances one slot per
-     * instruction. Plains charge no penalties and never read the
-     * predictor, so the per-instruction work collapses to arithmetic.
+     * fetchOne() calls on plain instructions: the run is grouped into
+     * per-line probe batches — one tag probe per cache line crossed,
+     * then one add per batch for the retired-instruction count and
+     * the slot clock (plains charge no penalties and never read the
+     * predictor). DESIGN.md §14 states the batching invariants.
      */
+    template <int P, int PF>
     void fetchPlainRun(Addr pc, uint32_t count);
 
     /** Handle a control instruction's outcome after issue. */
+    template <int PF>
     void handleControl(const DynInst &inst, Slot issue);
 
     /** Trigger next-line prefetching for a correct-path access. */
+    template <int PF>
     void maybePrefetch(Addr line_addr);
+
+    /**
+     * The fetch loop proper, shared by every dispatch target of
+     * runWith(). @p P and @p PF are the compile-time policy/prefetch
+     * slots threaded through to the per-instruction helpers.
+     */
+    template <typename Source, int P, int PF>
+    SimResults runLoop(Source &source);
 
     /** Zero the statistics after warmup (machine state persists). */
     void resetStats();
@@ -157,7 +243,7 @@ class FetchEngine
         Slot at = 0;
         DynInst inst;
     };
-    std::deque<PendingResolve> pendingResolves;
+    RingQueue<PendingResolve> pendingResolves;
 
     Slot now = 0;
     Slot lastIssue = -1;

@@ -26,6 +26,7 @@ WrongPathWalker::walk(Addr start_pc, Slot from, Slot window_end,
     const size_t max_unresolved = config.maxUnresolved;
     const bool aggressive_prefetch =
         prefetcher != nullptr && prefetchesOnWrongPath(policy);
+    const Addr line_bytes = cache.lineBytes();
 
     Slot slot = from;
     Addr wpc = start_pc;
@@ -154,9 +155,21 @@ WrongPathWalker::walk(Addr start_pc, Slot from, Slot window_end,
         // Execute the wrong-path instruction occupying this slot.
         StaticInst inst = image.at(wpc);
         switch (inst.cls) {
-          case InstClass::Plain:
-            wpc += kInstBytes;
-            break;
+          case InstClass::Plain: {
+            // A plain stretch does nothing but advance wpc and the
+            // slot clock, so step over the whole run at once — capped
+            // at the line end (the next line must be probed) and the
+            // window end. Identical, state-free iterations collapsed;
+            // cur_line == lineOf(wpc) here, so the line-end cap is
+            // exact. DESIGN.md §14.
+            uint64_t step = std::min<uint64_t>(
+                {image.plainRunAt(wpc),
+                 (cur_line + line_bytes - wpc) / kInstBytes,
+                 window_end - slot});
+            wpc += step * kInstBytes;
+            slot += step;
+            continue;
+          }
 
           case InstClass::CondBranch: {
             // Wrong-path branches consume speculation depth too.

@@ -1,5 +1,7 @@
 #include "isa/program_image.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace specfetch {
@@ -29,21 +31,25 @@ ProgramImage::ProgramImage(Addr base, size_t count)
 void
 ProgramImage::set(Addr addr, const StaticInst &inst)
 {
+    runsValid = false;
     instructions[indexOf(addr)] = inst;
 }
 
-StaticInst
-ProgramImage::at(Addr addr) const
+void
+ProgramImage::finalizeRuns()
 {
-    if (!contains(addr))
-        return StaticInst{};
-    return instructions[(addr - baseAddr) / kInstBytes];
-}
-
-bool
-ProgramImage::contains(Addr addr) const
-{
-    return addr >= baseAddr && addr < end() && addr % kInstBytes == 0;
+    plainRun.assign(instructions.size(), 0);
+    // Walk backwards so each slot extends its successor's run; the
+    // region past the image end decodes as Plain forever.
+    uint64_t next_run = UINT32_MAX;
+    for (size_t i = instructions.size(); i-- > 0;) {
+        uint64_t run = instructions[i].cls == InstClass::Plain
+            ? std::min<uint64_t>(next_run + 1, UINT32_MAX)
+            : 0;
+        plainRun[i] = static_cast<uint32_t>(run);
+        next_run = run;
+    }
+    runsValid = true;
 }
 
 size_t

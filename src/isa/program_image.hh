@@ -12,6 +12,7 @@
 #ifndef SPECFETCH_ISA_PROGRAM_IMAGE_HH_
 #define SPECFETCH_ISA_PROGRAM_IMAGE_HH_
 
+#include <cstdint>
 #include <vector>
 
 #include "isa/instruction.hh"
@@ -31,14 +32,29 @@ class ProgramImage
      *  @param count Number of instruction slots to reserve. */
     ProgramImage(Addr base, size_t count);
 
-    /** Define the instruction at @p addr. */
+    /** Define the instruction at @p addr (invalidates the run table
+     *  until the next finalizeRuns()). */
     void set(Addr addr, const StaticInst &inst);
 
-    /** Decode the instruction at @p addr (Plain outside the image). */
-    StaticInst at(Addr addr) const;
+    /**
+     * Decode the instruction at @p addr (Plain outside the image).
+     * Inline: the wrong-path walker calls this once per wrong-path
+     * instruction, squarely inside the simulator's hot loop.
+     */
+    StaticInst
+    at(Addr addr) const
+    {
+        if (!contains(addr))
+            return StaticInst{};
+        return instructions[(addr - baseAddr) / kInstBytes];
+    }
 
     /** True iff @p addr falls inside the image. */
-    bool contains(Addr addr) const;
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= baseAddr && addr < end() && addr % kInstBytes == 0;
+    }
 
     Addr base() const { return baseAddr; }
     Addr end() const { return baseAddr + size() * kInstBytes; }
@@ -48,7 +64,12 @@ class ProgramImage
     size_t controlCount() const;
 
     /** Direct mutable access for builders (index, not address). */
-    StaticInst &operator[](size_t index) { return instructions[index]; }
+    StaticInst &
+    operator[](size_t index)
+    {
+        runsValid = false;
+        return instructions[index];
+    }
     const StaticInst &operator[](size_t index) const
     {
         return instructions[index];
@@ -59,9 +80,40 @@ class ProgramImage
     /** Translate an image index to an address. */
     Addr addrOf(size_t index) const { return baseAddr + index * kInstBytes; }
 
+    /**
+     * Build the plain-run table consumed by plainRunAt(). Builders
+     * call this once after the last set(); any later mutation drops
+     * the table again (plainRunAt then degenerates to run length 1,
+     * which is always correct). Must not be called concurrently with
+     * readers — the fetch paths only ever see a sealed, immutable
+     * image (sweep workers share images built before the pool starts).
+     */
+    void finalizeRuns();
+
+    /**
+     * Number of consecutive Plain instructions starting at @p addr
+     * (call only when at(addr) is Plain, so the result is >= 1).
+     * Addresses outside the image decode as Plain forever, hence
+     * UINT32_MAX. The wrong-path walker uses this to step over whole
+     * plain stretches instead of decoding them one at a time.
+     */
+    uint32_t
+    plainRunAt(Addr addr) const
+    {
+        if (!runsValid)
+            return 1;
+        if (!contains(addr))
+            return UINT32_MAX;
+        return plainRun[(addr - baseAddr) / kInstBytes];
+    }
+
   private:
     Addr baseAddr = 0;
     std::vector<StaticInst> instructions;
+    /** plainRun[i]: consecutive plains starting at slot i (0 for
+     *  control), saturated at UINT32_MAX past the image end. */
+    std::vector<uint32_t> plainRun;
+    bool runsValid = false;
 };
 
 } // namespace specfetch

@@ -112,6 +112,7 @@ TraceReader::parse(const std::string &path)
         }
         (*img)[i] = inst;
     }
+    img->finalizeRuns();
 }
 
 TraceReader::~TraceReader()

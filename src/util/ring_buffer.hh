@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A growable power-of-two ring queue for the simulator's hot FIFOs.
+ *
+ * The fetch engine pushes one pending resolve per control instruction
+ * and the branch unit one resolve deadline per conditional — both
+ * squarely inside the per-instruction hot loop. std::deque pays a
+ * segmented-storage indirection (and, on libstdc++, a 512-byte map
+ * allocation churn) per push/pop; this ring is a flat array with
+ * wrap-around indices, so push_back/pop_front are a store and an
+ * increment. Capacity doubles on demand and is never given back —
+ * the queues are small (bounded by the resolve window) and reused
+ * across millions of instructions.
+ */
+
+#ifndef SPECFETCH_UTIL_RING_BUFFER_HH_
+#define SPECFETCH_UTIL_RING_BUFFER_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace specfetch {
+
+/**
+ * FIFO queue over a contiguous power-of-two buffer. Indices grow
+ * monotonically and wrap via masking, so empty/size are plain
+ * subtraction and iteration order is push order.
+ */
+template <typename T>
+class RingQueue
+{
+  public:
+    /** @param initial Capacity hint; rounded up to a power of two. */
+    explicit RingQueue(size_t initial = 16)
+    {
+        size_t cap = 1;
+        while (cap < initial)
+            cap <<= 1;
+        buf.resize(cap);
+    }
+
+    bool empty() const { return head == tail; }
+    size_t size() const { return static_cast<size_t>(tail - head); }
+
+    T &front() { return buf[head & (buf.size() - 1)]; }
+    const T &front() const { return buf[head & (buf.size() - 1)]; }
+
+    T &back() { return buf[(tail - 1) & (buf.size() - 1)]; }
+    const T &back() const { return buf[(tail - 1) & (buf.size() - 1)]; }
+
+    void
+    push_back(const T &value)
+    {
+        if (size() == buf.size())
+            grow();
+        buf[tail & (buf.size() - 1)] = value;
+        ++tail;
+    }
+
+    void
+    pop_front()
+    {
+        panic_if(empty(), "pop_front on an empty ring queue");
+        ++head;
+    }
+
+    void clear() { head = tail = 0; }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<T> bigger(buf.size() * 2);
+        const size_t count = size();
+        for (size_t i = 0; i < count; ++i)
+            bigger[i] = buf[(head + i) & (buf.size() - 1)];
+        buf.swap(bigger);
+        head = 0;
+        tail = count;
+    }
+
+    std::vector<T> buf;
+    /** Monotone positions; size() = tail - head, wrap via mask. */
+    uint64_t head = 0;
+    uint64_t tail = 0;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_UTIL_RING_BUFFER_HH_

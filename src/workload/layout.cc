@@ -80,6 +80,7 @@ layoutProgram(Cfg &cfg, const LayoutOptions &options)
         image.set(pc, inst);
     }
 
+    image.finalizeRuns();
     return image;
 }
 

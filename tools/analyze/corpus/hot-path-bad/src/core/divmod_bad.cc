@@ -1,0 +1,24 @@
+#include "hot.hh"
+
+namespace specfetch {
+
+// Per-line batch loop that pays a divide and a modulo every
+// iteration: the set index and the in-line count must come from
+// shift/mask and a stride add instead.
+unsigned long walk(const unsigned long* lines, int n,
+                   unsigned long line_bytes, unsigned long sets) {
+    unsigned long sum = 0;
+    for (int i = 0; i < n; ++i) {
+        unsigned long set = lines[i] % sets;
+        unsigned long index = lines[i] / line_bytes;
+        sum += set + index;
+    }
+    unsigned long acc = 1000;
+    while (acc > 1) {
+        acc /= sets;
+        sum += acc;
+    }
+    return sum;
+}
+
+}  // namespace specfetch

@@ -16,11 +16,11 @@ KeyError. Mismatched measurement settings (different benchmark or
 budget in the two meta records) remain a hard error in both modes:
 the ratio would be meaningless.
 
-By default the exit code is 0 even when stages regressed: CI machines
-are shared and noisy, so the perf-smoke job is warn-only — the table
-and the uploaded BENCH_perf.json artifact are the signal, and a human
-decides whether a flagged drop is real. --strict turns flagged
-regressions into exit code 1 for local A/B runs on quiet machines.
+By default the exit code is 0 even when stages regressed, for
+exploratory local runs. CI's perf-gate job passes --strict, which
+turns any flagged regression into exit code 1: the gated stages
+(sim_replay, grid) carry a tightened --stage-tolerance and the
+per-stage ratios land in the perf_diff.jsonl artifact via --diff-out.
 
 --overhead switches to the observability cost check (DESIGN.md §11):
 BASELINE is a perf_microbench run with the sampler off and CURRENT
@@ -37,8 +37,21 @@ stage runs the same simulation as sim_live with a StaticSelector
 armed, so any throughput difference is pure epoch-ticker and
 choice-log bookkeeping. The bound defaults to 3%.
 
+--stage-tolerance overrides the global tolerance per stage (repeatable,
+e.g. --stage-tolerance sim_replay=0.15 --stage-tolerance grid=0.15):
+the gated CI job holds the two simulation-throughput stages to a tight
+bound while leaving the global default for the noisier fixed-cost
+stages. --diff-out writes the comparison as machine-readable JSONL
+(one "perf_diff" record per stage plus a "perf_diff_meta" summary) for
+artifact upload. When a stage is flagged and the baseline's meta
+record carries a "provenance" object (written by
+tools/perf_baseline.py: git sha, compiler, CPU model, repeats), it is
+printed so the failure names exactly which measurement it was judged
+against.
+
 Usage:
     tools/perf_compare.py BASELINE CURRENT [--tolerance 0.25] [--strict]
+        [--stage-tolerance STAGE=FRAC ...] [--diff-out DIFF.json]
     tools/perf_compare.py --overhead OFF.json ON.json [--strict]
     tools/perf_compare.py --adaptive-overhead PERF.json [--strict]
     tools/perf_compare.py --self-test
@@ -81,46 +94,122 @@ def load_perf(path):
     return meta, stages
 
 
+def parse_stage_tolerances(pairs):
+    """Turn ['sim_replay=0.15', ...] into {stage: fraction}."""
+    table = {}
+    for pair in pairs or ():
+        stage, sep, value = pair.partition("=")
+        if not sep or not stage:
+            raise SystemExit(
+                f"error: --stage-tolerance needs STAGE=FRACTION, "
+                f"got {pair!r}")
+        try:
+            fraction = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"error: --stage-tolerance fraction for "
+                f"'{stage}' is not a number: {value!r}") from None
+        if not 0.0 <= fraction < 1.0:
+            raise SystemExit(
+                f"error: --stage-tolerance fraction for '{stage}' "
+                f"must be in [0, 1), got {fraction}")
+        table[stage] = fraction
+    return table
+
+
+def print_provenance(meta, name):
+    """Show where a baseline came from, so a flagged regression names
+    the measurement it was judged against."""
+    provenance = meta.get("provenance")
+    if not isinstance(provenance, dict):
+        return
+    print(f"baseline provenance ({name}):")
+    for key in sorted(provenance):
+        print(f"  {key}: {provenance[key]}")
+
+
+def write_diff(path, records):
+    """Write the comparison as JSONL for artifact upload."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
 def compare(base_meta, base, cur_meta, cur, baseline_name, current_name,
-            tolerance, strict):
+            tolerance, strict, stage_tolerance=None, diff_out=None):
     for key in ("benchmark", "budget"):
         if base_meta.get(key) != cur_meta.get(key):
             raise SystemExit(
                 f"error: measurement settings differ: {key} is "
                 f"{base_meta.get(key)!r} in {baseline_name} but "
                 f"{cur_meta.get(key)!r} in {current_name}")
+    if base_meta.get("stat", "best") != cur_meta.get("stat", "best"):
+        warn(f"statistic differs: {base_meta.get('stat', 'best')!r} in "
+             f"{baseline_name} vs {cur_meta.get('stat', 'best')!r} in "
+             f"{current_name}; the ratio mixes statistics")
 
+    stage_tolerance = stage_tolerance or {}
     flagged = []
+    diff = []
     print(f"{'stage':<16} {'baseline/s':>14} {'current/s':>14} "
           f"{'ratio':>7}")
     for stage in base:
+        bound = stage_tolerance.get(stage, tolerance)
         if stage not in cur:
             flagged.append(stage)
             warn(f"stage '{stage}' is in {baseline_name} but missing "
                  f"from {current_name}")
             print(f"{stage:<16} {base[stage]['rate']:>14.0f} "
                   f"{'MISSING':>14} {'-':>7}")
+            diff.append({"record": "perf_diff", "stage": stage,
+                         "baseline_rate": base[stage]["rate"],
+                         "current_rate": None, "ratio": None,
+                         "tolerance": bound, "flagged": True})
             continue
         base_rate = base[stage]["rate"]
         cur_rate = cur[stage]["rate"]
         ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
         mark = ""
-        if ratio < 1.0 - tolerance:
+        over = ratio < 1.0 - bound
+        if over:
             flagged.append(stage)
-            mark = "  << regressed"
+            mark = f"  << regressed (>{bound:.0%})"
         print(f"{stage:<16} {base_rate:>14.0f} {cur_rate:>14.0f} "
               f"{ratio:>7.2f}{mark}")
+        diff.append({"record": "perf_diff", "stage": stage,
+                     "baseline_rate": base_rate,
+                     "current_rate": cur_rate,
+                     "ratio": ratio if ratio != float("inf") else None,
+                     "tolerance": bound, "flagged": over})
     for stage in cur:
         if stage not in base:
             warn(f"stage '{stage}' is new in {current_name} (not in "
                  f"{baseline_name})")
             print(f"{stage:<16} {'(new)':>14} {cur[stage]['rate']:>14.0f} "
                   f"{'-':>7}")
+            diff.append({"record": "perf_diff", "stage": stage,
+                         "baseline_rate": None,
+                         "current_rate": cur[stage]["rate"],
+                         "ratio": None, "tolerance": None,
+                         "flagged": False})
+
+    if diff_out:
+        summary = {"record": "perf_diff_meta",
+                   "baseline": baseline_name, "current": current_name,
+                   "benchmark": base_meta.get("benchmark"),
+                   "budget": base_meta.get("budget"),
+                   "tolerance": tolerance,
+                   "stage_tolerance": stage_tolerance,
+                   "flagged": flagged}
+        if isinstance(base_meta.get("provenance"), dict):
+            summary["baseline_provenance"] = base_meta["provenance"]
+        write_diff(diff_out, [summary] + diff)
 
     if flagged:
         drops = ", ".join(flagged)
-        warn(f"throughput dropped >{tolerance:.0%} or stage missing "
+        warn(f"throughput dropped past its tolerance or stage missing "
              f"on: {drops}")
+        print_provenance(base_meta, baseline_name)
         if strict:
             return 1
     return 0
@@ -283,6 +372,71 @@ def self_test():
               "<< regressed" in out.getvalue())
         check("10% drop not flagged", "y" not in err.getvalue())
 
+        # 4b. Per-stage tolerance: the same 10% drop passes globally
+        #     but fails a 5% stage bound; the bound applies only to
+        #     its stage. The diff JSONL mirrors the verdicts.
+        diff_path = os.path.join(tmp, "diff.json")
+        prov_meta = dict(meta, provenance={"git_sha": "abc1234",
+                                           "cpu": "TestCPU"})
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = compare(prov_meta, base, meta, cur, "base", "cur",
+                           0.25, True,
+                           stage_tolerance={"y": 0.05},
+                           diff_out=diff_path)
+        check("stage tolerance tightens its stage", code == 1
+              and "y" in err.getvalue())
+        check("provenance printed on flagged regression",
+              "abc1234" in out.getvalue()
+              and "TestCPU" in out.getvalue())
+        with open(diff_path, encoding="utf-8") as handle:
+            diff = [json.loads(line) for line in handle]
+        by_stage = {d.get("stage"): d for d in diff
+                    if d["record"] == "perf_diff"}
+        check("diff meta lists flagged stages",
+              diff[0]["record"] == "perf_diff_meta"
+              and set(diff[0]["flagged"]) == {"x", "y"})
+        check("diff meta carries baseline provenance",
+              diff[0].get("baseline_provenance", {}).get("git_sha")
+              == "abc1234")
+        check("diff records carry per-stage verdicts",
+              by_stage["x"]["flagged"] and by_stage["y"]["flagged"]
+              and by_stage["x"]["tolerance"] == 0.25
+              and by_stage["y"]["tolerance"] == 0.05)
+
+        # 4c. Loose per-stage tolerance relaxes below the global bound.
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = compare(meta, base, meta, cur, "base", "cur",
+                           0.25, True,
+                           stage_tolerance={"x": 0.60})
+        check("loose stage tolerance passes its stage", code == 0)
+
+        # 4d. Malformed --stage-tolerance inputs are hard errors.
+        for bad in ("sim_replay", "=0.1", "x=lots", "x=1.5"):
+            try:
+                parse_stage_tolerances([bad])
+                check(f"stage tolerance {bad!r} rejected", False)
+            except SystemExit:
+                check(f"stage tolerance {bad!r} rejected", True)
+        check("stage tolerance parses valid pairs",
+              parse_stage_tolerances(["a=0.15", "b=0"])
+              == {"a": 0.15, "b": 0.0})
+
+        # 4e. Differing statistics warn but do not abort.
+        median_meta = dict(meta, stat="median")
+        ok = {"x": {"stage": "x", "rate": 100.0},
+              "y": {"stage": "y", "rate": 100.0}}
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = compare(meta, ok, median_meta, ok, "base", "cur",
+                           0.25, True)
+        check("stat mismatch warns but passes", code == 0
+              and "statistic differs" in err.getvalue())
+
         # 5. Mismatched measurement settings stay a hard error.
         other_meta = dict(meta, budget=2000)
         try:
@@ -388,6 +542,13 @@ def main(argv=None):
     parser.add_argument("--tolerance", type=float, default=None,
                         help="flag throughput drops beyond this fraction "
                              "(default 0.25, or 0.05 with --overhead)")
+    parser.add_argument("--stage-tolerance", action="append",
+                        metavar="STAGE=FRACTION",
+                        help="per-stage override of --tolerance "
+                             "(repeatable; e.g. sim_replay=0.15)")
+    parser.add_argument("--diff-out", metavar="PATH",
+                        help="write the comparison as JSONL diff records "
+                             "(for CI artifact upload)")
     parser.add_argument("--overhead", action="store_true",
                         help="check sampler overhead: BASELINE measured "
                              "with the sampler off, CURRENT with "
@@ -427,7 +588,10 @@ def main(argv=None):
                                 args.baseline, args.current,
                                 args.tolerance, args.strict)
     return compare(base_meta, base, cur_meta, cur, args.baseline,
-                   args.current, args.tolerance, args.strict)
+                   args.current, args.tolerance, args.strict,
+                   stage_tolerance=parse_stage_tolerances(
+                       args.stage_tolerance),
+                   diff_out=args.diff_out)
 
 
 if __name__ == "__main__":

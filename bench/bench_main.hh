@@ -82,6 +82,9 @@ class BenchMain
         opts.addString("ledger", "",
                        "journal completed runs to this write-ahead "
                        "ledger (enables --resume)");
+        opts.addString("store", "",
+                       "submit the grid to a sweep_serve daemon at this "
+                       "Unix socket instead of simulating locally");
         opts.addFlag("resume",
                      "skip runs already journaled in --ledger and "
                      "re-run only the remainder");
@@ -158,6 +161,14 @@ class BenchMain
             return false;
         }
         ledgerPath = opts.getString("ledger");
+        storeSocket = opts.getString("store");
+        if (!storeSocket.empty() && !ledgerPath.empty()) {
+            std::fprintf(stderr,
+                         "error: --store and --ledger are alternative "
+                         "persistence paths; pick one\n");
+            parseFailed = true;
+            return false;
+        }
         resume = opts.getFlag("resume");
         if (resume && ledgerPath.empty()) {
             std::fprintf(stderr,
@@ -230,6 +241,16 @@ class BenchMain
         }
         sampleInterval = opts.getCount("sample-interval");
         heatmap = opts.getFlag("heatmap");
+        if ((sampleInterval > 0 || heatmap) && !storeSocket.empty()) {
+            // Same replay argument as --ledger below: the store keeps
+            // exactly one record per run key.
+            std::fprintf(stderr,
+                         "error: --sample-interval/--heatmap cannot be "
+                         "combined with --store (observation rows are "
+                         "not stored)\n");
+            parseFailed = true;
+            return false;
+        }
         if ((sampleInterval > 0 || heatmap) && !ledgerPath.empty()) {
             // The ledger journals exactly one record per run key and
             // resume replays it verbatim; side-channel timeseries/
@@ -272,6 +293,14 @@ class BenchMain
             return false;
         }
         adaptiveSeed = opts.getCount("adaptive-seed");
+        if (adaptiveSelector != SelectorKind::Off &&
+            !storeSocket.empty()) {
+            std::fprintf(stderr,
+                         "error: --adaptive cannot be combined with "
+                         "--store (choice-log rows are not stored)\n");
+            parseFailed = true;
+            return false;
+        }
         if (adaptiveSelector != SelectorKind::Off && !ledgerPath.empty()) {
             // Same reason as --sample-interval: adaptive choice-log
             // rows are side-channel records the ledger cannot replay.
@@ -469,8 +498,10 @@ class BenchMain
     bool parseFailed = false;
     std::unique_ptr<JsonlWriter> json;
     std::unique_ptr<CsvReportWriter> csv;
-    /** @name Fault-tolerance options (DESIGN.md §10) @{ */
+    /** @name Fault-tolerance options (DESIGN.md §10, §15) @{ */
     std::string ledgerPath;
+    /** Unix socket of a sweep_serve daemon (--store client mode). */
+    std::string storeSocket;
     bool resume = false;
     unsigned retries = 3;
     double runTimeoutSeconds = 0.0;

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The sweep daemon (DESIGN.md §15): a crash-safe result store behind
+ * a SweepService, serving JSONL requests over a Unix-domain socket or
+ * stdin/stdout.
+ *
+ *   # one-shot, stdio transport
+ *   printf '%s\n' '{"id":1,"benchmark":"gcc"}' | sweep_serve --store dir
+ *
+ *   # daemon, socket transport
+ *   sweep_serve --store dir --socket /tmp/sweep.sock --workers 4 &
+ *   tools/sweep_client.py --socket /tmp/sweep.sock requests.jsonl
+ *
+ * SIGTERM/SIGINT drain gracefully: intake stops, admitted requests
+ * finish and are answered, the store is fsync'd and closed with its
+ * clean-shutdown marker. kill -9 at any instant is also survivable —
+ * the next open replays the segments and loses at most the put that
+ * was in flight.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "fault/injector.hh"
+#include "obs/progress.hh"
+#include "serve/result_store.hh"
+#include "serve/service.hh"
+#include "serve/socket.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+
+using namespace specfetch;
+
+namespace {
+
+std::atomic<bool> gStop{false};
+
+extern "C" void
+stopSignalHandler(int)
+{
+    gStop.store(true);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("sweep_serve",
+                      "Serve sweep requests from a crash-safe result "
+                      "store (JSONL over stdio or a Unix socket)");
+    opts.addString("store", "", "result store directory (required)");
+    opts.addString("socket", "",
+                   "Unix-domain socket path (default: serve stdin/stdout "
+                   "once and exit)");
+    opts.addCount("workers", 2, "simulation worker threads");
+    opts.addCount("queue-bound", 64,
+                  "admitted-request bound; excess requests are shed "
+                  "with an 'overloaded' error");
+    opts.addCount("retries", 3, "attempts per run before it fails");
+    opts.addDouble("backoff", 0.05, "retry/backoff-hint base (seconds)");
+    opts.addDouble("run-timeout", 0.0,
+                   "per-run watchdog budget in seconds (0 = none)");
+    opts.addDouble("request-deadline", 0.0,
+                   "per-request deadline from admission in seconds "
+                   "(0 = none)");
+    opts.addCount("poison-threshold", 3,
+                  "terminal failures before a key is quarantined");
+    opts.addSize("max-segment-bytes", 4 * 1024 * 1024,
+                 "rotate the store's append segment past this size");
+    opts.addFlag("compact", "compact the store after opening it");
+    opts.addString("fault-inject", "",
+                   "fault spec (see --help of bench_suite); indices name "
+                   "executed-run ordinals for run faults and put ordinals "
+                   "for store faults");
+    opts.addString("health-file", "",
+                   "append schema-v1 'health' JSONL heartbeats here");
+    opts.addDouble("health-interval", 2.0, "heartbeat period (seconds)");
+    opts.addFlag("health-stderr", "human heartbeat line on stderr");
+    if (!opts.parse(argc, argv))
+        return 1;
+    if (opts.getString("store").empty()) {
+        std::fprintf(stderr, "sweep_serve: --store is required\n");
+        return 1;
+    }
+
+    FaultInjector injector;
+    std::string faultError;
+    if (!FaultInjector::parse(opts.getString("fault-inject"), injector,
+                              &faultError)) {
+        std::fprintf(stderr, "sweep_serve: %s\n", faultError.c_str());
+        return 1;
+    }
+    if (injector.empty() &&
+        !FaultInjector::fromEnv(injector, &faultError)) {
+        std::fprintf(stderr, "sweep_serve: %s\n", faultError.c_str());
+        return 1;
+    }
+
+    ResultStore::Options storeOptions;
+    storeOptions.dir = opts.getString("store");
+    storeOptions.maxSegmentBytes = opts.getSize("max-segment-bytes");
+    if (!injector.empty())
+        storeOptions.injector = &injector;
+    ResultStore store;
+    std::string error;
+    if (!store.open(storeOptions, &error)) {
+        std::fprintf(stderr, "sweep_serve: %s\n", error.c_str());
+        return 1;
+    }
+    ResultStore::Stats storeStats = store.stats();
+    std::fprintf(stderr,
+                 "sweep_serve: store '%s' open: %llu records, "
+                 "generation %llu%s%s\n",
+                 storeOptions.dir.c_str(),
+                 static_cast<unsigned long long>(storeStats.records),
+                 static_cast<unsigned long long>(storeStats.generation),
+                 storeStats.recovered ? ", recovered (no clean marker)"
+                                      : "",
+                 storeStats.tornTail ? ", dropped a torn tail line" : "");
+    if (storeStats.corruptFrames > 0) {
+        std::fprintf(stderr,
+                     "sweep_serve: quarantined %llu corrupt frames "
+                     "(see %s/%s)\n",
+                     static_cast<unsigned long long>(
+                         storeStats.corruptFrames),
+                     storeOptions.dir.c_str(), kStoreQuarantineFile);
+    }
+    if (opts.getFlag("compact") && !store.compact(&error)) {
+        std::fprintf(stderr, "sweep_serve: compact: %s\n", error.c_str());
+        return 1;
+    }
+
+    SweepService::Options serviceOptions;
+    serviceOptions.workers =
+        static_cast<unsigned>(opts.getCount("workers"));
+    serviceOptions.queueBound =
+        static_cast<size_t>(opts.getCount("queue-bound"));
+    serviceOptions.maxAttempts =
+        static_cast<unsigned>(opts.getCount("retries"));
+    serviceOptions.backoffBaseSeconds = opts.getDouble("backoff");
+    serviceOptions.runTimeoutSeconds = opts.getDouble("run-timeout");
+    serviceOptions.requestDeadlineSeconds =
+        opts.getDouble("request-deadline");
+    serviceOptions.poisonThreshold =
+        static_cast<unsigned>(opts.getCount("poison-threshold"));
+    if (!injector.empty())
+        serviceOptions.injector = &injector;
+    SweepService service(store, serviceOptions);
+
+    bool heartbeat = opts.getFlag("health-stderr") ||
+                     !opts.getString("health-file").empty();
+    if (heartbeat) {
+        ProgressReporter::Options health;
+        health.toStderr = opts.getFlag("health-stderr");
+        health.filePath = opts.getString("health-file");
+        health.intervalSeconds = opts.getDouble("health-interval");
+        health.recordName = "health";
+        health.extraMembers = [&service](JsonValue &row) {
+            service.healthMembers(row);
+        };
+        ProgressReporter::global().begin(health, /*totalRuns=*/0,
+                                         "sweep_serve");
+    }
+
+    std::signal(SIGTERM, stopSignalHandler);
+    std::signal(SIGINT, stopSignalHandler);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    service.start();
+
+    const std::string socketPath = opts.getString("socket");
+    if (socketPath.empty()) {
+        serveStream(STDIN_FILENO, STDOUT_FILENO, service, &gStop);
+    } else {
+        UnixSocketServer listener;
+        if (!listener.listen(socketPath, &error)) {
+            std::fprintf(stderr, "sweep_serve: %s\n", error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "sweep_serve: listening on %s\n",
+                     socketPath.c_str());
+        std::vector<std::thread> connections;
+        while (!gStop.load()) {
+            int client = listener.accept(/*pollSeconds=*/0.2);
+            if (client < 0)
+                continue;
+            connections.emplace_back([client, &service] {
+                serveStream(client, client, service, &gStop);
+                ::close(client);
+            });
+        }
+        listener.close();
+        for (std::thread &connection : connections)
+            connection.join();
+    }
+
+    // Graceful drain: finish admitted work, answer it, then make the
+    // store durable with its clean-shutdown marker.
+    service.drain();
+    if (heartbeat)
+        ProgressReporter::global().end();
+    if (!store.close(&error)) {
+        std::fprintf(stderr, "sweep_serve: close: %s\n", error.c_str());
+        return 1;
+    }
+    SweepService::Stats stats = service.statsSnapshot();
+    std::fprintf(stderr,
+                 "sweep_serve: done: %llu requests, %llu hits, "
+                 "%llu deduped, %llu executed, %llu shed, %llu failed\n",
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.deduped),
+                 static_cast<unsigned long long>(stats.executed),
+                 static_cast<unsigned long long>(stats.shed),
+                 static_cast<unsigned long long>(stats.failed));
+    return 0;
+}

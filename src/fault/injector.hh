@@ -15,6 +15,9 @@
  *   corrupt@7        run 7's snapshot is bit-flipped before attempt 1
  *   crash@9          the process _Exit()s right after run 9 is journaled
  *   tear@9           like crash@9, but the ledger line is half-written
+ *   shortwrite@4     append 4 persists only a prefix of its line, then
+ *                    the write fails (torn frame, process survives)
+ *   enospc@4         append 4 fails before writing a byte (disk full)
  *   flaky=1/8:99     seeded pseudo-random throws: attempt 1 of run r
  *                    fails iff hash64(seed=99, r) mod 8 < 1
  *
@@ -45,6 +48,8 @@ enum class FaultKind : uint8_t
     CorruptSnapshot, ///< bit-flip the run's replay snapshot
     Crash,           ///< hard process death after journaling a run
     TearLedger,      ///< crash with a half-written ledger line
+    ShortWrite,      ///< persist only a prefix of an append, then fail
+    Enospc,          ///< fail an append before writing anything
 };
 
 const char *toString(FaultKind kind);
@@ -93,6 +98,17 @@ class FaultInjector
     bool fires(FaultKind kind, uint64_t index, uint32_t attempt = 1) const;
 
     const std::vector<Directive> &list() const { return directives; }
+
+    /**
+     * Project this injector onto the single run ordinal @p ordinal:
+     * directives aimed at @p ordinal survive with their index rewritten
+     * to 0, everything else is dropped, and a would-fire flaky draw
+     * becomes an explicit throw@0 directive. Lets a caller that
+     * executes runs one at a time (local index always 0, e.g. the
+     * sweep service) reuse a spec whose indices name global submission
+     * ordinals.
+     */
+    FaultInjector atOrdinal(uint64_t ordinal) const;
 
   private:
     std::vector<Directive> directives;

@@ -1,10 +1,14 @@
 #include "fault/ledger.hh"
 
+#include <csignal>
 #include <unistd.h>
 
+#include <atomic>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
+#include "fault/injector.hh"
 #include "util/checksum.hh"
 #include "util/logging.hh"
 
@@ -18,8 +22,7 @@ ledgerLine(const std::string &key, const JsonValue &record)
     JsonValue entry = JsonValue::object();
     entry.set("key", JsonValue::string(key));
     entry.set("record", record);
-    std::string text = entry.dump();
-    return crcHex(crc32(text)) + " " + text;
+    return frameLine(entry);
 }
 
 /**
@@ -30,6 +33,52 @@ ledgerLine(const std::string &key, const JsonValue &record)
 bool
 parseLedgerLine(const std::string &line, LedgerEntry &out,
                 std::string &reason)
+{
+    JsonValue entry;
+    if (!parseFrameLine(line, entry, reason))
+        return false;
+    const JsonValue *key = entry.find("key");
+    const JsonValue *record = entry.find("record");
+    if (!key || !key->isString() || !record || !record->isObject()) {
+        reason = "entry lacks the {key, record} shape";
+        return false;
+    }
+    out.key = key->asString();
+    out.record = *record;
+    return true;
+}
+
+/**
+ * The fd the signal-flush handler syncs: the most recently opened
+ * ledger, -1 when none is live. Lock-free atomic so the handler is
+ * async-signal-safe.
+ */
+std::atomic<int> gFlushFd{-1};
+
+extern "C" void
+ledgerSignalFlush(int signum)
+{
+    int fd = gFlushFd.load(std::memory_order_relaxed);
+    if (fd >= 0)
+        fsync(fd);
+    // Re-raise with the default disposition so the exit status still
+    // says "killed by SIGTERM/SIGINT" to the orchestrator.
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+}
+
+} // namespace
+
+std::string
+frameLine(const JsonValue &payload)
+{
+    std::string text = payload.dump();
+    return crcHex(crc32(text)) + " " + text;
+}
+
+bool
+parseFrameLine(const std::string &line, JsonValue &payload,
+               std::string &reason)
 {
     // "<8 hex chars><space><json>"
     if (line.size() < 10 || line[8] != ' ') {
@@ -46,36 +95,55 @@ parseLedgerLine(const std::string &line, LedgerEntry &out,
         reason = "checksum mismatch";
         return false;
     }
-    JsonValue entry;
     std::string parseError;
-    if (!JsonValue::parse(text, entry, &parseError)) {
+    if (!JsonValue::parse(text, payload, &parseError)) {
         reason = "checksummed payload is not JSON: " + parseError;
         return false;
     }
-    const JsonValue *key = entry.find("key");
-    const JsonValue *record = entry.find("record");
-    if (!key || !key->isString() || !record || !record->isObject()) {
-        reason = "entry lacks the {key, record} shape";
-        return false;
-    }
-    out.key = key->asString();
-    out.record = *record;
     return true;
 }
-
-} // namespace
 
 SweepLedger::SweepLedger(const std::string &path) : filePath(path)
 {
     file = std::fopen(path.c_str(), "wb");
-    if (!file)
+    if (!file) {
         warn("cannot open sweep ledger %s for writing", path.c_str());
+        return;
+    }
+    gFlushFd.store(fileno(file), std::memory_order_relaxed);
 }
 
 SweepLedger::~SweepLedger()
 {
-    if (file)
-        std::fclose(file);
+    if (!file)
+        return;
+    int fd = fileno(file);
+    gFlushFd.compare_exchange_strong(fd, -1, std::memory_order_relaxed);
+    std::fclose(file);
+}
+
+void
+SweepLedger::installSignalFlush()
+{
+    static std::once_flag installed;
+    std::call_once(installed, [] {
+        std::signal(SIGTERM, ledgerSignalFlush);
+        std::signal(SIGINT, ledgerSignalFlush);
+    });
+}
+
+bool
+SweepLedger::resyncIfDirty()
+{
+    if (!dirty)
+        return true;
+    // A failed write may have persisted a partial line; terminate it
+    // so the next frame starts on a fresh line and stays parseable.
+    bool ok = std::fputc('\n', file) != EOF && std::fflush(file) == 0 &&
+              fsync(fileno(file)) == 0;
+    if (ok)
+        dirty = false;
+    return ok;
 }
 
 bool
@@ -83,12 +151,17 @@ SweepLedger::writeAndSync(const std::string &text)
 {
     if (!file)
         return false;
-    size_t wrote = std::fwrite(text.data(), 1, text.size(), file);
-    bool ok = wrote == text.size() && std::fflush(file) == 0;
-    // The fsync is the whole point of a write-ahead ledger: once
-    // append() returns, the entry survives the process.
-    if (ok)
-        ok = fsync(fileno(file)) == 0;
+    bool ok = resyncIfDirty();
+    if (ok) {
+        size_t wrote = std::fwrite(text.data(), 1, text.size(), file);
+        ok = wrote == text.size() && std::fflush(file) == 0;
+        // The fsync is the whole point of a write-ahead ledger: once
+        // append() returns, the entry survives the process.
+        if (ok)
+            ok = fsync(fileno(file)) == 0;
+        else
+            dirty = true;
+    }
     if (!ok)
         warn("sweep ledger %s: append failed; the run will simply be "
              "re-executed on resume",
@@ -99,7 +172,25 @@ SweepLedger::writeAndSync(const std::string &text)
 bool
 SweepLedger::append(const std::string &key, const JsonValue &record)
 {
-    if (!writeAndSync(ledgerLine(key, record) + "\n"))
+    uint64_t ordinal = appendOrdinal++;
+    std::string line = ledgerLine(key, record);
+    if (injector && injector->fires(FaultKind::Enospc, ordinal)) {
+        warn("sweep ledger %s: injected ENOSPC on append %llu",
+             filePath.c_str(),
+             static_cast<unsigned long long>(ordinal));
+        return false;
+    }
+    if (injector && injector->fires(FaultKind::ShortWrite, ordinal)) {
+        // Persist a prefix cut mid-JSON, then fail the append: the
+        // torn frame hits the disk, the process lives on.
+        writeAndSync(line.substr(0, 10 + line.size() / 2));
+        dirty = true;
+        warn("sweep ledger %s: injected short write on append %llu",
+             filePath.c_str(),
+             static_cast<unsigned long long>(ordinal));
+        return false;
+    }
+    if (!writeAndSync(line + "\n"))
         return false;
     ++entries;
     return true;
@@ -108,6 +199,7 @@ SweepLedger::append(const std::string &key, const JsonValue &record)
 bool
 SweepLedger::appendTorn(const std::string &key, const JsonValue &record)
 {
+    ++appendOrdinal;
     std::string line = ledgerLine(key, record);
     // Cut mid-JSON: past the checksum so the framing looks plausible,
     // well short of the payload so the CRC cannot hold.

@@ -20,6 +20,7 @@
 #ifndef SPECFETCH_FAULT_LEDGER_HH_
 #define SPECFETCH_FAULT_LEDGER_HH_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -27,6 +28,23 @@
 #include "report/json.hh"
 
 namespace specfetch {
+
+class FaultInjector;
+
+/**
+ * Frame @p payload as one self-checking line (sans newline):
+ * "<crc32 hex, 8 chars> <compact JSON>". Shared by the ledger and the
+ * serve-layer result store so one fsck understands both.
+ */
+std::string frameLine(const JsonValue &payload);
+
+/**
+ * Validate one framed line (sans newline) back into @p payload.
+ * Returns false with a human-readable @p reason when the line fails
+ * its CRC or the checksummed text does not parse.
+ */
+bool parseFrameLine(const std::string &line, JsonValue &payload,
+                    std::string &reason);
 
 /** One valid ledger line, parsed. */
 struct LedgerEntry
@@ -71,6 +89,26 @@ class SweepLedger
     size_t entriesWritten() const { return entries; }
 
     /**
+     * Consult @p injector (borrowed, may be nullptr) on every append:
+     * shortwrite@N persists only a prefix of this writer's Nth append
+     * (0-based) before failing it, enospc@N fails it without writing a
+     * byte. Either way append() returns false and the *next* append
+     * first emits a resync newline, so one failed write never corrupts
+     * the frames that follow it.
+     */
+    void setInjector(const FaultInjector *faults) { injector = faults; }
+
+    /**
+     * Install a process-wide SIGTERM/SIGINT handler that fsyncs the
+     * most recently opened ledger before re-raising with the default
+     * disposition. Idempotent; async-signal-safe by construction (the
+     * handler only reads an atomic fd and calls fsync). Without this,
+     * an orchestrator-killed sweep can lose the libc-buffered suffix
+     * of runs that already completed.
+     */
+    static void installSignalFlush();
+
+    /**
      * Journal one run: write the self-checking line and fsync before
      * returning. An I/O failure warns and returns false — losing the
      * journal must never kill the sweep it protects.
@@ -86,10 +124,16 @@ class SweepLedger
 
   private:
     bool writeAndSync(const std::string &text);
+    bool resyncIfDirty();
 
     std::string filePath;
     std::FILE *file = nullptr;
     size_t entries = 0;
+    /** Total append()/appendTorn() calls; drives injector ordinals. */
+    uint64_t appendOrdinal = 0;
+    /** A failed write may have left a partial line; resync first. */
+    bool dirty = false;
+    const FaultInjector *injector = nullptr;
 };
 
 /**

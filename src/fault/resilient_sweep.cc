@@ -79,6 +79,10 @@ runResilientSweep(const std::vector<RunSpec> &specs,
     SweepLedger ledger(options.ledgerPath);
     if (!ledger.ok())
         fatal("cannot write sweep ledger %s", options.ledgerPath.c_str());
+    ledger.setInjector(options.injector);
+    // An orchestrator SIGTERM must not lose the libc-buffered suffix
+    // of already-journaled runs.
+    SweepLedger::installSignalFlush();
     for (size_t i = 0; i < n; ++i) {
         if (result.completed[i])
             ledger.append(keys[i], result.records[i]);

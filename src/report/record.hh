@@ -54,6 +54,20 @@ struct RunTiming
 /** Configuration manifest (every knob that defines the machine/run). */
 JsonValue toJson(const SimConfig &config);
 
+/**
+ * Parse a configuration manifest produced by toJson(SimConfig) back
+ * into a SimConfig. Strict by design — an unknown member or a
+ * wrong-typed value fails with @p error naming it — so a service can
+ * reject a request it does not fully understand instead of silently
+ * simulating something else. Members absent from the manifest keep
+ * their defaults, mirroring the serializer's omit-when-disabled
+ * convention; the "description" echo is ignored. For any manifest the
+ * serializer emitted, toJson(parsed manifest) reproduces it
+ * byte-for-byte.
+ */
+bool configFromJson(const JsonValue &manifest, SimConfig &out,
+                    std::string *error = nullptr);
+
 /** Raw counters + derived metrics of one run (no manifest). */
 JsonValue toJson(const SimResults &results);
 

@@ -1,0 +1,429 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/sweep.hh"
+#include "fault/guard.hh"
+#include "fault/injector.hh"
+#include "fault/resilient_sweep.hh"
+#include "report/record.hh"
+#include "util/logging.hh"
+#include "workload/registry.hh"
+#include "workload/workload.hh"
+
+namespace specfetch {
+
+using Clock = std::chrono::steady_clock;
+
+SweepService::SweepService(ResultStore &resultStore,
+                           const Options &options)
+    : store(resultStore), opts(options)
+{
+    panic_if(opts.workers == 0, "sweep service needs at least one worker");
+    panic_if(opts.queueBound == 0, "sweep service needs a queue bound");
+}
+
+SweepService::~SweepService()
+{
+    drain();
+}
+
+void
+SweepService::start()
+{
+    // The worker body is the service's error boundary: no exception —
+    // not a panic turned SimulationError, not a std::bad_alloc — may
+    // escape a worker, or the daemon dies with requests in flight.
+    onExecute = [this](Job &job) {
+        try {
+            executeJob(job);
+        } catch (const std::exception &e) {
+            warn("sweep service: worker caught '%s'; answering "
+                 "run_failed",
+                 e.what());
+            ServiceError error;
+            error.type = ServiceErrorType::RunFailed;
+            error.message = e.what();
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ++stats.failed;
+            }
+            // The failure-response path must itself be unable to
+            // throw: the responder is caller-supplied code.
+            try {
+                finishKey(job,
+                          makeServiceErrorResponse(job.request.id,
+                                                   job.request.key,
+                                                   error),
+                          false, &error);
+            } catch (const std::exception &nested) {
+                warn("sweep service: responder threw '%s' while "
+                     "answering a failure; response dropped",
+                     nested.what());
+            }
+        }
+    };
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!workers.empty())
+        return;
+    draining = false;
+    workers.reserve(opts.workers);
+    for (unsigned i = 0; i < opts.workers; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+void
+SweepService::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wake.wait(lock,
+                      [this] { return draining || !queue.empty(); });
+            if (queue.empty())
+                return; // draining and nothing left
+            job = std::move(queue.front());
+            queue.pop_front();
+            ++stats.inflight;
+        }
+        onExecute(job);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            --stats.inflight;
+        }
+        wake.notify_all();
+    }
+}
+
+double
+SweepService::backoffHint(unsigned attempt) const
+{
+    return backoffSeconds(std::max(attempt, 1u), opts.backoffBaseSeconds);
+}
+
+void
+SweepService::submit(const std::string &line, Responder respond)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++stats.requests;
+    }
+    ServiceRequest request;
+    ServiceError error;
+    if (!parseServiceRequest(line, request, error)) {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++stats.rejected;
+        }
+        respond(makeServiceErrorResponse(request.id, request.key, error));
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (poisonedKeys.count(request.key)) {
+            ++stats.poisoned;
+            error.type = ServiceErrorType::Poisoned;
+            error.message = "key is quarantined after repeated failures";
+        }
+    }
+    if (error.type == ServiceErrorType::Poisoned) {
+        respond(makeServiceErrorResponse(request.id, request.key, error));
+        return;
+    }
+
+    JsonValue record;
+    if (store.get(request.key, record)) {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++stats.hits;
+        }
+        respond(makeServiceResponse(request.id, request.key,
+                                    /*cached=*/true, record));
+        return;
+    }
+
+    Job job;
+    job.request = std::move(request);
+    job.respond = std::move(respond);
+    if (opts.requestDeadlineSeconds > 0.0) {
+        job.hasDeadline = true;
+        job.deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   opts.requestDeadlineSeconds));
+    }
+
+    bool enqueued = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (draining) {
+            error.type = ServiceErrorType::ShuttingDown;
+            error.message = "service is draining";
+        } else if (admitted >= opts.queueBound) {
+            // Load shedding: bounded memory beats unbounded latency.
+            ++stats.shed;
+            error.type = ServiceErrorType::Overloaded;
+            error.message = "admission queue is full (" +
+                            std::to_string(opts.queueBound) +
+                            " requests)";
+            error.backoffSeconds = backoffHint(2);
+        } else {
+            ++admitted;
+            stats.queueDepth = admitted;
+            auto active = followers.find(job.request.key);
+            if (active != followers.end()) {
+                // Single-flight: ride the execution already admitted
+                // for this key instead of simulating twice.
+                ++stats.deduped;
+                active->second.push_back(std::move(job));
+            } else {
+                followers.emplace(job.request.key, std::vector<Job>{});
+                queue.push_back(std::move(job));
+            }
+            enqueued = true;
+        }
+    }
+    if (enqueued) {
+        wake.notify_one();
+        return;
+    }
+    // Shed or draining: job was not consumed, respond with the error.
+    job.respond(
+        makeServiceErrorResponse(job.request.id, job.request.key, error));
+}
+
+const Classification &
+SweepService::classificationFor(const ServiceRequest &request)
+{
+    // classifyMisses is policy/prefetch-independent by construction
+    // (core/miss_classifier.hh), so neutralize exactly the members the
+    // manifest varies across a grid — every (policy, prefetch) request
+    // of a benchmark shares one cached classification, computed the
+    // way bench_suite computes its per-profile column.
+    SimConfig neutral = request.config;
+    neutral.policy = FetchPolicy::Resume;
+    neutral.nextLinePrefetch = false;
+    neutral.prefetchKind = PrefetchKind::None;
+    neutral.adaptiveSelector = SelectorKind::Off;
+    std::string cacheKey = request.benchmark + "|" + toJson(neutral).dump();
+    {
+        std::lock_guard<std::mutex> lock(classificationMutex);
+        auto it = classifications.find(cacheKey);
+        if (it != classifications.end())
+            return it->second;
+    }
+    // Compute outside the lock: a duplicate race wastes a little work
+    // but produces byte-identical values (first insert wins).
+    Workload workload = buildWorkload(getProfile(request.benchmark));
+    Classification classification = classifyMisses(workload, neutral);
+    std::lock_guard<std::mutex> lock(classificationMutex);
+    return classifications.emplace(cacheKey, std::move(classification))
+        .first->second;
+}
+
+void
+SweepService::executeJob(Job &job)
+{
+    const std::string &key = job.request.key;
+
+    ServiceError error;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (poisonedKeys.count(key)) {
+            ++stats.poisoned;
+            error.type = ServiceErrorType::Poisoned;
+            error.message = "key is quarantined after repeated failures";
+        }
+    }
+    if (error.type == ServiceErrorType::Poisoned) {
+        finishKey(job, makeServiceErrorResponse(job.request.id, key, error),
+                  false, &error);
+        return;
+    }
+
+    // The deadline covers admission-to-execution wait; a run that
+    // starts in time runs to completion (killing it mid-simulation is
+    // the watchdog's job, not the deadline's).
+    if (job.hasDeadline && Clock::now() >= job.deadline) {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++stats.expired;
+        }
+        error.type = ServiceErrorType::DeadlineExceeded;
+        error.message = "deadline expired before the run could start";
+        error.backoffSeconds = backoffHint(2);
+        finishKey(job, makeServiceErrorResponse(job.request.id, key, error),
+                  false, &error);
+        return;
+    }
+    if (opts.testBeforeExecute)
+        opts.testBeforeExecute();
+
+    SweepGuard guard;
+    guard.maxAttempts = opts.maxAttempts;
+    guard.backoffBaseSeconds = opts.backoffBaseSeconds;
+    guard.runTimeoutSeconds = opts.runTimeoutSeconds;
+    FaultInjector localInjector;
+    if (opts.injector && !opts.injector->empty()) {
+        uint64_t ordinal;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ordinal = executedOrdinal++;
+        }
+        localInjector = opts.injector->atOrdinal(ordinal);
+        guard.injector = &localInjector;
+    }
+
+    std::vector<RunSpec> specs{
+        RunSpec{job.request.benchmark, job.request.config}};
+    SweepOutcome outcome = runSweepGuarded(specs, guard, /*parallelism=*/1);
+
+    if (outcome.allCompleted()) {
+        const Classification &classification =
+            classificationFor(job.request);
+        JsonValue record =
+            makeRunRecord(outcome.results[0], job.request.config, nullptr,
+                          &classification);
+        std::string storeError;
+        if (!store.put(key, record, &storeError)) {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ++stats.failed;
+            }
+            error.type = ServiceErrorType::StoreWriteFailed;
+            error.message = "run completed but could not be persisted: " +
+                            storeError;
+            error.backoffSeconds = backoffHint(2);
+            finishKey(job,
+                      makeServiceErrorResponse(job.request.id, key, error),
+                      false, &error);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++stats.executed;
+        }
+        finishKey(job,
+                  makeServiceResponse(job.request.id, key,
+                                      /*cached=*/false, record),
+                  true, nullptr);
+        return;
+    }
+
+    const SweepFailure &failure = outcome.failures[0];
+    bool poisonedNow = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        unsigned count = ++failureCounts[key];
+        if (count >= opts.poisonThreshold) {
+            poisonedKeys.insert(key);
+            poisonedNow = true;
+            ++stats.poisoned;
+        } else {
+            ++stats.failed;
+        }
+    }
+    if (poisonedNow) {
+        error.type = ServiceErrorType::Poisoned;
+        error.message = "quarantined after " +
+                        std::to_string(opts.poisonThreshold) +
+                        " terminal failures; last cause: " + failure.cause;
+        error.attempts = failure.attempts;
+    } else {
+        error.type = ServiceErrorType::RunFailed;
+        error.message = failure.cause;
+        error.attempts = failure.attempts;
+        error.backoffSeconds = backoffHint(failure.attempts);
+    }
+    finishKey(job, makeServiceErrorResponse(job.request.id, key, error),
+              false, &error);
+}
+
+void
+SweepService::finishKey(Job &leader, const JsonValue &response, bool ok,
+                        const ServiceError *error)
+{
+    const std::string &key = leader.request.key;
+    std::vector<Job> riders;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = followers.find(key);
+        if (it != followers.end()) {
+            riders = std::move(it->second);
+            followers.erase(it);
+        }
+        admitted -= 1 + riders.size();
+        stats.queueDepth = admitted;
+    }
+    leader.respond(response);
+    for (Job &rider : riders) {
+        if (ok) {
+            JsonValue record;
+            // The leader just persisted it; a miss here is impossible
+            // short of store corruption, which get() would refuse.
+            if (store.get(key, record)) {
+                rider.respond(makeServiceResponse(rider.request.id, key,
+                                                  /*cached=*/true,
+                                                  record));
+                continue;
+            }
+        }
+        ServiceError riderError;
+        if (error) {
+            riderError = *error;
+        } else {
+            riderError.type = ServiceErrorType::StoreWriteFailed;
+            riderError.message = "record vanished between put and get";
+        }
+        rider.respond(makeServiceErrorResponse(rider.request.id, key,
+                                               riderError));
+    }
+}
+
+void
+SweepService::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        draining = true;
+    }
+    wake.notify_all();
+    for (std::thread &worker : workers) {
+        if (worker.joinable())
+            worker.join();
+    }
+    workers.clear();
+}
+
+SweepService::Stats
+SweepService::statsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return stats;
+}
+
+void
+SweepService::healthMembers(JsonValue &row) const
+{
+    Stats snapshot = statsSnapshot();
+    ResultStore::Stats storeStats = store.stats();
+    row.set("requests", JsonValue::integer(snapshot.requests))
+        .set("hits", JsonValue::integer(snapshot.hits))
+        .set("deduped", JsonValue::integer(snapshot.deduped))
+        .set("executed", JsonValue::integer(snapshot.executed))
+        .set("shed", JsonValue::integer(snapshot.shed))
+        .set("failed", JsonValue::integer(snapshot.failed))
+        .set("expired", JsonValue::integer(snapshot.expired))
+        .set("poisoned", JsonValue::integer(snapshot.poisoned))
+        .set("rejected", JsonValue::integer(snapshot.rejected))
+        .set("queue_depth", JsonValue::integer(snapshot.queueDepth))
+        .set("inflight", JsonValue::integer(snapshot.inflight))
+        .set("store_records", JsonValue::integer(storeStats.records))
+        .set("store_generation",
+             JsonValue::integer(storeStats.generation));
+}
+
+} // namespace specfetch

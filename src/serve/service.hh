@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The sweep service (DESIGN.md §15): a long-running front end over the
+ * ResultStore and runSweepGuarded.
+ *
+ * Request lifecycle:
+ *
+ *   submit(line) -> parse/validate (typed error on anything unclean)
+ *               -> poisoned-key check
+ *               -> store lookup (hit: answered immediately, cached)
+ *               -> admission control (queue bound; shed with an
+ *                  explicit `overloaded` error + backoff hint)
+ *               -> single-flight dedupe (same-key requests ride the
+ *                  first one's execution instead of re-simulating)
+ *               -> bounded worker pool executes the miss behind
+ *                  runSweepGuarded's boundary/watchdog/retry stack
+ *               -> durable store.put, then the response
+ *
+ * Robustness properties:
+ *   - Overload never grows memory without bound: at most queueBound
+ *     requests (leaders + followers) are admitted; the rest are shed.
+ *   - A request carries an optional deadline; expired requests answer
+ *     `deadline_exceeded` with a backoff hint instead of simulating.
+ *   - A key that keeps failing is poisoned after poisonThreshold
+ *     terminal failures and answered `poisoned` thereafter — one bad
+ *     config cannot monopolize the workers.
+ *   - drain() finishes every admitted request, then the caller closes
+ *     the store (fsync + clean-shutdown marker). Submissions during
+ *     drain answer `shutting_down`.
+ *   - The worker body never lets an exception escape: any stray throw
+ *     becomes a `run_failed` response, not a dead daemon.
+ */
+
+#ifndef SPECFETCH_SERVE_SERVICE_HH_
+#define SPECFETCH_SERVE_SERVICE_HH_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/miss_classifier.hh"
+#include "serve/request.hh"
+#include "serve/result_store.hh"
+
+namespace specfetch {
+
+class FaultInjector;
+
+class SweepService
+{
+  public:
+    struct Options
+    {
+        /** Worker threads (>= 1). */
+        unsigned workers = 1;
+        /** Admitted-request bound (leaders + followers). */
+        size_t queueBound = 64;
+        /** Guarded attempts per executed run. */
+        unsigned maxAttempts = 3;
+        /** Base of the retry/backoff-hint exponential (seconds). */
+        double backoffBaseSeconds = 0.05;
+        /** Per-run watchdog budget (seconds); 0 disables. */
+        double runTimeoutSeconds = 0.0;
+        /** Per-request deadline from admission (seconds); 0 = none. */
+        double requestDeadlineSeconds = 0.0;
+        /** Terminal failures before a key is poisoned. */
+        unsigned poisonThreshold = 3;
+        /**
+         * Borrowed; may be null. Directive indices name *executed-run
+         * ordinals* (misses actually simulated, in execution order) —
+         * the service projects the spec per run via atOrdinal().
+         */
+        const FaultInjector *injector = nullptr;
+        /** Test-only gate, called after the deadline check and before
+         *  the run executes. */
+        std::function<void()> testBeforeExecute;
+    };
+
+    struct Stats
+    {
+        uint64_t requests = 0;  ///< submit() calls
+        uint64_t rejected = 0;  ///< malformed / bad_request
+        uint64_t hits = 0;      ///< answered from the store
+        uint64_t deduped = 0;   ///< followers riding another execution
+        uint64_t executed = 0;  ///< simulations that completed
+        uint64_t shed = 0;      ///< overloaded responses
+        uint64_t failed = 0;    ///< run_failed / store_write_failed
+        uint64_t expired = 0;   ///< deadline_exceeded responses
+        uint64_t poisoned = 0;  ///< poisoned responses
+        uint64_t queueDepth = 0; ///< admitted, not yet finished
+        uint64_t inflight = 0;  ///< executing right now
+    };
+
+    /** Responses are delivered through this, possibly from a worker
+     *  thread; implementations synchronize their own sink. */
+    using Responder = std::function<void(const JsonValue &response)>;
+
+    SweepService(ResultStore &store, const Options &options);
+    /** Drains (finishing admitted work) and joins the workers. */
+    ~SweepService();
+
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /** Start the worker pool. */
+    void start();
+
+    /** Submit one request line; @p respond fires exactly once. */
+    void submit(const std::string &line, Responder respond);
+
+    /**
+     * Stop intake (`shutting_down` responses), finish every admitted
+     * request, join the workers. The store stays open — the caller
+     * closes it (fsync + clean marker) after the last response.
+     */
+    void drain();
+
+    Stats statsSnapshot() const;
+
+    /** Append service + store counters to a heartbeat row (the
+     *  ProgressReporter extraMembers hook). */
+    void healthMembers(JsonValue &row) const;
+
+  private:
+    struct Job
+    {
+        ServiceRequest request;
+        Responder respond;
+        std::chrono::steady_clock::time_point deadline;
+        bool hasDeadline = false;
+    };
+
+    void workerLoop();
+    void executeJob(Job &job);
+    /** The worker body: assigned once in start(); the analyzer's
+     *  error-boundary rule audits every throw path under it. */
+    std::function<void(Job &job)> onExecute;
+    /** Leader finished: deliver @p response to it, answer followers
+     *  (ok from the store, or the same @p error), release the key. */
+    void finishKey(Job &leader, const JsonValue &response, bool ok,
+                   const ServiceError *error);
+    const Classification &classificationFor(const ServiceRequest &request);
+    double backoffHint(unsigned attempt) const;
+
+    ResultStore &store;
+    Options opts;
+
+    mutable std::mutex mutex;
+    std::condition_variable wake;
+    bool draining = false;
+    std::vector<std::thread> workers;
+    std::deque<Job> queue;
+    /** Keys queued or executing -> requests riding the leader. */
+    std::map<std::string, std::vector<Job>> followers;
+    size_t admitted = 0; ///< leaders queued/executing + followers
+    uint64_t executedOrdinal = 0;
+    std::map<std::string, unsigned> failureCounts;
+    std::set<std::string> poisonedKeys;
+    Stats stats;
+
+    std::mutex classificationMutex;
+    std::map<std::string, Classification> classifications;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_SERVE_SERVICE_HH_

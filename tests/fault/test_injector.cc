@@ -156,3 +156,55 @@ TEST_F(FaultInjectorEnv, MalformedSpecIsReported)
     EXPECT_FALSE(FaultInjector::fromEnv(injector, &error));
     EXPECT_FALSE(error.empty());
 }
+
+TEST(FaultInjectorAppendKinds, ShortWriteAndEnospcParse)
+{
+    FaultInjector injector;
+    ASSERT_TRUE(FaultInjector::parse("shortwrite@4,enospc@7", injector));
+    EXPECT_TRUE(injector.fires(FaultKind::ShortWrite, 4));
+    EXPECT_FALSE(injector.fires(FaultKind::ShortWrite, 5));
+    EXPECT_TRUE(injector.fires(FaultKind::Enospc, 7));
+    EXPECT_FALSE(injector.fires(FaultKind::Enospc, 4));
+    EXPECT_STREQ(toString(FaultKind::ShortWrite), "shortwrite");
+    EXPECT_STREQ(toString(FaultKind::Enospc), "enospc");
+}
+
+TEST(FaultInjectorAtOrdinal, ProjectsDirectivesToIndexZero)
+{
+    FaultInjector injector;
+    ASSERT_TRUE(
+        FaultInjector::parse("throw@3x2,timeout@5,crash@3", injector));
+
+    // Ordinal 3 keeps its directives, rewritten to index 0.
+    FaultInjector at3 = injector.atOrdinal(3);
+    EXPECT_TRUE(at3.fires(FaultKind::Throw, 0, 1));
+    EXPECT_TRUE(at3.fires(FaultKind::Throw, 0, 2));
+    EXPECT_FALSE(at3.fires(FaultKind::Throw, 0, 3));
+    EXPECT_TRUE(at3.fires(FaultKind::Crash, 0));
+    EXPECT_FALSE(at3.fires(FaultKind::Timeout, 0));
+
+    // Other ordinals see only what aims at them.
+    FaultInjector at5 = injector.atOrdinal(5);
+    EXPECT_TRUE(at5.fires(FaultKind::Timeout, 0));
+    EXPECT_FALSE(at5.fires(FaultKind::Throw, 0));
+    EXPECT_TRUE(injector.atOrdinal(0).empty());
+}
+
+TEST(FaultInjectorAtOrdinal, FlakyDrawBecomesExplicitThrow)
+{
+    FaultInjector injector;
+    ASSERT_TRUE(FaultInjector::parse("flaky=1/4:99", injector));
+    size_t fired = 0;
+    for (uint64_t ordinal = 0; ordinal < 256; ++ordinal) {
+        FaultInjector local = injector.atOrdinal(ordinal);
+        bool localFires = local.fires(FaultKind::Throw, 0, 1);
+        // The projection agrees with the global draw exactly.
+        EXPECT_EQ(localFires,
+                  injector.fires(FaultKind::Throw, ordinal, 1));
+        // ...and fires as a plain first-attempt throw directive.
+        EXPECT_FALSE(local.fires(FaultKind::Throw, 0, 2));
+        fired += localFires;
+    }
+    EXPECT_GT(fired, 256u / 8);
+    EXPECT_LT(fired, 256u / 2);
+}

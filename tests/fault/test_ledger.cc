@@ -7,10 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "fault/injector.hh"
 #include "fault/ledger.hh"
 #include "report/json.hh"
 #include "util/checksum.hh"
@@ -180,6 +185,96 @@ TEST_F(LedgerTest, UnwritablePathReportsNotOk)
     SweepLedger ledger("/nonexistent-dir/sweep.ledger");
     EXPECT_FALSE(ledger.ok());
     EXPECT_FALSE(ledger.append("k", record(1)));
+}
+
+TEST_F(LedgerTest, InjectedEnospcFailsWithoutCorrupting)
+{
+    FaultInjector injector;
+    ASSERT_TRUE(FaultInjector::parse("enospc@1", injector));
+    {
+        SweepLedger ledger(path);
+        ledger.setInjector(&injector);
+        EXPECT_TRUE(ledger.append("k0", record(0)));
+        EXPECT_FALSE(ledger.append("k1", record(1))); // injected
+        EXPECT_TRUE(ledger.append("k2", record(2)));
+        EXPECT_EQ(ledger.entriesWritten(), 2u);
+    }
+    LedgerLoad load;
+    ASSERT_TRUE(loadLedger(path, load));
+    ASSERT_EQ(load.entries.size(), 2u);
+    EXPECT_EQ(load.entries[0].key, "k0");
+    EXPECT_EQ(load.entries[1].key, "k2");
+    EXPECT_EQ(load.corruptLines, 0u);
+    EXPECT_FALSE(load.tornTail);
+}
+
+TEST_F(LedgerTest, InjectedShortWriteResyncsNextAppend)
+{
+    FaultInjector injector;
+    ASSERT_TRUE(FaultInjector::parse("shortwrite@1", injector));
+    {
+        SweepLedger ledger(path);
+        ledger.setInjector(&injector);
+        EXPECT_TRUE(ledger.append("k0", record(0)));
+        EXPECT_FALSE(ledger.append("k1", record(1))); // torn prefix
+        // The resync newline fences the torn frame off from this one.
+        EXPECT_TRUE(ledger.append("k2", record(2)));
+    }
+    LedgerLoad load;
+    ASSERT_TRUE(loadLedger(path, load));
+    ASSERT_EQ(load.entries.size(), 2u);
+    EXPECT_EQ(load.entries[0].key, "k0");
+    EXPECT_EQ(load.entries[1].key, "k2");
+    EXPECT_EQ(load.corruptLines, 1u); // the fenced torn prefix
+    EXPECT_FALSE(load.tornTail);
+}
+
+TEST_F(LedgerTest, ShortWriteAtTailIsDroppedAsTorn)
+{
+    FaultInjector injector;
+    ASSERT_TRUE(FaultInjector::parse("shortwrite@1", injector));
+    {
+        SweepLedger ledger(path);
+        ledger.setInjector(&injector);
+        EXPECT_TRUE(ledger.append("k0", record(0)));
+        EXPECT_FALSE(ledger.append("k1", record(1)));
+        // Process dies here: the torn frame is the final line.
+    }
+    LedgerLoad load;
+    ASSERT_TRUE(loadLedger(path, load));
+    ASSERT_EQ(load.entries.size(), 1u);
+    EXPECT_EQ(load.entries[0].key, "k0");
+    EXPECT_TRUE(load.tornTail);
+}
+
+TEST_F(LedgerTest, SigtermFlushKeepsJournaledRuns)
+{
+    // An orchestrator SIGTERM must not lose runs that already
+    // completed: the signal-flush handler fsyncs the ledger before
+    // the default disposition kills the process.
+    pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        SweepLedger ledger(path);
+        SweepLedger::installSignalFlush();
+        for (uint64_t i = 0; i < 5; ++i) {
+            std::string key = "k";
+            key += std::to_string(i);
+            ledger.append(key, record(i));
+        }
+        std::raise(SIGTERM);
+        _exit(0); // unreachable: SIGTERM terminates after the flush
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGTERM);
+
+    LedgerLoad load;
+    ASSERT_TRUE(loadLedger(path, load));
+    EXPECT_EQ(load.entries.size(), 5u);
+    EXPECT_EQ(load.corruptLines, 0u);
+    EXPECT_FALSE(load.tornTail);
 }
 
 } // namespace

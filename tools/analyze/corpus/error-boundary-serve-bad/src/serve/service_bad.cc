@@ -1,0 +1,34 @@
+namespace specfetch {
+
+[[noreturn]] void panic(const char* msg);
+
+struct Job {
+    int id;
+};
+
+struct Service {
+    void (*onExecute)(Job&);
+};
+
+int runOne(Job& job) {
+    if (job.id < 0) {
+        panic("negative job id");
+    }
+    return job.id * 2;
+}
+
+void start(Service& service) {
+    service.onExecute = [](Job& job) {
+        runOne(job);
+    };
+}
+
+void startDirect(Service& service) {
+    service.onExecute = [](Job& job) {
+        if (job.id > 7) {
+            panic("job id out of range");
+        }
+    };
+}
+
+}  // namespace specfetch

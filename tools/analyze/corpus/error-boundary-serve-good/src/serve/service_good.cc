@@ -1,0 +1,44 @@
+namespace specfetch {
+
+struct ScopedThrowOnError {
+    ScopedThrowOnError();
+    ~ScopedThrowOnError();
+};
+
+[[noreturn]] void panic(const char* msg);
+
+struct Job {
+    int id;
+};
+
+struct Service {
+    void (*onExecute)(Job&);
+};
+
+int runOne(Job& job) {
+    if (job.id < 0) {
+        panic("negative job id");
+    }
+    return job.id * 2;
+}
+
+void start(Service& service) {
+    service.onExecute = [](Job& job) {
+        try {
+            runOne(job);
+        } catch (...) {
+        }
+    };
+}
+
+void startScoped(Service& service) {
+    service.onExecute = [](Job& job) {
+        ScopedThrowOnError boundary;
+        try {
+            runOne(job);
+        } catch (...) {
+        }
+    };
+}
+
+}  // namespace specfetch

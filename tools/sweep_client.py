@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""Submit a JSONL batch to a running sweep_serve daemon.
+
+The daemon (bench/sweep_serve.cc) speaks one JSON object per line
+over a Unix socket: requests {"id":..,"benchmark":..,"config":{..}}
+in, schema-v1 responses out, in request order (DESIGN.md §15). This
+client is the scriptable counterpart of `bench_suite --store`: it
+ships a prepared request file (or stdin) as one connection, writes
+the response lines to stdout (or --output), and summarizes the
+status mix on stderr.
+
+Degradation rules match the service's contract: an `error` response
+is a *reported outcome*, not a client failure — the exit code stays 0
+unless --expect-ok is given (CI mode: any non-ok status, or a
+response count that does not match the request count, exits 1).
+A connection problem is always a hard error naming the socket.
+
+Usage:
+    tools/sweep_client.py SOCKET [--requests FILE] [--output FILE]
+                          [--expect-ok] [--timeout SECONDS]
+    tools/sweep_client.py --self-test
+
+Exit code 0 on success, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import socket
+import sys
+import tempfile
+import threading
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from common.jsonl import warn  # noqa: E402
+from common.selftest import Checker  # noqa: E402
+
+
+def read_requests(path):
+    """Request lines from @p path ('-' = stdin), blank lines skipped.
+
+    Each line must parse as a JSON object — shipping garbage would
+    only round-trip as a malformed_json response per line; catching
+    it here names the offending line instead."""
+    if path == "-":
+        handle = sys.stdin
+    else:
+        try:
+            handle = open(path, "r", encoding="utf-8")
+        except OSError as err:
+            raise SystemExit(f"cannot read {path}: {err}")
+    lines = []
+    with handle:
+        for lineno, raw in enumerate(handle, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(
+                    f"{path}:{lineno}: request is not JSON: {err}")
+            if not isinstance(parsed, dict):
+                raise SystemExit(
+                    f"{path}:{lineno}: request is not a JSON object")
+            lines.append(line)
+    return lines
+
+
+def exchange(socket_path, request_lines, timeout):
+    """One connection: all requests, half-close, read every response
+    line. Returns the response lines; raises SystemExit on transport
+    trouble."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(socket_path)
+    except OSError as err:
+        sock.close()
+        raise SystemExit(
+            f"cannot connect to sweep daemon at {socket_path}: {err}")
+    try:
+        payload = "".join(line + "\n" for line in request_lines)
+        sock.sendall(payload.encode("utf-8"))
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    except OSError as err:
+        raise SystemExit(f"socket error talking to {socket_path}: {err}")
+    finally:
+        sock.close()
+    text = b"".join(chunks).decode("utf-8", errors="replace")
+    return [line for line in text.split("\n") if line.strip()]
+
+
+def summarize(request_count, response_lines):
+    """(counts dict, problems list): status mix plus anything that
+    violates the wire contract."""
+    counts = {"ok": 0, "cached": 0, "error": 0}
+    problems = []
+    for index, line in enumerate(response_lines):
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError:
+            problems.append(f"response {index} is not JSON")
+            continue
+        status = response.get("status")
+        if status == "ok":
+            counts["ok"] += 1
+            if response.get("cached"):
+                counts["cached"] += 1
+        elif status == "error":
+            counts["error"] += 1
+            kind = response.get("error", {}).get("type", "?")
+            warn(f"response {index}: {kind}: "
+                 f"{response.get('error', {}).get('message', '')}")
+        else:
+            problems.append(f"response {index} has status {status!r}")
+    if len(response_lines) != request_count:
+        problems.append(f"sent {request_count} request(s) but received "
+                        f"{len(response_lines)} response(s)")
+    return counts, problems
+
+
+def run_client(args):
+    requests = read_requests(args.requests)
+    if not requests:
+        raise SystemExit("no requests to send")
+    responses = exchange(args.socket, requests, args.timeout)
+    sink = sys.stdout if args.output == "-" \
+        else open(args.output, "w", encoding="utf-8")
+    with sink if sink is not sys.stdout else sink:
+        for line in responses:
+            print(line, file=sink)
+        if sink is not sys.stdout:
+            sink.flush()
+    counts, problems = summarize(len(requests), responses)
+    print(f"sweep_client: {len(requests)} request(s): "
+          f"{counts['ok']} ok ({counts['cached']} cached), "
+          f"{counts['error']} error", file=sys.stderr)
+    for problem in problems:
+        warn(problem)
+    if problems:
+        return 1
+    if args.expect_ok and counts["error"]:
+        warn(f"--expect-ok: {counts['error']} error response(s)")
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Self-test
+
+
+def _serve_canned(socket_path, replies, ready):
+    """Toy daemon: accept one connection, drain it, answer the canned
+    reply lines."""
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    server.bind(socket_path)
+    server.listen(1)
+    ready.set()
+    conn, _ = server.accept()
+    received = []
+    while True:
+        chunk = conn.recv(65536)
+        if not chunk:
+            break
+        received.append(chunk)
+    requests = [line for line in
+                b"".join(received).decode("utf-8").split("\n")
+                if line.strip()]
+    for line in replies(requests):
+        conn.sendall((line + "\n").encode("utf-8"))
+    conn.close()
+    server.close()
+
+
+def self_test():
+    print("sweep_client self-test:")
+    c = Checker()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "toy.sock")
+        ready = threading.Event()
+
+        def echo_ok(requests):
+            out = []
+            for line in requests:
+                request = json.loads(line)
+                out.append(json.dumps({
+                    "schema_version": 1, "record": "response",
+                    "id": request.get("id"), "status": "ok",
+                    "key": "k", "cached": False, "run": {}}))
+            return out
+
+        server = threading.Thread(
+            target=_serve_canned, args=(path, echo_ok, ready))
+        server.start()
+        ready.wait()
+        requests = [json.dumps({"id": i, "benchmark": "li"})
+                    for i in range(3)]
+        responses = exchange(path, requests, timeout=10.0)
+        server.join()
+        c.check("round trip: one response per request",
+                len(responses) == 3)
+        ids = [json.loads(line).get("id") for line in responses]
+        c.check("round trip: request order preserved", ids == [0, 1, 2])
+        counts, problems = summarize(3, responses)
+        c.check("summary: ok counted", counts["ok"] == 3)
+        c.check("summary: clean exchange has no problems",
+                problems == [])
+
+        counts, problems = summarize(2, ["{not json", responses[0]])
+        c.check("summary: malformed response line reported",
+                any("not JSON" in p for p in problems))
+        counts, problems = summarize(
+            1, [json.dumps({"status": "error",
+                            "error": {"type": "overloaded",
+                                      "message": "shed"}})])
+        c.check("summary: error response counted, not fatal",
+                counts["error"] == 1 and problems == [])
+        counts, problems = summarize(2, [])
+        c.check("summary: short response count is a problem",
+                any("received 0" in p for p in problems))
+
+        try:
+            exchange(os.path.join(tmp, "nobody-home.sock"), ["{}"], 1.0)
+            c.check("transport: refused connection is a hard error",
+                    False)
+        except SystemExit as err:
+            c.check("transport: refused connection is a hard error",
+                    "cannot connect" in str(err))
+
+        bad = os.path.join(tmp, "bad.jsonl")
+        with open(bad, "w", encoding="utf-8") as handle:
+            handle.write('{"id": 0}\nnot json\n')
+        try:
+            read_requests(bad)
+            c.check("requests: malformed input line rejected", False)
+        except SystemExit as err:
+            c.check("requests: malformed input line rejected",
+                    "not JSON" in str(err))
+
+    return c.finish()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="JSONL batch client for the sweep_serve daemon")
+    parser.add_argument("socket", nargs="?",
+                        help="Unix socket path of the daemon")
+    parser.add_argument("--requests", default="-",
+                        help="request JSONL file ('-' = stdin)")
+    parser.add_argument("--output", default="-",
+                        help="response destination ('-' = stdout)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="socket timeout in seconds")
+    parser.add_argument("--expect-ok", action="store_true",
+                        help="exit 1 on any error response (CI mode)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in checks and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.socket:
+        parser.error("SOCKET is required (or use --self-test)")
+    return run_client(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

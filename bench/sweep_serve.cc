@@ -27,7 +27,10 @@
 #include <unistd.h>
 
 #include "fault/injector.hh"
+#include "metrics/flusher.hh"
+#include "metrics/metrics.hh"
 #include "obs/progress.hh"
+#include "obs/trace_event.hh"
 #include "serve/result_store.hh"
 #include "serve/service.hh"
 #include "serve/socket.hh"
@@ -82,6 +85,14 @@ main(int argc, char **argv)
                    "append schema-v1 'health' JSONL heartbeats here");
     opts.addDouble("health-interval", 2.0, "heartbeat period (seconds)");
     opts.addFlag("health-stderr", "human heartbeat line on stderr");
+    opts.addString("metrics-out", "",
+                   "write schema-v1 'metrics' JSONL snapshots here "
+                   "(counters, gauges, latency histograms)");
+    opts.addDouble("metrics-interval", 2.0,
+                   "metrics snapshot period (seconds)");
+    opts.addString("trace-out", "",
+                   "write a Chrome trace-event JSON file with one "
+                   "queue+execute span pair per executed request");
     if (!opts.parse(argc, argv))
         return 1;
     if (opts.getString("store").empty()) {
@@ -102,9 +113,20 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // The registry is always live so an `{"op":"stats"}` request works
+    // without any flag; a disabled --metrics-out only skips the file.
+    MetricsRegistry metrics;
+
+    // Tracing must be on before the workers start so their first
+    // dequeue already records spans.
+    const std::string traceOut = opts.getString("trace-out");
+    if (!traceOut.empty())
+        TraceEventSink::global().open(traceOut);
+
     ResultStore::Options storeOptions;
     storeOptions.dir = opts.getString("store");
     storeOptions.maxSegmentBytes = opts.getSize("max-segment-bytes");
+    storeOptions.metrics = &metrics;
     if (!injector.empty())
         storeOptions.injector = &injector;
     ResultStore store;
@@ -116,13 +138,16 @@ main(int argc, char **argv)
     ResultStore::Stats storeStats = store.stats();
     std::fprintf(stderr,
                  "sweep_serve: store '%s' open: %llu records, "
-                 "generation %llu%s%s\n",
+                 "generation %llu%s%s%s\n",
                  storeOptions.dir.c_str(),
                  static_cast<unsigned long long>(storeStats.records),
                  static_cast<unsigned long long>(storeStats.generation),
                  storeStats.recovered ? ", recovered (no clean marker)"
                                       : "",
-                 storeStats.tornTail ? ", dropped a torn tail line" : "");
+                 storeStats.tornTail ? ", dropped a torn tail line" : "",
+                 storeStats.staleGenerationsRemoved > 0
+                     ? ", removed stale generations"
+                     : "");
     if (storeStats.corruptFrames > 0) {
         std::fprintf(stderr,
                      "sweep_serve: quarantined %llu corrupt frames "
@@ -151,7 +176,26 @@ main(int argc, char **argv)
         static_cast<unsigned>(opts.getCount("poison-threshold"));
     if (!injector.empty())
         serviceOptions.injector = &injector;
+    serviceOptions.metrics = &metrics;
     SweepService service(store, serviceOptions);
+
+    MetricsFlusher flusher;
+    if (!opts.getString("metrics-out").empty()) {
+        MetricsFlusher::Options flusherOptions;
+        flusherOptions.filePath = opts.getString("metrics-out");
+        flusherOptions.intervalSeconds = opts.getDouble("metrics-interval");
+        if (flusher.begin(flusherOptions,
+                          [&service](uint64_t seq, double elapsedSeconds,
+                                     bool final) {
+                              return service.metricsRecord(
+                                  "sweep_serve", seq, elapsedSeconds,
+                                  final);
+                          })) {
+            // The first record in the file is the open-time recovery
+            // summary, so any log starts with what the store found.
+            flusher.emitRecord(store.openSummaryRecord());
+        }
+    }
 
     bool heartbeat = opts.getFlag("health-stderr") ||
                      !opts.getString("health-file").empty();
@@ -185,11 +229,13 @@ main(int argc, char **argv)
         }
         std::fprintf(stderr, "sweep_serve: listening on %s\n",
                      socketPath.c_str());
+        MetricCounter &accepts = metrics.counter("socket.accepts");
         std::vector<std::thread> connections;
         while (!gStop.load()) {
             int client = listener.accept(/*pollSeconds=*/0.2);
             if (client < 0)
                 continue;
+            accepts.add(1);
             connections.emplace_back([client, &service] {
                 serveStream(client, client, service, &gStop);
                 ::close(client);
@@ -205,6 +251,9 @@ main(int argc, char **argv)
     service.drain();
     if (heartbeat)
         ProgressReporter::global().end();
+    flusher.end();
+    if (!traceOut.empty())
+        TraceEventSink::global().close();
     if (!store.close(&error)) {
         std::fprintf(stderr, "sweep_serve: close: %s\n", error.c_str());
         return 1;

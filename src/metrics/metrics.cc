@@ -1,0 +1,129 @@
+#include "metrics/metrics.hh"
+
+#include <bit>
+
+namespace specfetch {
+
+namespace metrics_detail {
+
+unsigned
+shardSlot()
+{
+    // Round-robin slot assignment spreads threads across shards even
+    // when thread-id hashing would cluster them. The counter is the
+    // only cross-thread state and it is an atomic.
+    static std::atomic<unsigned> nextSlot{0};
+    thread_local unsigned slot =
+        nextSlot.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+}
+
+} // namespace metrics_detail
+
+unsigned
+LatencyHistogram::bucketIndex(uint64_t value)
+{
+    if (value < kLinearBuckets)
+        return static_cast<unsigned>(value);
+    unsigned magnitude =
+        static_cast<unsigned>(std::bit_width(value)) - 1;
+    if (magnitude > kMaxMagnitude) {
+        // Clamp into the top magnitude's last sub-bucket.
+        return kBucketCount - 1;
+    }
+    unsigned sub = static_cast<unsigned>(
+                       value >> (magnitude - kSubBucketBits)) &
+                   (kSubBuckets - 1);
+    return kLinearBuckets +
+           (magnitude - kSubBucketBits - 1) * kSubBuckets + sub;
+}
+
+uint64_t
+LatencyHistogram::bucketLowerBound(unsigned index)
+{
+    if (index < kLinearBuckets)
+        return index;
+    unsigned magnitude =
+        kSubBucketBits + 1 + (index - kLinearBuckets) / kSubBuckets;
+    unsigned sub = (index - kLinearBuckets) % kSubBuckets;
+    return static_cast<uint64_t>(kSubBuckets + sub)
+           << (magnitude - kSubBucketBits);
+}
+
+void
+LatencyHistogram::snapshotInto(HistogramSnapshot &out) const
+{
+    std::array<uint64_t, kBucketCount> folded{};
+    uint64_t sum = 0;
+    for (const Shard &shard : shards) {
+        for (unsigned i = 0; i < kBucketCount; ++i) {
+            folded[i] +=
+                shard.counts[i].load(std::memory_order_relaxed);
+        }
+        sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    out.count = 0;
+    out.sum = sum;
+    out.buckets.clear();
+    for (unsigned i = 0; i < kBucketCount; ++i) {
+        if (folded[i] == 0)
+            continue;
+        out.count += folded[i];
+        out.buckets.emplace_back(bucketLowerBound(i), folded[i]);
+    }
+}
+
+MetricCounter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = counters.find(name);
+    if (it == counters.end())
+        it = counters.emplace(name, std::make_unique<MetricCounter>()).first;
+    return *it->second;
+}
+
+MetricGauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = gauges.find(name);
+    if (it == gauges.end())
+        it = gauges.emplace(name, std::make_unique<MetricGauge>()).first;
+    return *it->second;
+}
+
+LatencyHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+        it = histograms.emplace(name, std::make_unique<LatencyHistogram>())
+                 .first;
+    }
+    return *it->second;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    MetricsSnapshot out;
+    out.counters.reserve(counters.size());
+    for (const auto &[name, counter] : counters)
+        out.counters.emplace_back(name, counter->value());
+    out.gauges.reserve(gauges.size());
+    for (const auto &[name, gauge] : gauges)
+        out.gauges.emplace_back(name, gauge->value());
+    out.histograms.reserve(histograms.size());
+    for (const auto &[name, histogram] : histograms) {
+        HistogramSnapshot folded;
+        folded.name = name;
+        histogram->snapshotInto(folded);
+        out.histograms.push_back(std::move(folded));
+    }
+    return out;
+}
+
+} // namespace specfetch

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Service telemetry primitives (DESIGN.md §16): named counters,
+ * gauges, and log-linear latency histograms behind a MetricsRegistry.
+ *
+ * The design splits a cold registration path from a hot update path:
+ *
+ *   - counter()/gauge()/histogram() are mutex-guarded get-or-create
+ *     lookups returning references with stable addresses. Callers
+ *     resolve their instruments once (at construction/open time) and
+ *     never touch the registry on a request path.
+ *   - add()/set()/observe() are lock-free relaxed atomic updates,
+ *     sharded by thread so concurrent workers do not bounce one cache
+ *     line (the shard slot is assigned round-robin per thread).
+ *
+ * Histograms are log-linear (HDR-style): values 0..15 get exact
+ * buckets, then every power-of-two magnitude is split into 8 linear
+ * sub-buckets, so any recorded value lands in a bucket whose width is
+ * at most 1/8 of its lower bound (≤ 12.5% relative error) using
+ * 16 + 36×8 = 304 buckets up to ~2^40 (about 12 days in
+ * microseconds — the unit every histogram in the service uses).
+ *
+ * snapshot() folds the shards into a plain value object suitable for
+ * schema-v1 emission (report/metrics_record.hh). Nothing here reads a
+ * clock or orders results by address: snapshots are deterministic
+ * given the same update history.
+ */
+
+#ifndef SPECFETCH_METRICS_METRICS_HH_
+#define SPECFETCH_METRICS_METRICS_HH_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace specfetch {
+
+namespace metrics_detail {
+
+/** Update shards per instrument; a small power of two. */
+constexpr unsigned kShards = 4;
+
+/** This thread's shard slot, assigned round-robin on first use. */
+unsigned shardSlot();
+
+} // namespace metrics_detail
+
+/** Monotonic counter with per-thread-sharded relaxed updates. */
+class MetricCounter
+{
+  public:
+    MetricCounter() = default;
+    MetricCounter(const MetricCounter &) = delete;
+    MetricCounter &operator=(const MetricCounter &) = delete;
+
+    void
+    add(uint64_t n = 1)
+    {
+        shards[metrics_detail::shardSlot()].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        uint64_t total = 0;
+        for (const Shard &shard : shards)
+            total += shard.value.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> value{0};
+    };
+    std::array<Shard, metrics_detail::kShards> shards;
+};
+
+/** Last-write-wins instantaneous value (queue depth, file sizes). */
+class MetricGauge
+{
+  public:
+    MetricGauge() = default;
+    MetricGauge(const MetricGauge &) = delete;
+    MetricGauge &operator=(const MetricGauge &) = delete;
+
+    void
+    set(uint64_t v)
+    {
+        slot.store(v, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return slot.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> slot{0};
+};
+
+/** One folded histogram, ready to serialize. */
+struct HistogramSnapshot
+{
+    std::string name;
+    uint64_t count = 0; ///< observations
+    uint64_t sum = 0;   ///< sum of observed values
+    /** (bucket lower bound, count), non-empty buckets only, ascending. */
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+};
+
+/**
+ * Log-linear histogram of non-negative values (the service records
+ * microseconds). observe() is lock-free; snapshotInto() folds shards.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Exact buckets for values below 2^(kSubBucketBits + 1). */
+    static constexpr unsigned kSubBucketBits = 3;
+    static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+    static constexpr unsigned kLinearBuckets = 2 * kSubBuckets;
+    /** Highest magnitude (top bit position) given its own buckets. */
+    static constexpr unsigned kMaxMagnitude = 39;
+    static constexpr unsigned kBucketCount =
+        kLinearBuckets +
+        (kMaxMagnitude - kSubBucketBits) * kSubBuckets;
+
+    LatencyHistogram() = default;
+    LatencyHistogram(const LatencyHistogram &) = delete;
+    LatencyHistogram &operator=(const LatencyHistogram &) = delete;
+
+    /** Bucket index for @p value (values above the range clamp into
+     *  the top bucket). Exposed for tests and the report tooling. */
+    static unsigned bucketIndex(uint64_t value);
+
+    /** Smallest value that lands in bucket @p index (the serialized
+     *  bucket label; the bucket spans up to the next label - 1). */
+    static uint64_t bucketLowerBound(unsigned index);
+
+    void
+    observe(uint64_t value)
+    {
+        Shard &shard = shards[metrics_detail::shardSlot()];
+        shard.counts[bucketIndex(value)].fetch_add(
+            1, std::memory_order_relaxed);
+        shard.sum.fetch_add(value, std::memory_order_relaxed);
+    }
+
+    /** Fold every shard into @p out (name is left untouched). */
+    void snapshotInto(HistogramSnapshot &out) const;
+
+  private:
+    struct Shard
+    {
+        Shard()
+        {
+            for (std::atomic<uint64_t> &count : counts)
+                count.store(0, std::memory_order_relaxed);
+        }
+        std::array<std::atomic<uint64_t>, kBucketCount> counts;
+        std::atomic<uint64_t> sum{0};
+    };
+    std::array<Shard, metrics_detail::kShards> shards;
+};
+
+/** Everything a registry held at one instant. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, uint64_t>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+};
+
+/**
+ * Named instrument directory. Thread-safe; returned references stay
+ * valid (and their addresses stable) for the registry's lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    MetricCounter &counter(const std::string &name);
+    MetricGauge &gauge(const std::string &name);
+    LatencyHistogram &histogram(const std::string &name);
+
+    /** Fold every instrument, names in lexicographic order. */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<MetricCounter>> counters;
+    std::map<std::string, std::unique_ptr<MetricGauge>> gauges;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
+};
+
+/**
+ * RAII latency observer: times its scope on the steady clock and
+ * observes the elapsed microseconds. A null histogram disarms it —
+ * the disabled path never reads the clock.
+ */
+class LatencyTimer
+{
+  public:
+    explicit LatencyTimer(LatencyHistogram *target) : histogram(target)
+    {
+        if (histogram)
+            begin = std::chrono::steady_clock::now();
+    }
+
+    ~LatencyTimer()
+    {
+        if (!histogram)
+            return;
+        auto end = std::chrono::steady_clock::now();
+        histogram->observe(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                end - begin)
+                .count()));
+    }
+
+    LatencyTimer(const LatencyTimer &) = delete;
+    LatencyTimer &operator=(const LatencyTimer &) = delete;
+
+  private:
+    LatencyHistogram *histogram = nullptr;
+    std::chrono::steady_clock::time_point begin;
+};
+
+} // namespace specfetch
+
+#endif // SPECFETCH_METRICS_METRICS_HH_

@@ -1,0 +1,60 @@
+#include "report/metrics_record.hh"
+
+#include "report/record.hh"
+
+namespace specfetch {
+
+JsonValue
+toJson(const HistogramSnapshot &snapshot)
+{
+    JsonValue out = JsonValue::object();
+    out.set("count", JsonValue::integer(snapshot.count))
+        .set("sum_us", JsonValue::integer(snapshot.sum));
+    JsonValue buckets = JsonValue::array();
+    for (const auto &[lower, count] : snapshot.buckets) {
+        JsonValue bucket = JsonValue::array();
+        bucket.push(JsonValue::integer(lower));
+        bucket.push(JsonValue::integer(count));
+        buckets.push(std::move(bucket));
+    }
+    out.set("buckets", std::move(buckets));
+    return out;
+}
+
+void
+setMetricsMembers(JsonValue &row, const MetricsSnapshot &snapshot)
+{
+    JsonValue counters = JsonValue::object();
+    for (const auto &[name, value] : snapshot.counters)
+        counters.set(name, JsonValue::integer(value));
+    JsonValue gauges = JsonValue::object();
+    for (const auto &[name, value] : snapshot.gauges)
+        gauges.set(name, JsonValue::integer(value));
+    JsonValue histograms = JsonValue::object();
+    for (const HistogramSnapshot &histogram : snapshot.histograms)
+        histograms.set(histogram.name, toJson(histogram));
+    row.set("counters", std::move(counters))
+        .set("gauges", std::move(gauges))
+        .set("histograms", std::move(histograms));
+}
+
+JsonValue
+makeMetricsRecord(const std::string &label, uint64_t seq,
+                  double elapsedSeconds, bool final,
+                  const JsonValue &service, const JsonValue &store,
+                  const MetricsSnapshot &snapshot)
+{
+    JsonValue record = JsonValue::object();
+    record.set("schema_version", JsonValue::integer(kReportSchemaVersion))
+        .set("record", JsonValue::string("metrics"))
+        .set("label", JsonValue::string(label))
+        .set("seq", JsonValue::integer(seq))
+        .set("elapsed_seconds", JsonValue::number(elapsedSeconds))
+        .set("final", JsonValue::boolean(final))
+        .set("service", service)
+        .set("store", store);
+    setMetricsMembers(record, snapshot);
+    return record;
+}
+
+} // namespace specfetch

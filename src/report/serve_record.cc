@@ -47,6 +47,14 @@ makeServiceResponse(const JsonValue &id, const std::string &key,
 }
 
 JsonValue
+makeServiceStatsResponse(const JsonValue &id, const JsonValue &stats)
+{
+    JsonValue response = responseShell(id, "ok");
+    response.set("stats", stats);
+    return response;
+}
+
+JsonValue
 makeServiceErrorResponse(const JsonValue &id, const std::string &key,
                          const ServiceError &error)
 {

@@ -73,6 +73,15 @@ JsonValue makeServiceErrorResponse(const JsonValue &id,
                                    const std::string &key,
                                    const ServiceError &error);
 
+/**
+ * Build the response to an `{"op":"stats"}` control request: an ok
+ * response whose "stats" member carries the live telemetry body
+ * (service counters + store stats + registry snapshot — the same
+ * members a `metrics` record carries, minus the flusher framing).
+ */
+JsonValue makeServiceStatsResponse(const JsonValue &id,
+                                   const JsonValue &stats);
+
 } // namespace specfetch
 
 #endif // SPECFETCH_REPORT_SERVE_RECORD_HH_

@@ -46,9 +46,16 @@ parseServiceRequest(const std::string &line, ServiceRequest &out,
 
     const JsonValue *configManifest = nullptr;
     bool haveBenchmark = false;
+    bool haveOp = false;
     for (const auto &[name, value] : root.members()) {
         if (name == "id") {
             // Already salvaged above.
+        } else if (name == "op") {
+            if (!value.isString() || value.asString() != "stats") {
+                return reject(error, ServiceErrorType::BadRequest,
+                              "unknown op (only \"stats\" is supported)");
+            }
+            haveOp = true;
         } else if (name == "benchmark") {
             if (!value.isString()) {
                 return reject(error, ServiceErrorType::BadRequest,
@@ -62,6 +69,14 @@ parseServiceRequest(const std::string &line, ServiceRequest &out,
             return reject(error, ServiceErrorType::BadRequest,
                           "unknown request member '" + name + "'");
         }
+    }
+    if (haveOp) {
+        if (haveBenchmark || configManifest) {
+            return reject(error, ServiceErrorType::BadRequest,
+                          "an op request takes no benchmark/config");
+        }
+        out.statsOp = true;
+        return true;
     }
     if (!haveBenchmark) {
         return reject(error, ServiceErrorType::BadRequest,

@@ -24,6 +24,12 @@ struct ServiceRequest
 {
     /** Opaque client echo ("id" member); null when absent. */
     JsonValue id;
+    /**
+     * Control request (`{"op":"stats"}`): answered from the live
+     * telemetry snapshot without touching the store or the queue.
+     * benchmark/config/key are empty then.
+     */
+    bool statsOp = false;
     std::string benchmark;
     /** Canonical configuration (defaults + the request's manifest). */
     SimConfig config;
@@ -34,11 +40,14 @@ struct ServiceRequest
 /**
  * Parse one request line. Accepted members: "id" (any value, echoed),
  * "benchmark" (required, must name a registered workload), "config"
- * (optional manifest, strict configFromJson). Unknown members are
- * rejected — a request the service does not fully understand must not
- * be silently simulated as something else. On failure @p error is
- * filled (MalformedJson or BadRequest) and @p out.id still carries
- * any id that could be salvaged, so the error response can echo it.
+ * (optional manifest, strict configFromJson) — or "id" plus
+ * "op":"stats", the control request that asks for a metrics snapshot
+ * (DESIGN.md §16; mixing "op" with run members is rejected). Unknown
+ * members are rejected — a request the service does not fully
+ * understand must not be silently simulated as something else. On
+ * failure @p error is filled (MalformedJson or BadRequest) and
+ * @p out.id still carries any id that could be salvaged, so the error
+ * response can echo it.
  */
 bool parseServiceRequest(const std::string &line, ServiceRequest &out,
                          ServiceError &error);

@@ -9,12 +9,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <vector>
 
 #include "fault/injector.hh"
 #include "fault/ledger.hh"
 #include "fault/resilient_sweep.hh"
+#include "metrics/metrics.hh"
+#include "report/record.hh"
 #include "util/logging.hh"
 
 namespace specfetch {
@@ -331,19 +334,41 @@ ResultStore::open(const Options &options, std::string *error)
 
     // Older generations are fully contained in the live one; their
     // files are stale and only confuse the next recovery scan.
+    std::set<uint64_t> staleGenerations;
     for (const auto &[gen, name] : bases) {
-        if (gen < generation)
+        if (gen < generation) {
+            staleGenerations.insert(gen);
             std::remove(joinPath(opts.dir, name).c_str());
+        }
     }
     for (const auto &[gen, segments] : tails) {
         if (gen >= generation)
             continue;
+        staleGenerations.insert(gen);
         for (const auto &[segment, name] : segments)
             std::remove(joinPath(opts.dir, name).c_str());
     }
+    state.staleGenerationsRemoved = staleGenerations.size();
     syncDirectory(opts.dir);
 
     state.records = index.size();
+    if (opts.metrics) {
+        putLatency = &opts.metrics->histogram("store.put_us");
+        getLatency = &opts.metrics->histogram("store.get_us");
+        fsyncLatency = &opts.metrics->histogram("store.fsync_us");
+        compactLatency = &opts.metrics->histogram("store.compact_us");
+        getHits = &opts.metrics->counter("store.get_hits");
+        getMisses = &opts.metrics->counter("store.get_misses");
+        recordsGauge = &opts.metrics->gauge("store.records");
+        tailBytesGauge = &opts.metrics->gauge("store.tail_bytes");
+        generationGauge = &opts.metrics->gauge("store.generation");
+        recordsGauge->set(state.records);
+        generationGauge->set(state.generation);
+    } else {
+        putLatency = getLatency = fsyncLatency = compactLatency = nullptr;
+        getHits = getMisses = nullptr;
+        recordsGauge = tailBytesGauge = generationGauge = nullptr;
+    }
     opened = true;
     return true;
 }
@@ -443,11 +468,17 @@ ResultStore::quarantineFrame(const std::string &file, size_t lineNumber,
 bool
 ResultStore::get(const std::string &key, JsonValue &record) const
 {
+    LatencyTimer timer(getLatency);
     std::lock_guard<std::mutex> lock(mutex);
     auto it = index.find(key);
-    if (it == index.end())
+    if (it == index.end()) {
+        if (getMisses)
+            getMisses->add();
         return false;
+    }
     record = it->second;
+    if (getHits)
+        getHits->add();
     return true;
 }
 
@@ -458,18 +489,26 @@ ResultStore::writeFrame(std::FILE *file, const std::string &line,
     if (dirty) {
         // Terminate the partial line a failed write left behind so the
         // next frame starts clean (the loader quarantines the stub).
-        if (std::fputc('\n', file) == EOF || std::fflush(file) != 0 ||
-            fsync(fileno(file)) != 0) {
+        if (std::fputc('\n', file) == EOF)
             return false;
+        {
+            LatencyTimer timer(fsyncLatency);
+            if (std::fflush(file) != 0 || fsync(fileno(file)) != 0)
+                return false;
         }
         dirty = false;
         tailBytes += 1;
     }
     std::string text = withNewline ? line + "\n" : line;
     size_t wrote = std::fwrite(text.data(), 1, text.size(), file);
-    bool ok = wrote == text.size() && std::fflush(file) == 0 &&
-              fsync(fileno(file)) == 0;
+    bool ok = wrote == text.size();
+    if (ok) {
+        LatencyTimer timer(fsyncLatency);
+        ok = std::fflush(file) == 0 && fsync(fileno(file)) == 0;
+    }
     tailBytes += wrote;
+    if (tailBytesGauge)
+        tailBytesGauge->set(tailBytes);
     return ok;
 }
 
@@ -522,6 +561,7 @@ bool
 ResultStore::put(const std::string &key, const JsonValue &record,
                  std::string *error)
 {
+    LatencyTimer timer(putLatency);
     std::lock_guard<std::mutex> lock(mutex);
     if (!opened) {
         if (error)
@@ -578,12 +618,15 @@ ResultStore::put(const std::string &key, const JsonValue &record,
     }
     index.emplace(key, record);
     ++state.records;
+    if (recordsGauge)
+        recordsGauge->set(state.records);
     return true;
 }
 
 bool
 ResultStore::compact(std::string *error)
 {
+    LatencyTimer timer(compactLatency);
     std::lock_guard<std::mutex> lock(mutex);
     if (!opened) {
         if (error)
@@ -667,6 +710,10 @@ ResultStore::compact(std::string *error)
     maxSeenGeneration = newGeneration;
     nextTailIndex = 1;
     ++state.compactions;
+    if (generationGauge) {
+        generationGauge->set(state.generation);
+        tailBytesGauge->set(0);
+    }
     return true;
 }
 
@@ -711,6 +758,36 @@ ResultStore::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex);
     return state;
+}
+
+JsonValue
+ResultStore::openSummaryRecord() const
+{
+    Stats snapshot = stats();
+    JsonValue record = JsonValue::object();
+    record.set("schema_version", JsonValue::integer(kReportSchemaVersion))
+        .set("record", JsonValue::string("store_open"))
+        .set("dir", JsonValue::string(opts.dir))
+        .set("store", toJson(snapshot));
+    return record;
+}
+
+JsonValue
+toJson(const ResultStore::Stats &stats)
+{
+    JsonValue out = JsonValue::object();
+    out.set("records", JsonValue::integer(stats.records))
+        .set("generation", JsonValue::integer(stats.generation))
+        .set("segments_loaded", JsonValue::integer(stats.segmentsLoaded))
+        .set("corrupt_frames", JsonValue::integer(stats.corruptFrames))
+        .set("duplicate_puts", JsonValue::integer(stats.duplicatePuts))
+        .set("append_attempts", JsonValue::integer(stats.appendAttempts))
+        .set("compactions", JsonValue::integer(stats.compactions))
+        .set("stale_generations_removed",
+             JsonValue::integer(stats.staleGenerationsRemoved))
+        .set("torn_tail", JsonValue::boolean(stats.tornTail))
+        .set("recovered", JsonValue::boolean(stats.recovered));
+    return out;
 }
 
 void

@@ -53,6 +53,10 @@
 namespace specfetch {
 
 class FaultInjector;
+class MetricsRegistry;
+class MetricCounter;
+class MetricGauge;
+class LatencyHistogram;
 
 class ResultStore
 {
@@ -70,6 +74,14 @@ class ResultStore
          * crash@N dies after the durable write but before the ack.
          */
         const FaultInjector *injector = nullptr;
+        /**
+         * Borrowed telemetry sink; may be null (every instrument
+         * check is then one pointer test — DESIGN.md §16). open()
+         * resolves `store.*` instruments once; put/get/fsync/compact
+         * record latencies, gauges track records/tail bytes/
+         * generation.
+         */
+        MetricsRegistry *metrics = nullptr;
 
         /** Test-only: die mid-compaction at a chosen step. */
         enum class CompactCrash : uint8_t
@@ -91,6 +103,8 @@ class ResultStore
         uint64_t duplicatePuts = 0;  ///< puts satisfied by the index
         uint64_t appendAttempts = 0; ///< put ordinals consumed
         uint64_t compactions = 0;    ///< successful compact() calls
+        /** Distinct stale generations whose files open() removed. */
+        uint64_t staleGenerationsRemoved = 0;
         bool tornTail = false;       ///< open dropped a torn tail line
         bool recovered = false;      ///< open found no CLEAN marker
     };
@@ -140,6 +154,14 @@ class ResultStore
     size_t size() const;
     Stats stats() const;
 
+    /**
+     * Schema-v1 `store_open` startup summary: what the recovery scan
+     * found and silently repaired (torn tail dropped, frames
+     * quarantined, stale generations removed), so operators see data
+     * loss at open time instead of inferring it from store_fsck.
+     */
+    JsonValue openSummaryRecord() const;
+
     /** Visit every (key, record) pair, in key order. */
     void forEach(
         const std::function<void(const std::string &key,
@@ -170,7 +192,23 @@ class ResultStore
     uint64_t tailBytes = 0;
     /** A failed write may have left a partial line; resync first. */
     bool dirty = false;
+
+    /** Instruments resolved once in open(); null when telemetry is
+     *  off, making every hot-path hook one pointer test. */
+    LatencyHistogram *putLatency = nullptr;
+    LatencyHistogram *getLatency = nullptr;
+    LatencyHistogram *fsyncLatency = nullptr;
+    LatencyHistogram *compactLatency = nullptr;
+    MetricCounter *getHits = nullptr;
+    MetricCounter *getMisses = nullptr;
+    MetricGauge *recordsGauge = nullptr;
+    MetricGauge *tailBytesGauge = nullptr;
+    MetricGauge *generationGauge = nullptr;
 };
+
+/** Serialize store stats as metrics-record members ("records",
+ *  "generation", ..., "torn_tail", "recovered"). */
+JsonValue toJson(const ResultStore::Stats &stats);
 
 /** The marker filename (exposed for tests and fsck). */
 constexpr const char *kStoreCleanMarker = "CLEAN";

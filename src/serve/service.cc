@@ -1,12 +1,16 @@
 #include "serve/service.hh"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "core/sweep.hh"
 #include "fault/guard.hh"
 #include "fault/injector.hh"
 #include "fault/resilient_sweep.hh"
+#include "metrics/metrics.hh"
+#include "obs/trace_event.hh"
+#include "report/metrics_record.hh"
 #include "report/record.hh"
 #include "util/logging.hh"
 #include "workload/registry.hh"
@@ -16,12 +20,112 @@ namespace specfetch {
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+
+uint64_t
+microsBetween(Clock::time_point begin, Clock::time_point end)
+{
+    if (end <= begin)
+        return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(end - begin)
+            .count());
+}
+
+} // namespace
+
+SweepService::Outcome
+SweepService::outcomeOf(bool ok, const ServiceError *error)
+{
+    if (ok || !error)
+        return Outcome::Executed;
+    switch (error->type) {
+      case ServiceErrorType::Poisoned:         return Outcome::Poisoned;
+      case ServiceErrorType::DeadlineExceeded: return Outcome::Expired;
+      case ServiceErrorType::Overloaded:       return Outcome::Shed;
+      case ServiceErrorType::MalformedJson:
+      case ServiceErrorType::BadRequest:
+      case ServiceErrorType::ShuttingDown:     return Outcome::Rejected;
+      case ServiceErrorType::RunFailed:
+      case ServiceErrorType::StoreWriteFailed: return Outcome::Failed;
+    }
+    return Outcome::Failed;
+}
+
+const char *
+SweepService::outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Rejected: return "rejected";
+      case Outcome::Hit:      return "hit";
+      case Outcome::Deduped:  return "deduped";
+      case Outcome::Executed: return "executed";
+      case Outcome::Shed:     return "shed";
+      case Outcome::Failed:   return "failed";
+      case Outcome::Expired:  return "expired";
+      case Outcome::Poisoned: return "poisoned";
+    }
+    return "?";
+}
+
+void
+SweepService::countOutcomeLocked(Outcome outcome)
+{
+    ++stats.accepted;
+    switch (outcome) {
+      case Outcome::Rejected: ++stats.rejected; break;
+      case Outcome::Hit:      ++stats.hits;     break;
+      case Outcome::Deduped:  ++stats.deduped;  break;
+      case Outcome::Executed: ++stats.executed; break;
+      case Outcome::Shed:     ++stats.shed;     break;
+      case Outcome::Failed:   ++stats.failed;   break;
+      case Outcome::Expired:  ++stats.expired;  break;
+      case Outcome::Poisoned: ++stats.poisoned; break;
+    }
+}
+
+void
+SweepService::observeSubmitLatency(Outcome outcome, bool timed,
+                                   Clock::time_point entry)
+{
+    if (!timed)
+        return;
+    LatencyHistogram *histogram =
+        queueWaitHistograms[static_cast<unsigned>(outcome)];
+    if (histogram)
+        histogram->observe(microsBetween(entry, Clock::now()));
+}
+
 SweepService::SweepService(ResultStore &resultStore,
                            const Options &options)
     : store(resultStore), opts(options)
 {
     panic_if(opts.workers == 0, "sweep service needs at least one worker");
     panic_if(opts.queueBound == 0, "sweep service needs a queue bound");
+    if (opts.metrics) {
+        // queue_wait covers admission (or submit entry, for requests
+        // answered inline) up to execution start / response; execute
+        // covers the simulation itself, so only classes that run get
+        // one.
+        for (unsigned i = 0; i < kOutcomeCount; ++i) {
+            Outcome outcome = static_cast<Outcome>(i);
+            queueWaitHistograms[i] = &opts.metrics->histogram(
+                std::string("service.queue_wait_us.") +
+                outcomeName(outcome));
+            if (outcome == Outcome::Executed ||
+                outcome == Outcome::Failed ||
+                outcome == Outcome::Poisoned) {
+                executeHistograms[i] = &opts.metrics->histogram(
+                    std::string("service.execute_us.") +
+                    outcomeName(outcome));
+            }
+        }
+        workerBusy = &opts.metrics->counter("service.worker_busy_us");
+        workerIdle = &opts.metrics->counter("service.worker_idle_us");
+        queueDepthGauge = &opts.metrics->gauge("service.queue_depth");
+        inflightGauge = &opts.metrics->gauge("service.inflight");
+        opts.metrics->gauge("service.workers").set(opts.workers);
+    }
 }
 
 SweepService::~SweepService()
@@ -45,10 +149,6 @@ SweepService::start()
             ServiceError error;
             error.type = ServiceErrorType::RunFailed;
             error.message = e.what();
-            {
-                std::lock_guard<std::mutex> lock(mutex);
-                ++stats.failed;
-            }
             // The failure-response path must itself be unable to
             // throw: the responder is caller-supplied code.
             try {
@@ -68,30 +168,79 @@ SweepService::start()
     if (!workers.empty())
         return;
     draining = false;
+    queueSpanFloor.assign(opts.workers, Clock::time_point{});
     workers.reserve(opts.workers);
     for (unsigned i = 0; i < opts.workers; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 void
-SweepService::workerLoop()
+SweepService::workerLoop(unsigned workerIndex)
 {
+    const bool metricsOn = opts.metrics != nullptr;
     for (;;) {
         Job job;
+        Clock::time_point idleStart;
+        if (metricsOn)
+            idleStart = Clock::now();
         {
             std::unique_lock<std::mutex> lock(mutex);
             wake.wait(lock,
                       [this] { return draining || !queue.empty(); });
-            if (queue.empty())
+            if (queue.empty()) {
+                if (metricsOn) {
+                    workerIdle->add(
+                        microsBetween(idleStart, Clock::now()));
+                }
                 return; // draining and nothing left
+            }
             job = std::move(queue.front());
             queue.pop_front();
             ++stats.inflight;
+            if (inflightGauge)
+                inflightGauge->set(stats.inflight);
+        }
+        const bool traced = TraceEventSink::global().enabled();
+        if (metricsOn || traced) {
+            job.dequeueTime = Clock::now();
+            if (metricsOn)
+                workerIdle->add(microsBetween(idleStart, job.dequeueTime));
         }
         onExecute(job);
+        if (metricsOn || traced) {
+            Clock::time_point finished = Clock::now();
+            if (metricsOn) {
+                workerBusy->add(
+                    microsBetween(job.dequeueTime, finished));
+            }
+            if (traced) {
+                // Two lanes per worker: queue-wait spans ride lane
+                // base+2w+1, execute spans lane base+2w. Queue spans
+                // are clamped so each lane stays non-overlapping —
+                // admission happens while the previous job still
+                // occupies the lane; exact waits live in the
+                // histograms (DESIGN.md §16).
+                TraceEventSink &sink = TraceEventSink::global();
+                const uint64_t lane = TraceEventSink::kExplicitTidBase +
+                                      2ull * workerIndex;
+                Clock::time_point begin = job.admitTime;
+                if (begin < queueSpanFloor[workerIndex])
+                    begin = queueSpanFloor[workerIndex];
+                if (begin > job.dequeueTime)
+                    begin = job.dequeueTime;
+                sink.recordSpanOnTid("queue_wait", "serve", begin,
+                                     job.dequeueTime, job.request.key,
+                                     lane + 1);
+                queueSpanFloor[workerIndex] = job.dequeueTime;
+                sink.recordSpanOnTid("execute", "serve", job.dequeueTime,
+                                     finished, job.request.key, lane);
+            }
+        }
         {
             std::lock_guard<std::mutex> lock(mutex);
             --stats.inflight;
+            if (inflightGauge)
+                inflightGauge->set(stats.inflight);
         }
         wake.notify_all();
     }
@@ -106,6 +255,11 @@ SweepService::backoffHint(unsigned attempt) const
 void
 SweepService::submit(const std::string &line, Responder respond)
 {
+    const bool timed = opts.metrics != nullptr ||
+                       TraceEventSink::global().enabled();
+    Clock::time_point entry;
+    if (timed)
+        entry = Clock::now();
     {
         std::lock_guard<std::mutex> lock(mutex);
         ++stats.requests;
@@ -115,21 +269,34 @@ SweepService::submit(const std::string &line, Responder respond)
     if (!parseServiceRequest(line, request, error)) {
         {
             std::lock_guard<std::mutex> lock(mutex);
-            ++stats.rejected;
+            countOutcomeLocked(Outcome::Rejected);
         }
+        observeSubmitLatency(Outcome::Rejected, timed, entry);
         respond(makeServiceErrorResponse(request.id, request.key, error));
+        return;
+    }
+
+    if (request.statsOp) {
+        // Control plane: answered from in-memory counters, outside the
+        // conservation invariant (it is no run request), never queued.
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++stats.statsOps;
+        }
+        respond(makeServiceStatsResponse(request.id, telemetryBody()));
         return;
     }
 
     {
         std::lock_guard<std::mutex> lock(mutex);
         if (poisonedKeys.count(request.key)) {
-            ++stats.poisoned;
+            countOutcomeLocked(Outcome::Poisoned);
             error.type = ServiceErrorType::Poisoned;
             error.message = "key is quarantined after repeated failures";
         }
     }
     if (error.type == ServiceErrorType::Poisoned) {
+        observeSubmitLatency(Outcome::Poisoned, timed, entry);
         respond(makeServiceErrorResponse(request.id, request.key, error));
         return;
     }
@@ -138,8 +305,9 @@ SweepService::submit(const std::string &line, Responder respond)
     if (store.get(request.key, record)) {
         {
             std::lock_guard<std::mutex> lock(mutex);
-            ++stats.hits;
+            countOutcomeLocked(Outcome::Hit);
         }
+        observeSubmitLatency(Outcome::Hit, timed, entry);
         respond(makeServiceResponse(request.id, request.key,
                                     /*cached=*/true, record));
         return;
@@ -148,6 +316,8 @@ SweepService::submit(const std::string &line, Responder respond)
     Job job;
     job.request = std::move(request);
     job.respond = std::move(respond);
+    job.timed = timed;
+    job.admitTime = entry;
     if (opts.requestDeadlineSeconds > 0.0) {
         job.hasDeadline = true;
         job.deadline =
@@ -157,14 +327,17 @@ SweepService::submit(const std::string &line, Responder respond)
     }
 
     bool enqueued = false;
+    Outcome refusedAs = Outcome::Rejected;
     {
         std::lock_guard<std::mutex> lock(mutex);
         if (draining) {
             error.type = ServiceErrorType::ShuttingDown;
             error.message = "service is draining";
+            countOutcomeLocked(Outcome::Rejected);
         } else if (admitted >= opts.queueBound) {
             // Load shedding: bounded memory beats unbounded latency.
-            ++stats.shed;
+            countOutcomeLocked(Outcome::Shed);
+            refusedAs = Outcome::Shed;
             error.type = ServiceErrorType::Overloaded;
             error.message = "admission queue is full (" +
                             std::to_string(opts.queueBound) +
@@ -173,11 +346,14 @@ SweepService::submit(const std::string &line, Responder respond)
         } else {
             ++admitted;
             stats.queueDepth = admitted;
+            if (queueDepthGauge)
+                queueDepthGauge->set(admitted);
             auto active = followers.find(job.request.key);
             if (active != followers.end()) {
                 // Single-flight: ride the execution already admitted
-                // for this key instead of simulating twice.
-                ++stats.deduped;
+                // for this key instead of simulating twice. Counted
+                // `deduped` when the leader's result answers it, not
+                // here — an outcome is a delivered response.
                 active->second.push_back(std::move(job));
             } else {
                 followers.emplace(job.request.key, std::vector<Job>{});
@@ -191,6 +367,7 @@ SweepService::submit(const std::string &line, Responder respond)
         return;
     }
     // Shed or draining: job was not consumed, respond with the error.
+    observeSubmitLatency(refusedAs, timed, entry);
     job.respond(
         makeServiceErrorResponse(job.request.id, job.request.key, error));
 }
@@ -233,7 +410,6 @@ SweepService::executeJob(Job &job)
     {
         std::lock_guard<std::mutex> lock(mutex);
         if (poisonedKeys.count(key)) {
-            ++stats.poisoned;
             error.type = ServiceErrorType::Poisoned;
             error.message = "key is quarantined after repeated failures";
         }
@@ -248,10 +424,6 @@ SweepService::executeJob(Job &job)
     // starts in time runs to completion (killing it mid-simulation is
     // the watchdog's job, not the deadline's).
     if (job.hasDeadline && Clock::now() >= job.deadline) {
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            ++stats.expired;
-        }
         error.type = ServiceErrorType::DeadlineExceeded;
         error.message = "deadline expired before the run could start";
         error.backoffSeconds = backoffHint(2);
@@ -289,10 +461,6 @@ SweepService::executeJob(Job &job)
                           &classification);
         std::string storeError;
         if (!store.put(key, record, &storeError)) {
-            {
-                std::lock_guard<std::mutex> lock(mutex);
-                ++stats.failed;
-            }
             error.type = ServiceErrorType::StoreWriteFailed;
             error.message = "run completed but could not be persisted: " +
                             storeError;
@@ -301,10 +469,6 @@ SweepService::executeJob(Job &job)
                       makeServiceErrorResponse(job.request.id, key, error),
                       false, &error);
             return;
-        }
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            ++stats.executed;
         }
         finishKey(job,
                   makeServiceResponse(job.request.id, key,
@@ -321,9 +485,6 @@ SweepService::executeJob(Job &job)
         if (count >= opts.poisonThreshold) {
             poisonedKeys.insert(key);
             poisonedNow = true;
-            ++stats.poisoned;
-        } else {
-            ++stats.failed;
         }
     }
     if (poisonedNow) {
@@ -347,16 +508,56 @@ SweepService::finishKey(Job &leader, const JsonValue &response, bool ok,
                         const ServiceError *error)
 {
     const std::string &key = leader.request.key;
+    const Outcome outcome = outcomeOf(ok, error);
+    const bool metricsOn = opts.metrics != nullptr;
+    Clock::time_point finished;
+    if (metricsOn)
+        finished = Clock::now();
     std::vector<Job> riders;
     {
         std::lock_guard<std::mutex> lock(mutex);
         auto it = followers.find(key);
-        if (it != followers.end()) {
-            riders = std::move(it->second);
-            followers.erase(it);
+        if (it == followers.end()) {
+            // Already finished (a responder threw mid-finish and the
+            // boundary retried): counting or releasing again would
+            // corrupt the invariant and underflow `admitted`.
+            warn("sweep service: duplicate finish for key %s dropped",
+                 key.c_str());
+            return;
         }
+        riders = std::move(it->second);
+        followers.erase(it);
         admitted -= 1 + riders.size();
         stats.queueDepth = admitted;
+        if (queueDepthGauge)
+            queueDepthGauge->set(admitted);
+        countOutcomeLocked(outcome);
+        for (size_t i = 0; i < riders.size(); ++i)
+            countOutcomeLocked(Outcome::Deduped);
+    }
+    if (metricsOn && leader.timed) {
+        LatencyHistogram *wait =
+            queueWaitHistograms[static_cast<unsigned>(outcome)];
+        if (wait) {
+            wait->observe(
+                microsBetween(leader.admitTime, leader.dequeueTime));
+        }
+        LatencyHistogram *execute =
+            executeHistograms[static_cast<unsigned>(outcome)];
+        if (execute) {
+            execute->observe(
+                microsBetween(leader.dequeueTime, finished));
+        }
+        LatencyHistogram *riderWait = queueWaitHistograms[static_cast<unsigned>(
+            Outcome::Deduped)];
+        if (riderWait) {
+            for (const Job &rider : riders) {
+                if (rider.timed) {
+                    riderWait->observe(
+                        microsBetween(rider.admitTime, finished));
+                }
+            }
+        }
     }
     leader.respond(response);
     for (Job &rider : riders) {
@@ -402,6 +603,17 @@ SweepService::Stats
 SweepService::statsSnapshot() const
 {
     std::lock_guard<std::mutex> lock(mutex);
+    // In-process conservation check: every snapshot must balance.
+    // warn (once) rather than panic — a broken counter is a telemetry
+    // bug, not a reason to kill a daemon with requests in flight; CI
+    // gates on the "conserved" member via tools/validate_metrics.py.
+    if (stats.accepted != stats.outcomeSum() && !conservationWarned) {
+        conservationWarned = true;
+        warn("sweep service: outcome conservation violated "
+             "(accepted %llu != outcome sum %llu)",
+             static_cast<unsigned long long>(stats.accepted),
+             static_cast<unsigned long long>(stats.outcomeSum()));
+    }
     return stats;
 }
 
@@ -411,6 +623,8 @@ SweepService::healthMembers(JsonValue &row) const
     Stats snapshot = statsSnapshot();
     ResultStore::Stats storeStats = store.stats();
     row.set("requests", JsonValue::integer(snapshot.requests))
+        .set("accepted", JsonValue::integer(snapshot.accepted))
+        .set("stats_ops", JsonValue::integer(snapshot.statsOps))
         .set("hits", JsonValue::integer(snapshot.hits))
         .set("deduped", JsonValue::integer(snapshot.deduped))
         .set("executed", JsonValue::integer(snapshot.executed))
@@ -424,6 +638,50 @@ SweepService::healthMembers(JsonValue &row) const
         .set("store_records", JsonValue::integer(storeStats.records))
         .set("store_generation",
              JsonValue::integer(storeStats.generation));
+}
+
+JsonValue
+SweepService::serviceStatsJson() const
+{
+    Stats snapshot = statsSnapshot();
+    JsonValue out = JsonValue::object();
+    out.set("requests", JsonValue::integer(snapshot.requests))
+        .set("accepted", JsonValue::integer(snapshot.accepted))
+        .set("stats_ops", JsonValue::integer(snapshot.statsOps))
+        .set("hits", JsonValue::integer(snapshot.hits))
+        .set("executed", JsonValue::integer(snapshot.executed))
+        .set("deduped", JsonValue::integer(snapshot.deduped))
+        .set("shed", JsonValue::integer(snapshot.shed))
+        .set("expired", JsonValue::integer(snapshot.expired))
+        .set("poisoned", JsonValue::integer(snapshot.poisoned))
+        .set("failed", JsonValue::integer(snapshot.failed))
+        .set("rejected", JsonValue::integer(snapshot.rejected))
+        .set("queue_depth", JsonValue::integer(snapshot.queueDepth))
+        .set("inflight", JsonValue::integer(snapshot.inflight))
+        .set("conserved", JsonValue::boolean(snapshot.accepted ==
+                                             snapshot.outcomeSum()));
+    return out;
+}
+
+JsonValue
+SweepService::telemetryBody() const
+{
+    JsonValue body = JsonValue::object();
+    body.set("service", serviceStatsJson())
+        .set("store", toJson(store.stats()));
+    setMetricsMembers(body, opts.metrics ? opts.metrics->snapshot()
+                                         : MetricsSnapshot{});
+    return body;
+}
+
+JsonValue
+SweepService::metricsRecord(const std::string &label, uint64_t seq,
+                            double elapsedSeconds, bool final) const
+{
+    return makeMetricsRecord(label, seq, elapsedSeconds, final,
+                             serviceStatsJson(), toJson(store.stats()),
+                             opts.metrics ? opts.metrics->snapshot()
+                                          : MetricsSnapshot{});
 }
 
 } // namespace specfetch

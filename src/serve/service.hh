@@ -34,6 +34,7 @@
 #ifndef SPECFETCH_SERVE_SERVICE_HH_
 #define SPECFETCH_SERVE_SERVICE_HH_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -53,6 +54,10 @@
 namespace specfetch {
 
 class FaultInjector;
+class MetricsRegistry;
+class MetricCounter;
+class MetricGauge;
+class LatencyHistogram;
 
 class SweepService
 {
@@ -82,12 +87,34 @@ class SweepService
         /** Test-only gate, called after the deadline check and before
          *  the run executes. */
         std::function<void()> testBeforeExecute;
+        /**
+         * Borrowed telemetry sink; may be null (instrumentation is
+         * then one pointer test per hook — DESIGN.md §16). The
+         * constructor resolves `service.*` instruments once so no
+         * request path ever does a registry lookup.
+         */
+        MetricsRegistry *metrics = nullptr;
     };
 
+    /**
+     * Counters obey the Table-4-style conservation invariant
+     *
+     *   accepted == hits + executed + deduped + shed + expired
+     *               + poisoned + failed + rejected
+     *
+     * at *every* snapshot, not just at drain: every outcome counter is
+     * bumped together with `accepted`, under the service mutex, at the
+     * moment the request's final response is decided. `rejected`
+     * covers everything refused without execution (malformed,
+     * bad_request, shutting_down); `requests` counts submit() calls
+     * and equals accepted + stats_ops once the queue is empty.
+     */
     struct Stats
     {
         uint64_t requests = 0;  ///< submit() calls
-        uint64_t rejected = 0;  ///< malformed / bad_request
+        uint64_t accepted = 0;  ///< requests with a decided outcome
+        uint64_t statsOps = 0;  ///< "op":"stats" control requests
+        uint64_t rejected = 0;  ///< malformed / bad_request / shutting_down
         uint64_t hits = 0;      ///< answered from the store
         uint64_t deduped = 0;   ///< followers riding another execution
         uint64_t executed = 0;  ///< simulations that completed
@@ -97,6 +124,13 @@ class SweepService
         uint64_t poisoned = 0;  ///< poisoned responses
         uint64_t queueDepth = 0; ///< admitted, not yet finished
         uint64_t inflight = 0;  ///< executing right now
+
+        /** Sum of the outcome classes (the invariant's right side). */
+        uint64_t outcomeSum() const
+        {
+            return hits + executed + deduped + shed + expired +
+                   poisoned + failed + rejected;
+        }
     };
 
     /** Responses are delivered through this, possibly from a worker
@@ -129,6 +163,27 @@ class SweepService
      *  ProgressReporter extraMembers hook). */
     void healthMembers(JsonValue &row) const;
 
+    /** The registry this service reports to; null when telemetry is
+     *  off (serveStream uses this for its socket counters). */
+    MetricsRegistry *metricsRegistry() const { return opts.metrics; }
+
+    /** The "service" member of a metrics record: every Stats counter
+     *  plus a "conserved" verdict on the invariant. */
+    JsonValue serviceStatsJson() const;
+
+    /**
+     * The `"op":"stats"` payload: "service" + "store" members plus
+     * the registry's counters/gauges/histograms — the body of a
+     * metrics record without the flusher framing. Touches no store
+     * data, only in-memory counters.
+     */
+    JsonValue telemetryBody() const;
+
+    /** One complete schema-v1 `metrics` record (the --metrics-out
+     *  flusher's builder). */
+    JsonValue metricsRecord(const std::string &label, uint64_t seq,
+                            double elapsedSeconds, bool final) const;
+
   private:
     struct Job
     {
@@ -136,9 +191,34 @@ class SweepService
         Responder respond;
         std::chrono::steady_clock::time_point deadline;
         bool hasDeadline = false;
+        /** Stamped at submit() when telemetry or tracing is on; the
+         *  queue-wait span/histogram starts here. */
+        std::chrono::steady_clock::time_point admitTime;
+        std::chrono::steady_clock::time_point dequeueTime;
+        bool timed = false;
     };
 
-    void workerLoop();
+    /**
+     * Outcome classes of the conservation invariant, in Stats order.
+     * Exactly one is counted per accepted request, at response time.
+     */
+    enum class Outcome : uint8_t
+    {
+        Rejected, Hit, Deduped, Executed, Shed, Failed, Expired,
+        Poisoned,
+    };
+    static constexpr unsigned kOutcomeCount = 8;
+    static Outcome outcomeOf(bool ok, const ServiceError *error);
+    static const char *outcomeName(Outcome outcome);
+
+    /** Bump @p outcome's counter and `accepted` together (mutex held). */
+    void countOutcomeLocked(Outcome outcome);
+    /** Record submit-side latency (entry to response) for requests
+     *  answered without ever being queued. */
+    void observeSubmitLatency(Outcome outcome, bool timed,
+                              std::chrono::steady_clock::time_point entry);
+
+    void workerLoop(unsigned workerIndex);
     void executeJob(Job &job);
     /** The worker body: assigned once in start(); the analyzer's
      *  error-boundary rule audits every throw path under it. */
@@ -165,9 +245,28 @@ class SweepService
     std::map<std::string, unsigned> failureCounts;
     std::set<std::string> poisonedKeys;
     Stats stats;
+    /** warn() once, not per snapshot, if the invariant ever breaks. */
+    mutable bool conservationWarned = false;
 
     std::mutex classificationMutex;
     std::map<std::string, Classification> classifications;
+
+    // Instruments, resolved once in the constructor; all null when
+    // opts.metrics is null, making every hook one pointer test.
+    std::array<LatencyHistogram *, kOutcomeCount> queueWaitHistograms{};
+    std::array<LatencyHistogram *, kOutcomeCount> executeHistograms{};
+    MetricCounter *workerBusy = nullptr;
+    MetricCounter *workerIdle = nullptr;
+    MetricGauge *queueDepthGauge = nullptr;
+    MetricGauge *inflightGauge = nullptr;
+
+    /**
+     * Per-worker clamp for queue-wait trace spans: a span on worker
+     * w's queue lane must not start before the previous span on that
+     * lane ended, or the Perfetto track would interleave (DESIGN.md
+     * §16). Element w is touched only by worker w.
+     */
+    std::vector<std::chrono::steady_clock::time_point> queueSpanFloor;
 };
 
 } // namespace specfetch

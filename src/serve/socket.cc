@@ -10,6 +10,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "metrics/metrics.hh"
 #include "serve/service.hh"
 #include "util/logging.hh"
 
@@ -63,6 +64,7 @@ struct StreamOrder
     size_t flushed = 0;
     int outFd = -1;
     bool writeFailed = false;
+    MetricCounter *bytesWritten = nullptr; ///< borrowed; may be null
 
     /** Called with the slot's response; flushes every consecutive
      *  ready slot starting at the cursor. */
@@ -74,9 +76,13 @@ struct StreamOrder
         while (flushed < ready.size() && ready[flushed]) {
             if (!writeFailed) {
                 slots[flushed].push_back('\n');
-                if (!writeAll(outFd, slots[flushed].data(),
-                              slots[flushed].size()))
+                if (writeAll(outFd, slots[flushed].data(),
+                             slots[flushed].size())) {
+                    if (bytesWritten)
+                        bytesWritten->add(slots[flushed].size());
+                } else {
                     writeFailed = true;
+                }
             }
             slots[flushed].clear();
             slots[flushed].shrink_to_fit();
@@ -172,6 +178,18 @@ serveStream(int inFd, int outFd, SweepService &service,
     StreamOrder order;
     order.outFd = outFd;
 
+    // Wire-level instruments; null (one pointer test per update) when
+    // the service carries no registry.
+    MetricCounter *bytesRead = nullptr;
+    MetricCounter *bytesWritten = nullptr;
+    MetricCounter *linesRead = nullptr;
+    if (MetricsRegistry *registry = service.metricsRegistry()) {
+        bytesRead = &registry->counter("socket.bytes_read");
+        bytesWritten = &registry->counter("socket.bytes_written");
+        linesRead = &registry->counter("socket.lines_read");
+    }
+    order.bytesWritten = bytesWritten;
+
     std::string pending;
     char chunk[4096];
     bool sawEof = false;
@@ -193,10 +211,13 @@ serveStream(int inFd, int outFd, SweepService &service,
                 continue;
             break;
         }
-        if (got == 0)
+        if (got == 0) {
             sawEof = true;
-        else
+        } else {
             pending.append(chunk, static_cast<size_t>(got));
+            if (bytesRead)
+                bytesRead->add(static_cast<uint64_t>(got));
+        }
 
         size_t start = 0;
         for (;;) {
@@ -219,6 +240,8 @@ serveStream(int inFd, int outFd, SweepService &service,
                 continue; // blank keep-alive line
             if (line.empty())
                 break;
+            if (linesRead)
+                linesRead->add(1);
             size_t slot;
             {
                 std::lock_guard<std::mutex> lock(order.mutex);

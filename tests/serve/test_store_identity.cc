@@ -21,6 +21,7 @@
 #include "core/miss_classifier.hh"
 #include "core/simulator.hh"
 #include "fault/resilient_sweep.hh"
+#include "metrics/metrics.hh"
 #include "report/record.hh"
 #include "serve/result_store.hh"
 #include "serve/service.hh"
@@ -92,15 +93,20 @@ TEST(StoreIdentity, GridRecordsMatchSerialSimulation)
     }
 
     // Drive the same grid through the service (parallel workers, so
-    // the identity also covers scheduling nondeterminism).
+    // the identity also covers scheduling nondeterminism) — with
+    // telemetry armed: instrumentation must never change a stored or
+    // served byte (DESIGN.md §16).
+    MetricsRegistry registry;
     ResultStore store;
     ResultStore::Options storeOptions;
     storeOptions.dir = dir;
+    storeOptions.metrics = &registry;
     ASSERT_TRUE(store.open(storeOptions));
     {
         SweepService::Options serviceOptions;
         serviceOptions.workers = 4;
         serviceOptions.queueBound = specs.size();
+        serviceOptions.metrics = &registry;
         SweepService service(store, serviceOptions);
         service.start();
         for (const RunSpec &spec : specs) {
@@ -111,6 +117,19 @@ TEST(StoreIdentity, GridRecordsMatchSerialSimulation)
         }
         service.drain();
         ASSERT_EQ(service.statsSnapshot().executed, specs.size());
+        // The instrumentation actually fired while the bytes stayed
+        // identical below.
+        ASSERT_EQ(service.statsSnapshot().accepted,
+                  service.statsSnapshot().outcomeSum());
+    }
+    {
+        MetricsSnapshot snapshot = registry.snapshot();
+        uint64_t putCount = 0;
+        for (const HistogramSnapshot &histogram : snapshot.histograms) {
+            if (histogram.name == "store.put_us")
+                putCount = histogram.count;
+        }
+        ASSERT_EQ(putCount, specs.size());
     }
 
     // 1) Stored bytes == fresh serial bytes.

@@ -28,7 +28,7 @@ SOURCE_SUFFIXES = (".cc", ".cpp", ".hh", ".h")
 SIM_DIRS = (
     "src/core", "src/cache", "src/branch", "src/adaptive", "src/trace",
     "src/workload", "src/isa", "src/check", "src/stats", "src/util",
-    "src/report", "src/obs", "src/fault",
+    "src/report", "src/obs", "src/fault", "src/metrics",
 )
 # Directories whose code runs on parallel sweep worker threads.
 # src/serve is worker code (the service's pool calls into the
@@ -37,7 +37,7 @@ SIM_DIRS = (
 WORKER_DIRS = (
     "src/core", "src/cache", "src/branch", "src/adaptive", "src/trace",
     "src/workload", "src/isa", "src/check", "src/stats", "src/util",
-    "src/obs", "src/fault", "src/serve",
+    "src/obs", "src/fault", "src/serve", "src/metrics",
 )
 # The per-instruction hot path (loop-alloc / loop-virtual scope).
 HOT_DIRS = ("src/core",)

@@ -29,8 +29,15 @@ enforces, so a store can be audited without (or before) opening it:
     - leftover base-<G>.tmp (aborted compaction, deleted at open);
     - unrecognized file names.
 
+With --json the findings go to stdout as schema-v1 JSONL instead of
+text: one "fsck_finding" record per error/warning (severity +
+message) followed by one "fsck_summary" record (record/error/warning
+counts and the verdict), so CI jobs and dashboards can consume the
+audit without scraping. The exit code contract is identical in both
+modes, and the default text output is unchanged.
+
 Usage:
-    tools/store_fsck.py STORE_DIR [--strict]
+    tools/store_fsck.py STORE_DIR [--strict] [--json]
     tools/store_fsck.py --self-test
 
 Exit code 0 when no errors (warnings allowed unless --strict), 1
@@ -266,15 +273,38 @@ def check_store(directory):
     return report
 
 
-def run_fsck(directory, strict):
+def report_json_lines(report, strict):
+    """The --json form: finding records, then one summary record."""
+    lines = []
+    for severity, messages in (("error", report.errors),
+                               ("warning", report.warnings)):
+        for message in messages:
+            lines.append(json.dumps(
+                {"schema_version": 1, "record": "fsck_finding",
+                 "severity": severity, "message": message},
+                sort_keys=True))
+    ok = not report.errors and not (strict and report.warnings)
+    lines.append(json.dumps(
+        {"schema_version": 1, "record": "fsck_summary",
+         "records": len(report.records), "errors": len(report.errors),
+         "warnings": len(report.warnings), "strict": strict, "ok": ok},
+        sort_keys=True))
+    return lines
+
+
+def run_fsck(directory, strict, json_out=False):
     report = check_store(directory)
-    for message in report.errors:
-        print(f"error: {message}")
-    for message in report.warnings:
-        print(f"warning: {message}")
-    print(f"store_fsck: {len(report.records)} record(s), "
-          f"{len(report.errors)} error(s), "
-          f"{len(report.warnings)} warning(s)")
+    if json_out:
+        for line in report_json_lines(report, strict):
+            print(line)
+    else:
+        for message in report.errors:
+            print(f"error: {message}")
+        for message in report.warnings:
+            print(f"warning: {message}")
+        print(f"store_fsck: {len(report.records)} record(s), "
+              f"{len(report.errors)} error(s), "
+              f"{len(report.warnings)} warning(s)")
     if report.errors:
         return 1
     if strict and report.warnings:
@@ -425,6 +455,61 @@ def self_test():
         pass
     run_case("empty directory", empty, False, True)
 
+    # --json: findings as records, summary last, same exit contract,
+    # and the text mode unchanged by the flag's existence.
+    import contextlib
+    import io
+    with tempfile.TemporaryDirectory() as tmp:
+        dup_key(tmp)
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = run_fsck(tmp, strict=False, json_out=True)
+        rows = [json.loads(line)
+                for line in out.getvalue().splitlines()]
+        c.check("json: warn-only store exits 0", code == 0)
+        c.check("json: every line is schema-v1",
+                all(row["schema_version"] == 1 for row in rows))
+        findings = [row for row in rows
+                    if row["record"] == "fsck_finding"]
+        c.check("json: one finding per warning",
+                len(findings) >= 1
+                and all(f["severity"] == "warning" for f in findings)
+                and any("duplicate key" in f["message"]
+                        for f in findings))
+        c.check("json: summary record is last",
+                rows[-1]["record"] == "fsck_summary"
+                and rows[-1]["ok"] is True
+                and rows[-1]["records"] == 2
+                and rows[-1]["warnings"] == len(findings))
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            strict_code = run_fsck(tmp, strict=True, json_out=True)
+        strict_rows = [json.loads(line)
+                       for line in out.getvalue().splitlines()]
+        c.check("json: --strict flips the verdict and exit code",
+                strict_code == 1 and strict_rows[-1]["ok"] is False
+                and strict_rows[-1]["strict"] is True)
+    with tempfile.TemporaryDirectory() as tmp:
+        bad_commit(tmp)
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = run_fsck(tmp, strict=False, json_out=True)
+        rows = [json.loads(line)
+                for line in out.getvalue().splitlines()]
+        c.check("json: damaged store exits 1 with error findings",
+                code == 1 and rows[-1]["errors"] >= 1
+                and any(row.get("severity") == "error"
+                        for row in rows))
+    with tempfile.TemporaryDirectory() as tmp:
+        _good_store(tmp)
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            run_fsck(tmp, strict=False)
+        text = out.getvalue()
+        c.check("text mode unchanged: summary line intact",
+                text == "store_fsck: 3 record(s), 0 error(s), "
+                        "0 warning(s)\n")
+
     return c.finish()
 
 
@@ -435,6 +520,9 @@ def main():
                         help="store directory to check")
     parser.add_argument("--strict", action="store_true",
                         help="treat warnings as errors")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as schema-v1 JSONL instead "
+                             "of text")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in checks and exit")
     args = parser.parse_args()
@@ -442,7 +530,7 @@ def main():
         return self_test()
     if not args.store:
         parser.error("STORE_DIR is required (or use --self-test)")
-    return run_fsck(args.store, args.strict)
+    return run_fsck(args.store, args.strict, json_out=args.json)
 
 
 if __name__ == "__main__":

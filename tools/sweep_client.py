@@ -15,9 +15,16 @@ unless --expect-ok is given (CI mode: any non-ok status, or a
 response count that does not match the request count, exits 1).
 A connection problem is always a hard error naming the socket.
 
+--stats switches to the live-telemetry probe: it sends the one-line
+control request {"op":"stats"} (DESIGN.md §16) and pretty-prints the
+daemon's stats body — service outcome counters, store stats, and the
+metrics registry snapshot — without submitting any run. The exit code
+is 0 only for an "ok" response carrying a stats object.
+
 Usage:
     tools/sweep_client.py SOCKET [--requests FILE] [--output FILE]
                           [--expect-ok] [--timeout SECONDS]
+    tools/sweep_client.py SOCKET --stats
     tools/sweep_client.py --self-test
 
 Exit code 0 on success, 1 otherwise.
@@ -152,6 +159,36 @@ def run_client(args):
     return 0
 
 
+def run_stats(socket_path, timeout, out=sys.stdout):
+    """Send {"op":"stats"}; pretty-print the stats body. Returns the
+    exit code."""
+    responses = exchange(socket_path, ['{"op":"stats"}'], timeout)
+    if len(responses) != 1:
+        warn(f"expected one stats response, got {len(responses)}")
+        return 1
+    try:
+        response = json.loads(responses[0])
+    except json.JSONDecodeError as err:
+        warn(f"stats response is not JSON: {err}")
+        return 1
+    if response.get("status") != "ok":
+        kind = response.get("error", {}).get("type", "?")
+        warn(f"stats request failed: {kind}: "
+             f"{response.get('error', {}).get('message', '')}")
+        return 1
+    stats = response.get("stats")
+    if not isinstance(stats, dict):
+        warn("ok response without a stats object")
+        return 1
+    print(json.dumps(stats, indent=2, sort_keys=True), file=out)
+    service = stats.get("service", {})
+    print(f"sweep_client: {service.get('requests', 0)} request(s) "
+          f"seen, {service.get('accepted', 0)} accepted, "
+          f"queue depth {service.get('queue_depth', 0)}, "
+          f"conserved={service.get('conserved')}", file=sys.stderr)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Self-test
 
@@ -245,6 +282,79 @@ def self_test():
             c.check("requests: malformed input line rejected",
                     "not JSON" in str(err))
 
+        # --stats: the control request goes out, the stats body is
+        # pretty-printed, and non-ok answers fail.
+        import contextlib
+        import io
+
+        def stats_reply(requests):
+            request = json.loads(requests[0])
+            if request != {"op": "stats"}:
+                return [json.dumps({"status": "error",
+                                    "error": {"type": "bad_request",
+                                              "message": "not stats"}})]
+            return [json.dumps({
+                "schema_version": 1, "record": "response",
+                "status": "ok",
+                "stats": {"service": {"requests": 7, "accepted": 6,
+                                      "queue_depth": 0,
+                                      "conserved": True},
+                          "store": {"records": 3},
+                          "counters": {"socket.accepts": 2}}})]
+
+        stats_path = os.path.join(tmp, "stats.sock")
+        ready = threading.Event()
+        server = threading.Thread(
+            target=_serve_canned, args=(stats_path, stats_reply, ready))
+        server.start()
+        ready.wait()
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stderr(err):
+            code = run_stats(stats_path, timeout=10.0, out=out)
+        server.join()
+        c.check("stats: ok response exits 0", code == 0)
+        c.check("stats: body pretty-printed",
+                '"socket.accepts": 2' in out.getvalue()
+                and '"records": 3' in out.getvalue())
+        c.check("stats: summary names the service counters",
+                "7 request(s)" in err.getvalue()
+                and "conserved=True" in err.getvalue())
+
+        def error_reply(requests):
+            return [json.dumps({"status": "error",
+                                "error": {"type": "shutting_down",
+                                          "message": "draining"}})]
+
+        err_path = os.path.join(tmp, "err.sock")
+        ready = threading.Event()
+        server = threading.Thread(
+            target=_serve_canned, args=(err_path, error_reply, ready))
+        server.start()
+        ready.wait()
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stderr(err):
+            code = run_stats(err_path, timeout=10.0, out=out)
+        server.join()
+        c.check("stats: error response exits 1", code == 1
+                and "shutting_down" in err.getvalue())
+
+        def no_stats_reply(requests):
+            return [json.dumps({"status": "ok"})]
+
+        missing_path = os.path.join(tmp, "missing.sock")
+        ready = threading.Event()
+        server = threading.Thread(
+            target=_serve_canned,
+            args=(missing_path, no_stats_reply, ready))
+        server.start()
+        ready.wait()
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stderr(err):
+            code = run_stats(missing_path, timeout=10.0, out=out)
+        server.join()
+        c.check("stats: ok without a stats object exits 1",
+                code == 1 and "stats object" in err.getvalue())
+
     return c.finish()
 
 
@@ -261,6 +371,9 @@ def main():
                         help="socket timeout in seconds")
     parser.add_argument("--expect-ok", action="store_true",
                         help="exit 1 on any error response (CI mode)")
+    parser.add_argument("--stats", action="store_true",
+                        help="send {\"op\":\"stats\"} and pretty-print "
+                             "the daemon's live telemetry")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in checks and exit")
     args = parser.parse_args()
@@ -268,6 +381,8 @@ def main():
         return self_test()
     if not args.socket:
         parser.error("SOCKET is required (or use --self-test)")
+    if args.stats:
+        return run_stats(args.socket, args.timeout)
     return run_client(args)
 
 
